@@ -1,0 +1,67 @@
+//! Per-request FTL service cost (host-CPU time, not simulated time):
+//! across-page writes and reads on each scheme.
+
+use aftl_core::request::HostRequest;
+use aftl_core::scheme::SchemeKind;
+use aftl_sim::{SimConfig, Ssd};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn device(scheme: SchemeKind) -> Ssd {
+    let geometry = aftl_flash::GeometryBuilder::new()
+        .channels(4)
+        .chips_per_channel(2)
+        .dies_per_chip(1)
+        .planes_per_die(2)
+        .blocks_per_plane(128)
+        .pages_per_block(64)
+        .page_bytes(8192)
+        .build()
+        .unwrap();
+    let mut config = SimConfig::experiment(scheme, 8192);
+    config.geometry = geometry;
+    config.scheme_cfg = aftl_core::scheme::SchemeConfig::for_geometry(&geometry);
+    config.warmup.used_fraction = 0.0;
+    Ssd::new(config).unwrap()
+}
+
+fn bench_across_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("across_page_write");
+    for scheme in SchemeKind::ALL {
+        group.bench_function(scheme.name(), |b| {
+            let mut ssd = device(scheme);
+            let mut i = 0u64;
+            let span = ssd.logical_sectors() / 2;
+            b.iter(|| {
+                i += 1;
+                // Across-page: 8 KB at a 4 KB+1 KB phase.
+                let sector = (i * 16 + 10) % span;
+                let req = HostRequest::write(i, sector, 16);
+                black_box(ssd.submit(&req).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("across_page_read");
+    for scheme in SchemeKind::ALL {
+        group.bench_function(scheme.name(), |b| {
+            let mut ssd = device(scheme);
+            for i in 0..512u64 {
+                let req = HostRequest::write(i, (i * 16 + 10) % 8192, 16);
+                ssd.submit(&req).unwrap();
+            }
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let req = HostRequest::read(1_000_000 + i, ((i % 512) * 16 + 10) % 8192, 16);
+                black_box(ssd.submit(&req).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_across_write, bench_read);
+criterion_main!(benches);

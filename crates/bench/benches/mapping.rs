@@ -1,0 +1,77 @@
+//! Mapping-structure microbenchmarks (§4.2.4's lookup-overhead analysis):
+//! PMT/AMT lookups and the DRAM mapping cache's hit path.
+
+use aftl_core::mapping::amt::{AcrossMapTable, AmtEntry};
+use aftl_core::mapping::cache::MapCache;
+use aftl_core::mapping::pmt::PageMapTable;
+use aftl_flash::{Allocator, FlashArray, Geometry, Ppn, TimingSpec};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_pmt(c: &mut Criterion) {
+    let mut pmt = PageMapTable::new(1 << 20);
+    for lpn in 0..(1u64 << 20) {
+        pmt.set_ppn(lpn, Ppn(lpn * 2));
+    }
+    c.bench_function("pmt_lookup", |b| {
+        let mut lpn = 0u64;
+        b.iter(|| {
+            lpn = (lpn + 977) & ((1 << 20) - 1);
+            black_box(pmt.get(black_box(lpn)))
+        })
+    });
+    c.bench_function("pmt_update", |b| {
+        let mut lpn = 0u64;
+        b.iter(|| {
+            lpn = (lpn + 977) & ((1 << 20) - 1);
+            black_box(pmt.set_ppn(black_box(lpn), Ppn(lpn)))
+        })
+    });
+}
+
+fn bench_amt(c: &mut Criterion) {
+    let mut amt = AcrossMapTable::new();
+    let mut idxs = Vec::new();
+    for i in 0..10_000u64 {
+        idxs.push(amt.insert(AmtEntry {
+            start_sector: i * 20 + 10,
+            size_sectors: 12,
+            appn: Ppn(i),
+        }));
+    }
+    c.bench_function("amt_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 277) % idxs.len();
+            black_box(amt.get(black_box(idxs[i])))
+        })
+    });
+    c.bench_function("amt_insert_remove", |b| {
+        b.iter(|| {
+            let idx = amt.insert(AmtEntry {
+                start_sector: 42,
+                size_sectors: 8,
+                appn: Ppn(7),
+            });
+            amt.remove(black_box(idx));
+        })
+    });
+}
+
+fn bench_cache_hit(c: &mut Criterion) {
+    let mut array = FlashArray::new(Geometry::tiny(), TimingSpec::unit()).unwrap();
+    let mut alloc = Allocator::new(&array);
+    let mut cache = MapCache::new(64);
+    for tp in 0..64u64 {
+        cache.access(&mut array, &mut alloc, 0, tp, false).unwrap();
+    }
+    c.bench_function("map_cache_hit", |b| {
+        let mut tp = 0u64;
+        b.iter(|| {
+            tp = (tp + 7) % 64;
+            black_box(cache.access(&mut array, &mut alloc, 0, black_box(tp), false).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_pmt, bench_amt, bench_cache_hit);
+criterion_main!(benches);

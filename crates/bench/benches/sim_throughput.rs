@@ -1,0 +1,39 @@
+//! Simulator throughput: how many trace requests per second of host time
+//! the full stack replays (useful when sizing experiment scales).
+
+use aftl_core::scheme::SchemeKind;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_replay(c: &mut Criterion) {
+    let mut spec = aftl_trace::LunPreset::Lun1.spec(0.002);
+    spec.lun_bytes = 64 << 20;
+    let trace = aftl_trace::VdiWorkload::new(spec).generate();
+    let geometry = aftl_flash::GeometryBuilder::new()
+        .channels(4)
+        .chips_per_channel(2)
+        .dies_per_chip(1)
+        .planes_per_die(2)
+        .blocks_per_plane(64)
+        .pages_per_block(64)
+        .page_bytes(8192)
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for scheme in SchemeKind::ALL {
+        group.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                let mut config = aftl_sim::SimConfig::experiment(scheme, 8192);
+                config.geometry = geometry;
+                config.scheme_cfg = aftl_core::scheme::SchemeConfig::for_geometry(&geometry);
+                config.warmup.used_fraction = 0.3;
+                aftl_sim::experiment::run_single_with(config, &trace).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation study: how much of Across-FTL's benefit comes from each design
+//! choice? Compares the full scheme against AMerge disabled (every
+//! overlapping update rolls the area back and is re-written normally) and
+//! against the baseline FTL (no re-alignment at all).
+
+use aftl_core::scheme::SchemeKind;
+use aftl_core::{AcrossFtl, AcrossOptions};
+use aftl_sim::experiment::{run_on_device, run_single_with};
+use aftl_sim::{RunReport, SimConfig};
+use aftl_trace::LunPreset;
+use rayon::prelude::*;
+
+fn across_variant(trace: &aftl_trace::Trace, page: u32, options: AcrossOptions) -> RunReport {
+    let config = SimConfig::experiment(SchemeKind::Across, page);
+    let scheme = AcrossFtl::with_options(&config.geometry, config.scheme_cfg, options);
+    let ssd = aftl_sim::Ssd::with_scheme(config, Box::new(scheme)).expect("device");
+    run_on_device(ssd, trace).expect("run")
+}
+
+fn main() {
+    let args = aftl_bench::Args::parse();
+    let traces: Vec<_> = LunPreset::ALL
+        .par_iter()
+        .map(|p| p.generate_scaled(args.scale))
+        .collect();
+
+    println!("== Ablation: Across-FTL design choices (normalized to baseline FTL) ==");
+    println!(
+        "{:<8}{:>14}{:>14}{:>16}{:>16}",
+        "", "full: io", "full: erases", "no-AMerge: io", "no-AMerge: erases"
+    );
+    for trace in &traces {
+        let ftl = run_single_with(SimConfig::experiment(SchemeKind::Baseline, args.page_bytes), trace)
+            .expect("baseline");
+        let full = across_variant(trace, args.page_bytes, AcrossOptions::default());
+        let no_merge = across_variant(
+            trace,
+            args.page_bytes,
+            AcrossOptions {
+                enable_amerge: false,
+            },
+        );
+        let er = |x: &RunReport| {
+            if ftl.erases() == 0 {
+                f64::NAN // short scaled runs on read-heavy luns may not GC
+            } else {
+                x.erases() as f64 / ftl.erases() as f64
+            }
+        };
+        println!(
+            "{:<8}{:>14.3}{:>14.3}{:>16.3}{:>16.3}",
+            trace.name,
+            full.io_time_s() / ftl.io_time_s(),
+            er(&full),
+            no_merge.io_time_s() / ftl.io_time_s(),
+            er(&no_merge),
+        );
+        assert_eq!(
+            no_merge.counters.profitable_amerge + no_merge.counters.unprofitable_amerge,
+            0,
+            "ablation must disable merging"
+        );
+    }
+    println!("\nAMerge is what keeps updates of re-aligned data cheap: without it every");
+    println!("overlapping update pays an ARollback (area read + normal re-writes).");
+}

@@ -1,0 +1,61 @@
+//! Figure 10 — flash write and read counts (Map vs Data split), normalized
+//! to the baseline FTL.
+
+use aftl_core::scheme::SchemeKind;
+use aftl_sim::report::normalized_table;
+
+fn main() {
+    let args = aftl_bench::Args::parse();
+    let traces = aftl_bench::luns(args.scale);
+    let grid = aftl_bench::grid(&traces, args.page_bytes);
+
+    print!(
+        "{}",
+        normalized_table(
+            "Figure 10(a): flash write count (x10K abs)",
+            "x10K",
+            &aftl_bench::rows_from_grid(&grid, |r| r.flash_writes().total() as f64 / 1e4)
+        )
+    );
+    println!("Map share of writes:");
+    for c in &grid {
+        print!("  {:<8}", c.trace);
+        for &s in &SchemeKind::ALL {
+            print!("{}: {:>5.1}%  ", s.name(), 100.0 * c.get(s).flash_writes().map_ratio());
+        }
+        println!();
+    }
+    println!("(paper: MRSM 36.9%, Across-FTL 2.6%)\n");
+
+    print!(
+        "{}",
+        normalized_table(
+            "Figure 10(b): flash read count (x10K abs)",
+            "x10K",
+            &aftl_bench::rows_from_grid(&grid, |r| r.flash_reads().total() as f64 / 1e4)
+        )
+    );
+    println!("Map share of reads:");
+    for c in &grid {
+        print!("  {:<8}", c.trace);
+        for &s in &SchemeKind::ALL {
+            print!("{}: {:>5.1}%  ", s.name(), 100.0 * c.get(s).flash_reads().map_ratio());
+        }
+        println!();
+    }
+    println!("(paper: MRSM 34.4%, Across-FTL 0.74%)");
+
+    println!(
+        "\nAcross-FTL: flash writes {:.1}% below FTL / {:.1}% below MRSM (paper 15.9% / 30.9%);\n            flash reads  {:.1}% below FTL / {:.1}% below MRSM (paper  9.7% / 16.1%).",
+        100.0 * aftl_bench::mean_reduction_vs(&grid, SchemeKind::Baseline, |r| r
+            .flash_writes()
+            .total() as f64),
+        100.0 * aftl_bench::mean_reduction_vs(&grid, SchemeKind::Mrsm, |r| r.flash_writes().total()
+            as f64),
+        100.0 * aftl_bench::mean_reduction_vs(&grid, SchemeKind::Baseline, |r| r
+            .flash_reads()
+            .total() as f64),
+        100.0 * aftl_bench::mean_reduction_vs(&grid, SchemeKind::Mrsm, |r| r.flash_reads().total()
+            as f64),
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 12 — mapping-table space overhead and DRAM access counts.
+
+use aftl_core::scheme::SchemeKind;
+use aftl_sim::report::normalized_table;
+
+fn main() {
+    let args = aftl_bench::Args::parse();
+    let traces = aftl_bench::luns(args.scale);
+    let grid = aftl_bench::grid(&traces, args.page_bytes);
+
+    println!("== Figure 12(a): mapping-table size (MB) ==");
+    println!("{:<8}{:>10}{:>10}{:>12}", "", "FTL", "MRSM", "Across-FTL");
+    let mut ratios = (0.0, 0.0);
+    for c in &grid {
+        let ftl = c.get(SchemeKind::Baseline).mapping_table_bytes as f64 / 1e6;
+        let mrsm = c.get(SchemeKind::Mrsm).mapping_table_bytes as f64 / 1e6;
+        let across = c.get(SchemeKind::Across).mapping_table_bytes as f64 / 1e6;
+        println!("{:<8}{:>10.2}{:>10.2}{:>12.2}", c.trace, ftl, mrsm, across);
+        ratios.0 += mrsm / ftl;
+        ratios.1 += across / ftl;
+    }
+    println!(
+        "mean ratio vs FTL: MRSM {:.2}x, Across-FTL {:.2}x (paper: 2.4x and 1.4x)\n",
+        ratios.0 / grid.len() as f64,
+        ratios.1 / grid.len() as f64
+    );
+
+    print!(
+        "{}",
+        normalized_table(
+            "Figure 12(b): DRAM access count (x10K abs)",
+            "x10K",
+            &aftl_bench::rows_from_grid(&grid, |r| r.dram_accesses() as f64 / 1e4)
+        )
+    );
+    let mrsm_x: f64 = grid
+        .iter()
+        .map(|c| {
+            c.get(SchemeKind::Mrsm).dram_accesses() as f64
+                / c.get(SchemeKind::Baseline).dram_accesses() as f64
+        })
+        .sum::<f64>()
+        / grid.len() as f64;
+    let across_x: f64 = grid
+        .iter()
+        .map(|c| {
+            c.get(SchemeKind::Across).dram_accesses() as f64
+                / c.get(SchemeKind::Baseline).dram_accesses() as f64
+        })
+        .sum::<f64>()
+        / grid.len() as f64;
+    println!(
+        "\nDRAM accesses vs FTL: MRSM {mrsm_x:.1}x, Across-FTL {across_x:.3}x (paper: 32.6x and ~1.011x)."
+    );
+}

@@ -1,0 +1,25 @@
+//! Figure 13 — across-page access ratio under varying flash page sizes.
+
+use aftl_trace::TraceStats;
+use rayon::prelude::*;
+
+fn main() {
+    let args = aftl_bench::Args::parse();
+    let traces = aftl_bench::luns(args.scale.min(0.3)); // static stats only
+    println!("== Figure 13: across-page ratio vs page size ==");
+    println!("{:<8}{:>8}{:>8}{:>8}", "", "4KB", "8KB", "16KB");
+    let rows: Vec<(String, [f64; 3])> = traces
+        .par_iter()
+        .map(|t| {
+            let r4 = TraceStats::compute(&t.records, 4096, 512).across_ratio();
+            let r8 = TraceStats::compute(&t.records, 8192, 512).across_ratio();
+            let r16 = TraceStats::compute(&t.records, 16384, 512).across_ratio();
+            (t.name.clone(), [r4, r8, r16])
+        })
+        .collect();
+    for (name, r) in &rows {
+        println!("{:<8}{:>8.3}{:>8.3}{:>8.3}", name, r[0], r[1], r[2]);
+        assert!(r[0] > r[1] && r[1] > r[2], "ratio must decline with page size");
+    }
+    println!("\nLarger pages hold more data and refrain from across-page access (paper, §4.3).");
+}

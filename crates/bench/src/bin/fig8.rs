@@ -1,0 +1,48 @@
+//! Figure 8 — across-page access statistics under Across-FTL: ARollback
+//! ratio and the Direct / Profitable-AMerge / Unprofitable-AMerge
+//! distribution, plus the §4.2.1 merged-read share.
+
+use aftl_core::scheme::SchemeKind;
+use aftl_sim::run_single;
+use rayon::prelude::*;
+
+fn main() {
+    let args = aftl_bench::Args::parse();
+    let traces = aftl_bench::luns(args.scale);
+    let reports: Vec<_> = traces
+        .par_iter()
+        .map(|t| run_single(t, SchemeKind::Across, args.page_bytes).expect("run"))
+        .collect();
+
+    println!("== Figure 8(a): ARollback operations per across-page area ==");
+    for r in &reports {
+        println!("{:<8}{:>8.3}", r.trace, r.counters.rollback_ratio());
+    }
+    let mean: f64 =
+        reports.iter().map(|r| r.counters.rollback_ratio()).sum::<f64>() / reports.len() as f64;
+    println!("mean    {mean:>8.3}   (paper: 0.039)");
+
+    println!("\n== Figure 8(b): across-page write distribution ==");
+    println!(
+        "{:<8}{:>14}{:>20}{:>22}",
+        "", "Direct-write", "Profitable-AMerge", "Unprofitable-AMerge"
+    );
+    for r in &reports {
+        let (d, p, u) = r.counters.across_write_distribution();
+        println!("{:<8}{:>14.3}{:>20.3}{:>22.3}", r.trace, d, p, u);
+    }
+
+    println!("\n== §4.2.1: merged reads ==");
+    for r in &reports {
+        let share = r.counters.merged_read_extra_flash_reads as f64
+            / r.flash_reads().total().max(1) as f64;
+        println!(
+            "{:<8}direct reads {:>8}  merged reads {:>7}  extra flash reads {:>6} ({:.3}% of reads; paper mean 0.12%)",
+            r.trace,
+            r.counters.across_direct_reads,
+            r.counters.merged_reads,
+            r.counters.merged_read_extra_flash_reads,
+            share * 100.0
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 9 — I/O performance: read / write response time and overall I/O
+//! time, normalized to the baseline FTL.
+
+use aftl_core::scheme::SchemeKind;
+use aftl_sim::report::normalized_table;
+
+fn main() {
+    let args = aftl_bench::Args::parse();
+    let traces = aftl_bench::luns(args.scale);
+    let grid = aftl_bench::grid(&traces, args.page_bytes);
+
+    print!(
+        "{}",
+        normalized_table(
+            "Figure 9(a): read response time",
+            "ms",
+            &aftl_bench::rows_from_grid(&grid, |r| r.read_latency_ms())
+        )
+    );
+    print!(
+        "{}",
+        normalized_table(
+            "Figure 9(b): write response time",
+            "ms",
+            &aftl_bench::rows_from_grid(&grid, |r| r.write_latency_ms())
+        )
+    );
+    print!(
+        "{}",
+        normalized_table(
+            "Figure 9(c): overall I/O time",
+            "ks",
+            &aftl_bench::rows_from_grid(&grid, |r| r.io_time_s() / 1000.0)
+        )
+    );
+    println!(
+        "\nAcross-FTL reduces I/O time by {:.1}% vs FTL and {:.1}% vs MRSM on average\n(paper: 4.6-11.6% vs the comparison counterparts, 8.4% average).",
+        100.0 * aftl_bench::mean_reduction_vs(&grid, SchemeKind::Baseline, |r| r.io_time_s()),
+        100.0 * aftl_bench::mean_reduction_vs(&grid, SchemeKind::Mrsm, |r| r.io_time_s())
+    );
+}

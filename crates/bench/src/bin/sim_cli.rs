@@ -1,0 +1,142 @@
+//! A general-purpose simulation CLI for downstream users:
+//!
+//! ```sh
+//! sim_cli --scheme across --preset lun1 --scale 0.2 --page 8192 --json out.json
+//! sim_cli --scheme mrsm --trace /path/to/systor.csv
+//! sim_cli --scheme ftl --trace msr.csv --format msr --lun 1
+//! ```
+
+use aftl_core::scheme::SchemeKind;
+use aftl_sim::experiment::run_single_with;
+use aftl_sim::SimConfig;
+use aftl_trace::parser::{parse_msr, parse_systor};
+use aftl_trace::{LunPreset, Trace};
+use std::io::BufReader;
+
+struct Cli {
+    scheme: SchemeKind,
+    page: u32,
+    scale: f64,
+    preset: Option<LunPreset>,
+    trace_path: Option<String>,
+    msr: bool,
+    lun: Option<u32>,
+    json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        scheme: SchemeKind::Across,
+        page: 8192,
+        scale: 0.2,
+        preset: Some(LunPreset::Lun1),
+        trace_path: None,
+        msr: false,
+        lun: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scheme" => {
+                cli.scheme = match it.next().as_deref() {
+                    Some("ftl") => SchemeKind::Baseline,
+                    Some("mrsm") => SchemeKind::Mrsm,
+                    Some("across") => SchemeKind::Across,
+                    _ => usage(),
+                }
+            }
+            "--page" => cli.page = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--scale" => cli.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--preset" => {
+                cli.preset = Some(match it.next().as_deref() {
+                    Some("lun1") => LunPreset::Lun1,
+                    Some("lun2") => LunPreset::Lun2,
+                    Some("lun3") => LunPreset::Lun3,
+                    Some("lun4") => LunPreset::Lun4,
+                    Some("lun5") => LunPreset::Lun5,
+                    Some("lun6") => LunPreset::Lun6,
+                    _ => usage(),
+                });
+                cli.trace_path = None;
+            }
+            "--trace" => {
+                cli.trace_path = it.next();
+                cli.preset = None;
+            }
+            "--format" => cli.msr = matches!(it.next().as_deref(), Some("msr")),
+            "--lun" => cli.lun = it.next().and_then(|v| v.parse().ok()),
+            "--json" => cli.json = it.next(),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    cli
+}
+
+fn load_trace(cli: &Cli) -> Trace {
+    if let Some(path) = &cli.trace_path {
+        let file = std::fs::File::open(path).expect("open trace file");
+        let reader = BufReader::new(file);
+        if cli.msr {
+            parse_msr(reader, path, cli.lun).expect("parse MSR trace")
+        } else {
+            parse_systor(reader, path, cli.lun).expect("parse SYSTOR trace")
+        }
+    } else {
+        cli.preset.unwrap_or(LunPreset::Lun1).generate_scaled(cli.scale)
+    }
+}
+
+fn main() {
+    let cli = parse_cli();
+    let trace = load_trace(&cli);
+    eprintln!(
+        "replaying {} ({} requests) on {} @ {} KB pages…",
+        trace.name,
+        trace.len(),
+        cli.scheme.name(),
+        cli.page / 1024
+    );
+    let report = run_single_with(SimConfig::experiment(cli.scheme, cli.page), &trace)
+        .expect("simulation");
+
+    println!("scheme           : {}", report.scheme.name());
+    println!("requests         : {}", report.requests);
+    println!("read latency     : {:.3} ms", report.read_latency_ms());
+    println!("write latency    : {:.3} ms", report.write_latency_ms());
+    println!("overall I/O time : {:.2} s", report.io_time_s());
+    println!(
+        "flash writes     : {} (map {:.1}%)",
+        report.flash_writes().total(),
+        100.0 * report.flash_writes().map_ratio()
+    );
+    println!(
+        "flash reads      : {} (map {:.1}%)",
+        report.flash_reads().total(),
+        100.0 * report.flash_reads().map_ratio()
+    );
+    println!("erase count      : {}", report.erases());
+    println!("mapping table    : {:.2} MB", report.mapping_table_bytes as f64 / 1e6);
+    println!("DRAM accesses    : {}", report.dram_accesses());
+    if cli.scheme == SchemeKind::Across {
+        let c = &report.counters;
+        let (d, p, u) = c.across_write_distribution();
+        println!(
+            "across stats     : direct {:.2} / profitable {:.2} / unprofitable {:.2}, rollback ratio {:.3}",
+            d, p, u, c.rollback_ratio()
+        );
+    }
+    if let Some(path) = cli.json {
+        std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

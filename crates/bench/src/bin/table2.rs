@@ -1,0 +1,33 @@
+//! Table 2 — specifications of the six selected traces (8 KB page size).
+
+use aftl_trace::{LunPreset, TraceStats};
+use rayon::prelude::*;
+
+fn main() {
+    let args = aftl_bench::Args::parse();
+    let rows: Vec<(String, Vec<String>)> = LunPreset::ALL
+        .par_iter()
+        .map(|p| {
+            let t = p.generate_scaled(args.scale);
+            let s = TraceStats::compute(&t.records, 8192, 512);
+            let (_, wr, wsz, ar) = p.table2_targets();
+            (
+                p.name().to_string(),
+                vec![
+                    format!("{}", s.requests),
+                    format!("{:.1}% ({:.1})", s.write_ratio() * 100.0, wr * 100.0),
+                    format!("{:.1}KB ({:.1})", s.avg_write_kib(), wsz),
+                    format!("{:.1}% ({:.1})", s.across_ratio() * 100.0, ar * 100.0),
+                ],
+            )
+        })
+        .collect();
+    print!(
+        "{}",
+        aftl_sim::report::absolute_table(
+            "Table 2: trace specifications — measured (paper target)",
+            &["# of Req.", "Write R", "Write SZ", "Across R"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,995 @@
+//! **Across-FTL** (§3 of the paper).
+//!
+//! Across-page write requests — no larger than one page but spanning two
+//! logical pages — are re-aligned onto a single physical page in a
+//! dedicated *across-page area*, tracked by the second-level AMT. The PMT
+//! gains an `AIdx` field linking each spanned LPN to its area.
+//!
+//! Updates that overlap an area are serviced by:
+//! * **AMerge** — when the union of the area and the update still fits in
+//!   one page: read the area, merge, program a new area page (same `AIdx`).
+//!   *Profitable* when triggered by an across-page request (a flush is
+//!   saved vs conventional FTL), *unprofitable* otherwise.
+//! * **ARollback** — when the union no longer fits: the area data, the
+//!   overlapping normal data and the update are merged and written back in
+//!   the normal page-mapped manner; the AMT entry is cleared.
+//!
+//! Reads inside a single area are **direct** (one flash read instead of
+//! two); reads exceeding an area are **merged** (area + normal pages).
+
+use std::collections::HashSet;
+
+use aftl_flash::{Nanos, PageKind, Ppn, Result, SectorStamp, StreamId};
+
+use crate::counters::SchemeCounters;
+use crate::gc::{self, GcConfig, GcReport};
+use crate::mapping::amt::{AcrossMapTable, AmtEntry};
+use crate::mapping::cache::{CacheStats, MapCache};
+use crate::mapping::pmt::{PageMapTable, NO_AIDX};
+use crate::request::{split_extents, HostRequest, ReqKind};
+use crate::scheme::{
+    program_normal_extent, served_from_page, served_unwritten, FtlEnv, FtlScheme, SchemeConfig,
+    SchemeKind, ServiceOutcome,
+};
+
+/// Modelled bytes per PMT entry (32-bit PPN + 16-bit AIdx reference):
+/// gives the ~1.4× table footprint vs baseline the paper reports.
+pub const PMT_ENTRY_BYTES: u64 = 6;
+/// Modelled bytes per AMT entry (Off + Size + APPN).
+pub const AMT_ENTRY_BYTES: u64 = 8;
+/// Translation-page id namespace offset for AMT pages.
+const AMT_TPID_BASE: u64 = 1 << 40;
+
+/// Feature toggles for ablation studies (`aftl-bench --bin ablation`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcrossOptions {
+    /// Merge overlapping updates into the area when the union fits in one
+    /// page (§3.3.1). Off ⇒ every overlapping update rolls the area back.
+    pub enable_amerge: bool,
+}
+
+impl Default for AcrossOptions {
+    fn default() -> Self {
+        AcrossOptions {
+            enable_amerge: true,
+        }
+    }
+}
+
+/// The proposed scheme.
+pub struct AcrossFtl {
+    cfg: SchemeConfig,
+    options: AcrossOptions,
+    gc_cfg: GcConfig,
+    pmt: PageMapTable,
+    amt: AcrossMapTable,
+    cache: MapCache,
+    counters: SchemeCounters,
+    touched_tpages: HashSet<u64>,
+    pmt_entries_per_tpage: u64,
+    amt_entries_per_tpage: u64,
+    page_bytes: u32,
+}
+
+impl AcrossFtl {
+    pub fn new(geometry: &aftl_flash::Geometry, cfg: SchemeConfig) -> Self {
+        Self::with_options(geometry, cfg, AcrossOptions::default())
+    }
+
+    /// Construct with ablation toggles.
+    pub fn with_options(
+        geometry: &aftl_flash::Geometry,
+        cfg: SchemeConfig,
+        options: AcrossOptions,
+    ) -> Self {
+        let page_bytes = geometry.page_bytes;
+        let cache = MapCache::new(cfg.cache_tpages(page_bytes));
+        AcrossFtl {
+            gc_cfg: GcConfig {
+                threshold: cfg.gc_threshold,
+                ..GcConfig::default()
+            },
+            cfg,
+            options,
+            pmt: PageMapTable::new(0),
+            amt: AcrossMapTable::new(),
+            cache,
+            counters: SchemeCounters::default(),
+            touched_tpages: HashSet::new(),
+            pmt_entries_per_tpage: u64::from(page_bytes) / PMT_ENTRY_BYTES,
+            amt_entries_per_tpage: u64::from(page_bytes) / AMT_ENTRY_BYTES,
+            page_bytes,
+        }
+    }
+
+    fn ensure_pmt(&mut self) {
+        if self.pmt.logical_pages() == 0 {
+            self.pmt = PageMapTable::new(self.cfg.logical_pages);
+        }
+    }
+
+    // --- mapping-cache plumbing -------------------------------------------
+
+    fn pmt_access(&mut self, env: &mut FtlEnv<'_>, lpn: u64, dirty: bool) -> Result<Nanos> {
+        let tpid = lpn / self.pmt_entries_per_tpage;
+        self.touched_tpages.insert(tpid);
+        self.counters.dram_accesses += 1;
+        self.cache
+            .access(env.array, env.alloc, env.now_ns, tpid, dirty)
+    }
+
+    fn amt_access(&mut self, env: &mut FtlEnv<'_>, aidx: u32, dirty: bool) -> Result<Nanos> {
+        let tpid = AMT_TPID_BASE + u64::from(aidx) / self.amt_entries_per_tpage;
+        self.touched_tpages.insert(tpid);
+        self.counters.dram_accesses += 1;
+        self.cache
+            .access(env.array, env.alloc, env.now_ns, tpid, dirty)
+    }
+
+    fn sync_area_gauges(&mut self) {
+        self.counters.live_across_areas = self.amt.live();
+        self.counters.total_across_areas = self.amt.created_total();
+    }
+
+    /// Distinct areas linked from the LPNs in `[first, last]`.
+    fn areas_touching(&self, first_lpn: u64, last_lpn: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        for lpn in first_lpn..=last_lpn {
+            if !self.pmt.in_range(lpn) {
+                continue;
+            }
+            let aidx = self.pmt.get(lpn).aidx;
+            if aidx != NO_AIDX && !out.contains(&aidx) {
+                out.push(aidx);
+            }
+        }
+        out
+    }
+
+    /// Clear the `AIdx` links of an area on the LPNs it spans.
+    fn clear_links(&mut self, aidx: u32, entry: &AmtEntry, spp: u32) {
+        for lpn in entry.first_lpn(spp)..=entry.last_lpn(spp) {
+            if self.pmt.in_range(lpn) && self.pmt.get(lpn).aidx == aidx {
+                self.pmt.set_aidx(lpn, NO_AIDX);
+            }
+        }
+    }
+
+    /// Content stamps held by an area's flash page (index i ↔ sector
+    /// `start_sector + i`), if tracking is on.
+    fn area_stamps(
+        env: &FtlEnv<'_>,
+        entry: &AmtEntry,
+    ) -> Option<Vec<Option<SectorStamp>>> {
+        env.array.content_of(entry.appn).map(|s| s.to_vec())
+    }
+
+    // --- write paths --------------------------------------------------------
+
+    /// Direct write: create a fresh across-page area for `req`
+    /// (Figure 6 left; both spanned LPNs must be link-free).
+    fn direct_write(
+        &mut self,
+        env: &mut FtlEnv<'_>,
+        req: &HostRequest,
+        ready: Nanos,
+    ) -> Result<Nanos> {
+        let spp = env.spp();
+        let entry = AmtEntry {
+            start_sector: req.sector,
+            size_sectors: req.sectors,
+            appn: Ppn::INVALID,
+        };
+        let aidx = self.amt.insert(entry);
+        let amt_ready = self.amt_access(env, aidx, true)?;
+        let ready = ready.max(amt_ready);
+
+        let new_ppn = env.alloc.alloc_page(env.array, StreamId::Across)?;
+        let bytes = env.sectors_to_bytes(req.sectors);
+        let w = env
+            .array
+            .program(new_ppn, PageKind::AcrossData, u64::from(aidx), bytes, env.now_ns, ready)?;
+        if env.array.tracks_content() {
+            let spp_usize = spp as usize;
+            let mut stamps = vec![None; spp_usize];
+            for i in 0..req.sectors {
+                stamps[i as usize] = Some(SectorStamp {
+                    sector: req.sector + u64::from(i),
+                    version: req.version,
+                });
+            }
+            env.array.record_content(new_ppn, stamps.into_boxed_slice());
+        }
+        self.amt.update(
+            aidx,
+            AmtEntry {
+                appn: new_ppn,
+                ..entry
+            },
+        );
+        let first = req.first_lpn(spp);
+        let last = req.last_lpn(spp);
+        debug_assert_eq!(last, first + 1);
+        self.pmt.set_aidx(first, aidx);
+        self.pmt.set_aidx(last, aidx);
+        self.counters.across_direct_writes += 1;
+        self.sync_area_gauges();
+        Ok(w.complete_ns)
+    }
+
+    /// AMerge: merge `req` into area `aidx`; the union must fit in one page
+    /// and stay contiguous (checked by the caller). Figure 6 middle.
+    fn amerge(
+        &mut self,
+        env: &mut FtlEnv<'_>,
+        aidx: u32,
+        req: &HostRequest,
+        profitable: bool,
+        ready: Nanos,
+    ) -> Result<Nanos> {
+        let spp = env.spp();
+        let a = self.amt.get(aidx).expect("amerge on live area");
+        let amt_ready = self.amt_access(env, aidx, true)?;
+        let ready = ready.max(amt_ready);
+
+        let union_start = a.start_sector.min(req.sector);
+        let union_end = a.end_sector().max(req.end_sector());
+        let union_size = (union_end - union_start) as u32;
+        debug_assert!(union_size <= spp, "caller must ensure the union fits");
+
+        // Merge needs the old area's data only when the update does not
+        // fully re-cover it — re-writing the same range (the common hot-
+        // update case) skips the read entirely.
+        let needs_read = !(req.sector <= a.start_sector && a.end_sector() <= req.end_sector());
+        let data_ready = if needs_read {
+            env.array
+                .read(a.appn, env.sectors_to_bytes(a.size_sectors), env.now_ns, ready)?
+                .complete_ns
+        } else {
+            ready
+        };
+        let new_ppn = env.alloc.alloc_page(env.array, StreamId::Across)?;
+        let mut stamps_opt = None;
+        if env.array.tracks_content() {
+            let old = Self::area_stamps(env, &a);
+            let mut stamps = vec![None; spp as usize];
+            if let Some(old) = old {
+                for i in 0..a.size_sectors as usize {
+                    let dst = (a.start_sector - union_start) as usize + i;
+                    stamps[dst] = old.get(i).copied().flatten();
+                }
+            }
+            for i in 0..req.sectors {
+                let dst = (req.sector - union_start) as usize + i as usize;
+                stamps[dst] = Some(SectorStamp {
+                    sector: req.sector + u64::from(i),
+                    version: req.version,
+                });
+            }
+            stamps_opt = Some(stamps.into_boxed_slice());
+        }
+        let w = env.array.program(
+            new_ppn,
+            PageKind::AcrossData,
+            u64::from(aidx),
+            env.sectors_to_bytes(union_size),
+            env.now_ns,
+            data_ready,
+        )?;
+        if let Some(stamps) = stamps_opt {
+            env.array.record_content(new_ppn, stamps);
+        }
+        env.array.invalidate(a.appn)?;
+        self.amt.update(
+            aidx,
+            AmtEntry {
+                start_sector: union_start,
+                size_sectors: union_size,
+                appn: new_ppn,
+            },
+        );
+        // The union spans the same two LPNs (it contains the old area's
+        // page boundary and fits in one page).
+        let first = union_start / u64::from(spp);
+        let last = (union_end - 1) / u64::from(spp);
+        self.pmt.set_aidx(first, aidx);
+        self.pmt.set_aidx(last, aidx);
+        if profitable {
+            self.counters.profitable_amerge += 1;
+        } else {
+            self.counters.unprofitable_amerge += 1;
+        }
+        self.sync_area_gauges();
+        Ok(w.complete_ns)
+    }
+
+    /// ARollback: fold area `aidx` back into normally mapped pages,
+    /// optionally merging `update` (the triggering request's data) in the
+    /// same pass (Figure 6 right). Clears the AMT entry and `AIdx` links.
+    fn arollback(
+        &mut self,
+        env: &mut FtlEnv<'_>,
+        aidx: u32,
+        update: Option<&HostRequest>,
+        ready: Nanos,
+    ) -> Result<Nanos> {
+        let spp = env.spp();
+        let a = self.amt.get(aidx).expect("arollback on live area");
+        let amt_ready = self.amt_access(env, aidx, true)?;
+        let ready = ready.max(amt_ready);
+
+        // Read the across-page area once.
+        let r = env
+            .array
+            .read(a.appn, env.sectors_to_bytes(a.size_sectors), env.now_ns, ready)?;
+        let mut done = r.complete_ns;
+        let area_stamps = if env.array.tracks_content() {
+            Self::area_stamps(env, &a)
+        } else {
+            None
+        };
+
+        // The range to re-write normally: the area plus the update.
+        let (fold_start, fold_end) = match update {
+            Some(u) => (
+                a.start_sector.min(u.sector),
+                a.end_sector().max(u.end_sector()),
+            ),
+            None => (a.start_sector, a.end_sector()),
+        };
+
+        // Unlink the area *before* programming so program_normal_extent's
+        // RMW path sees consistent state; the physical page stays readable
+        // until invalidated below.
+        self.clear_links(aidx, &a, spp);
+
+        for extent in split_extents(fold_start, fold_end, spp) {
+            let ext_ready = self.pmt_access(env, extent.lpn, true)?.max(r.complete_ns);
+            // Merge stamps: old normal content (if RMW), then area data,
+            // then the update — newest last.
+            let stamps_override = if env.array.tracks_content() {
+                let old_ppn = self.pmt.get(extent.lpn).ppn;
+                let mut stamps: Vec<Option<SectorStamp>> = match old_ppn.is_valid() {
+                    true => env
+                        .array
+                        .content_of(old_ppn)
+                        .map(|s| s.to_vec())
+                        .unwrap_or_else(|| vec![None; spp as usize]),
+                    false => vec![None; spp as usize],
+                };
+                stamps.resize(spp as usize, None);
+                let page_start = extent.lpn * u64::from(spp);
+                // Area data overlay.
+                if let Some(ref area) = area_stamps {
+                    let ov_start = a.start_sector.max(page_start);
+                    let ov_end = a.end_sector().min(page_start + u64::from(spp));
+                    let mut s = ov_start;
+                    while s < ov_end {
+                        stamps[(s - page_start) as usize] =
+                            area.get((s - a.start_sector) as usize).copied().flatten();
+                        s += 1;
+                    }
+                }
+                // Update overlay.
+                if let Some(u) = update {
+                    let ov_start = u.sector.max(page_start);
+                    let ov_end = u.end_sector().min(page_start + u64::from(spp));
+                    let mut s = ov_start;
+                    while s < ov_end {
+                        stamps[(s - page_start) as usize] = Some(SectorStamp {
+                            sector: s,
+                            version: u.version,
+                        });
+                        s += 1;
+                    }
+                }
+                Some(stamps.into_boxed_slice())
+            } else {
+                None
+            };
+            let w = program_normal_extent(
+                env.array,
+                env.alloc,
+                &mut self.pmt,
+                &mut self.counters,
+                &extent,
+                update.map_or(0, |u| u.version),
+                env.now_ns,
+                ext_ready,
+                stamps_override,
+            )?;
+            done = done.max(w);
+        }
+
+        env.array.invalidate(a.appn)?;
+        self.amt.remove(aidx);
+        self.counters.arollbacks += 1;
+        self.sync_area_gauges();
+        Ok(done)
+    }
+
+    /// Drop an area whose entire range is superseded by `req` (no data
+    /// movement needed).
+    fn drop_area(&mut self, env: &mut FtlEnv<'_>, aidx: u32) -> Result<Nanos> {
+        let spp = env.spp();
+        let a = self.amt.get(aidx).expect("drop of live area");
+        let ready = self.amt_access(env, aidx, true)?;
+        env.array.invalidate(a.appn)?;
+        self.clear_links(aidx, &a, spp);
+        self.amt.remove(aidx);
+        self.sync_area_gauges();
+        Ok(ready)
+    }
+
+    /// Service an across-page write (§3.3.1).
+    fn across_write(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<Nanos> {
+        let spp = env.spp();
+        let (lpn1, lpn2) = (req.first_lpn(spp), req.last_lpn(spp));
+        let mut ready = self.pmt_access(env, lpn1, true)?;
+        ready = ready.max(self.pmt_access(env, lpn2, true)?);
+
+        let areas = self.areas_touching(lpn1, lpn2);
+        match areas.as_slice() {
+            [] => self.direct_write(env, req, ready),
+            [aidx] => {
+                let aidx = *aidx;
+                let a = self.amt.get(aidx).expect("linked area is live");
+                if a.overlaps_or_abuts(req.sector, req.end_sector()) {
+                    let union_start = a.start_sector.min(req.sector);
+                    let union_end = a.end_sector().max(req.end_sector());
+                    if self.options.enable_amerge
+                        && (union_end - union_start) <= u64::from(spp)
+                    {
+                        self.amerge(env, aidx, req, true, ready)
+                    } else {
+                        // Figure 6 right: fold everything back to normal
+                        // pages, update included.
+                        self.arollback(env, aidx, Some(req), ready)
+                    }
+                } else {
+                    // Shares an LPN but not a mergeable range: the single
+                    // AIdx slot forces the old area out first.
+                    self.counters.area_conflicts += 1;
+                    let t = self.arollback(env, aidx, None, ready)?;
+                    self.direct_write(env, req, t)
+                }
+            }
+            _ => {
+                // Two distinct areas touched: they necessarily span two
+                // different page pairs (each LPN carries one AIdx), so a
+                // union with the request would cover three pages — always
+                // larger than one page. Roll both back and re-align fresh.
+                let t1 = self.arollback(env, areas[0], None, ready)?;
+                let t2 = self.arollback(env, areas[1], None, t1)?;
+                self.counters.area_conflicts += 1;
+                self.direct_write(env, req, t2)
+            }
+        }
+    }
+
+    /// Service a non-across write: reconcile any overlapping areas, then
+    /// program the extents normally.
+    fn normal_write(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<Nanos> {
+        let spp = env.spp();
+        let (s, e) = (req.sector, req.end_sector());
+        // Area reconciliation must complete before the extents overwrite
+        // the overlapping ranges; the extents themselves then fan out in
+        // parallel exactly like the baseline's sub-requests.
+        let mut reconcile_done = env.now_ns;
+
+        let areas = self.areas_touching(req.first_lpn(spp), req.last_lpn(spp));
+        for aidx in areas {
+            let a = self.amt.get(aidx).expect("linked area is live");
+            if s <= a.start_sector && a.end_sector() <= e {
+                // Fully superseded: drop without movement.
+                let t = self.drop_area(env, aidx)?;
+                reconcile_done = reconcile_done.max(t);
+            } else if a.overlaps(s, e) {
+                let union_start = a.start_sector.min(s);
+                let union_end = a.end_sector().max(e);
+                if self.options.enable_amerge && union_end - union_start <= u64::from(spp) {
+                    // Small overlapping update: unprofitable AMerge — this
+                    // also fully services the request's data.
+                    let t = self.amerge(env, aidx, req, false, env.now_ns)?;
+                    return Ok(reconcile_done.max(t));
+                }
+                // Large update partially overlapping the area: fold it back
+                // (the request's own data is written below).
+                let t = self.arollback(env, aidx, None, env.now_ns)?;
+                reconcile_done = reconcile_done.max(t);
+            }
+            // Areas sharing an LPN without range overlap are untouched: the
+            // normal page write below does not disturb their sectors.
+        }
+
+        let mut done = reconcile_done;
+        for extent in req.extents(spp) {
+            let ready = self.pmt_access(env, extent.lpn, true)?;
+            let w = program_normal_extent(
+                env.array,
+                env.alloc,
+                &mut self.pmt,
+                &mut self.counters,
+                &extent,
+                req.version,
+                env.now_ns,
+                ready.max(reconcile_done),
+                None,
+            )?;
+            done = done.max(w);
+        }
+        Ok(done)
+    }
+}
+
+impl FtlScheme for AcrossFtl {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Across
+    }
+
+    fn write(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<ServiceOutcome> {
+        debug_assert_eq!(req.kind, ReqKind::Write);
+        self.ensure_pmt();
+        self.counters.host_writes += 1;
+        let spp = env.spp();
+        let done = if req.is_across_page(spp) {
+            self.across_write(env, req)?
+        } else {
+            self.normal_write(env, req)?
+        };
+        Ok(ServiceOutcome::at(done))
+    }
+
+    fn read(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<ServiceOutcome> {
+        debug_assert_eq!(req.kind, ReqKind::Read);
+        self.ensure_pmt();
+        self.counters.host_reads += 1;
+        let spp = env.spp();
+        let track = env.array.tracks_content();
+        let (s, e) = (req.sector, req.end_sector());
+        let (lpn1, lpn2) = (req.first_lpn(spp), req.last_lpn(spp));
+        let mut outcome = ServiceOutcome::default();
+
+        // Mapping lookups.
+        let mut ready = env.now_ns;
+        for lpn in lpn1..=lpn2 {
+            ready = ready.max(self.pmt_access(env, lpn, false)?);
+        }
+        let areas: Vec<(u32, AmtEntry)> = self
+            .areas_touching(lpn1, lpn2)
+            .into_iter()
+            .map(|i| (i, self.amt.get(i).expect("linked area is live")))
+            .filter(|(_, a)| a.overlaps(s, e))
+            .collect();
+        for (aidx, _) in &areas {
+            ready = ready.max(self.amt_access(env, *aidx, false)?);
+        }
+        outcome.merge_time(ready);
+
+        // Serve the area-covered sub-ranges from the across pages.
+        let mut flash_reads = 0u64;
+        for (_, a) in &areas {
+            let ov_start = a.start_sector.max(s);
+            let ov_end = a.end_sector().min(e);
+            let r = env.array.read(
+                a.appn,
+                env.sectors_to_bytes((ov_end - ov_start) as u32),
+                env.now_ns,
+                ready,
+            )?;
+            flash_reads += 1;
+            outcome.merge_time(r.complete_ns);
+            if track {
+                served_from_page(
+                    env.array,
+                    a.appn,
+                    (ov_start - a.start_sector) as u32,
+                    ov_start,
+                    (ov_end - ov_start) as u32,
+                    &mut outcome.served,
+                );
+            }
+        }
+
+        // Serve the rest from normally mapped pages, one read per LPN.
+        for extent in req.extents(spp) {
+            // Subtract area coverage from this extent.
+            let ext_s = extent.start_sector(spp);
+            let ext_e = extent.end_sector(spp);
+            let mut gaps: Vec<(u64, u64)> = vec![(ext_s, ext_e)];
+            for (_, a) in &areas {
+                let mut next = Vec::with_capacity(gaps.len() + 1);
+                for (gs, ge) in gaps {
+                    if a.end_sector() <= gs || ge <= a.start_sector {
+                        next.push((gs, ge));
+                        continue;
+                    }
+                    if gs < a.start_sector {
+                        next.push((gs, a.start_sector));
+                    }
+                    if a.end_sector() < ge {
+                        next.push((a.end_sector(), ge));
+                    }
+                }
+                gaps = next;
+            }
+            if gaps.is_empty() {
+                continue;
+            }
+            let entry = self.pmt.get(extent.lpn);
+            if entry.has_ppn() {
+                let covered: u64 = gaps.iter().map(|(gs, ge)| ge - gs).sum();
+                let r = env
+                    .array
+                    .read(entry.ppn, env.sectors_to_bytes(covered as u32), env.now_ns, ready)?;
+                flash_reads += 1;
+                outcome.merge_time(r.complete_ns);
+                if track {
+                    let page_start = extent.lpn * u64::from(spp);
+                    for (gs, ge) in &gaps {
+                        served_from_page(
+                            env.array,
+                            entry.ppn,
+                            (gs - page_start) as u32,
+                            *gs,
+                            (ge - gs) as u32,
+                            &mut outcome.served,
+                        );
+                    }
+                }
+            } else if track {
+                for (gs, ge) in &gaps {
+                    served_unwritten(*gs, (ge - gs) as u32, &mut outcome.served);
+                }
+            }
+        }
+
+        // Classification (§3.3.2 / §4.2.1).
+        if !areas.is_empty() {
+            let sole_area_covers =
+                areas.len() == 1 && areas[0].1.contains(s, e);
+            if sole_area_covers {
+                self.counters.across_direct_reads += 1;
+            } else {
+                self.counters.merged_reads += 1;
+                let conventional = lpn2 - lpn1 + 1;
+                self.counters.merged_read_extra_flash_reads +=
+                    flash_reads.saturating_sub(conventional);
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn maybe_gc(&mut self, env: &mut FtlEnv<'_>) -> Result<GcReport> {
+        self.ensure_pmt();
+        let pmt = &mut self.pmt;
+        let amt = &mut self.amt;
+        let cache = &mut self.cache;
+        let counters = &mut self.counters;
+        gc::maybe_collect(env.array, env.alloc, env.now_ns, &self.gc_cfg, |_, old, new, info| {
+            counters.dram_accesses += 1;
+            match info.kind {
+                PageKind::Data => {
+                    let prev = pmt.set_ppn(info.tag, new);
+                    debug_assert_eq!(prev, old, "GC migrated a stale data page");
+                }
+                PageKind::AcrossData => {
+                    let aidx = info.tag as u32;
+                    let mut e = amt.get(aidx).expect("GC migrated a dead area page");
+                    debug_assert_eq!(e.appn, old);
+                    e.appn = new;
+                    amt.update(aidx, e);
+                }
+                PageKind::Map => cache.note_migrated(info.tag, new),
+            }
+        })
+    }
+
+    fn counters(&self) -> &SchemeCounters {
+        &self.counters
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        *self.cache.stats()
+    }
+
+    fn mapping_table_bytes(&self) -> u64 {
+        // PMT translation pages touched + the AMT slot storage (allocated in
+        // page units).
+        let amt_bytes = (self.amt.capacity_slots() as u64 * AMT_ENTRY_BYTES)
+            .div_ceil(u64::from(self.page_bytes))
+            * u64::from(self.page_bytes);
+        self.touched_tpages
+            .iter()
+            .filter(|&&t| t < AMT_TPID_BASE)
+            .count() as u64
+            * u64::from(self.page_bytes)
+            + amt_bytes
+    }
+
+    fn logical_pages(&self) -> u64 {
+        self.cfg.logical_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftl_flash::{Allocator, FlashArray, Geometry, TimingSpec};
+
+    fn setup() -> (FlashArray, Allocator, AcrossFtl) {
+        let g = Geometry::tiny();
+        let mut array = FlashArray::new(g, TimingSpec::unit()).unwrap();
+        array.enable_content_tracking();
+        let alloc = Allocator::new(&array);
+        let cfg = SchemeConfig {
+            logical_pages: g.total_pages() * 9 / 10,
+            cache_bytes: 1 << 20,
+            gc_threshold: 0.10,
+        };
+        let ftl = AcrossFtl::new(&g, cfg);
+        (array, alloc, ftl)
+    }
+
+    fn env<'a>(array: &'a mut FlashArray, alloc: &'a mut Allocator) -> FtlEnv<'a> {
+        FtlEnv {
+            array,
+            alloc,
+            now_ns: 0,
+        }
+    }
+
+    fn w(ftl: &mut AcrossFtl, array: &mut FlashArray, alloc: &mut Allocator, sector: u64, sectors: u32, version: u64) {
+        let req = HostRequest {
+            version,
+            ..HostRequest::write(0, sector, sectors)
+        };
+        let mut e = env(array, alloc);
+        ftl.write(&mut e, &req).unwrap();
+    }
+
+    fn read_versions(
+        ftl: &mut AcrossFtl,
+        array: &mut FlashArray,
+        alloc: &mut Allocator,
+        sector: u64,
+        sectors: u32,
+    ) -> Vec<(u64, u64)> {
+        let req = HostRequest::read(0, sector, sectors);
+        let mut e = env(array, alloc);
+        let out = ftl.read(&mut e, &req).unwrap();
+        let mut v: Vec<(u64, u64)> = out.served.iter().map(|s| (s.sector, s.version)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn across_write_uses_single_program() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        // Sectors 4..12 span LPN 0/1 (spp 8) — across-page.
+        w(&mut ftl, &mut array, &mut alloc, 4, 8, 1);
+        assert_eq!(array.stats().programs.across, 1, "one across-page program");
+        assert_eq!(array.stats().programs.data, 0, "no normal programs");
+        assert_eq!(ftl.counters().across_direct_writes, 1);
+        assert_eq!(ftl.counters().live_across_areas, 1);
+    }
+
+    #[test]
+    fn direct_read_hits_one_page() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 4, 8, 1);
+        let reads_before = array.stats().reads.across;
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 5, 4);
+        assert_eq!(array.stats().reads.across, reads_before + 1);
+        assert_eq!(array.stats().reads.data, 0);
+        assert!(v.iter().all(|&(_, ver)| ver == 1));
+        assert_eq!(ftl.counters().across_direct_reads, 1);
+    }
+
+    #[test]
+    fn amerge_grows_area_and_preserves_data() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        // Area sectors 4..10 (6 sectors), like the paper's write(1028K, 6K).
+        w(&mut ftl, &mut array, &mut alloc, 4, 6, 1);
+        // Update sectors 6..12 (across, overlapping): union 4..12 = 8 ≤ spp.
+        w(&mut ftl, &mut array, &mut alloc, 6, 6, 2);
+        assert_eq!(ftl.counters().profitable_amerge, 1);
+        assert_eq!(ftl.counters().live_across_areas, 1, "same area, grown");
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 4, 8);
+        let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
+        assert_eq!(versions, vec![1, 1, 2, 2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn arollback_when_union_exceeds_page() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        // Normal data on LPN 0 and 1 first.
+        w(&mut ftl, &mut array, &mut alloc, 0, 8, 1);
+        w(&mut ftl, &mut array, &mut alloc, 8, 8, 2);
+        // Across area 6..12.
+        w(&mut ftl, &mut array, &mut alloc, 6, 6, 3);
+        // Across update 2..10: union 2..12 = 10 > 8 → rollback (paper Fig 6).
+        w(&mut ftl, &mut array, &mut alloc, 2, 8, 4);
+        assert_eq!(ftl.counters().arollbacks, 1);
+        assert_eq!(ftl.counters().live_across_areas, 0);
+        // Full range readback: v1 sectors 0-1, v4 2-9, v3 10-11, v2 12-15.
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 0, 16);
+        let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
+        assert_eq!(
+            versions,
+            vec![1, 1, 4, 4, 4, 4, 4, 4, 4, 4, 3, 3, 2, 2, 2, 2]
+        );
+    }
+
+    #[test]
+    fn merged_read_combines_area_and_normal() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 8, 8, 1); // LPN 1 normal
+        w(&mut ftl, &mut array, &mut alloc, 4, 6, 2); // area 4..10
+        // Read 4..14: area (4..10) + LPN 1 page (10..14).
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 4, 10);
+        let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
+        assert_eq!(versions, vec![2, 2, 2, 2, 2, 2, 1, 1, 1, 1]);
+        assert_eq!(ftl.counters().merged_reads, 1);
+    }
+
+    #[test]
+    fn full_overwrite_drops_area() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 4, 8, 1); // area 4..12
+        // Aligned 2-page write covering everything.
+        w(&mut ftl, &mut array, &mut alloc, 0, 16, 2);
+        assert_eq!(ftl.counters().live_across_areas, 0);
+        assert_eq!(ftl.counters().arollbacks, 0, "drop needs no rollback");
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 0, 16);
+        assert!(v.iter().all(|&(_, ver)| ver == 2));
+    }
+
+    #[test]
+    fn unprofitable_amerge_from_interior_update() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 4, 8, 1); // area 4..12
+        // 2-sector update inside the area (not across-page: 5..7 ⊂ LPN 0).
+        w(&mut ftl, &mut array, &mut alloc, 5, 2, 2);
+        assert_eq!(ftl.counters().unprofitable_amerge, 1);
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 4, 8);
+        let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
+        assert_eq!(versions, vec![1, 2, 2, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn large_write_partially_overlapping_area_rolls_back() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 6, 6, 1); // area 6..12
+        // 3-page write 8..32 overlaps the area's tail only.
+        w(&mut ftl, &mut array, &mut alloc, 8, 24, 2);
+        assert_eq!(ftl.counters().arollbacks, 1);
+        assert_eq!(ftl.counters().live_across_areas, 0);
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 6, 26);
+        let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
+        let mut expect = vec![1, 1];
+        expect.extend(std::iter::repeat_n(2, 24));
+        assert_eq!(versions, expect);
+    }
+
+    #[test]
+    fn area_conflict_on_shared_lpn_resolved() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        // Area A: sectors 6..10 (LPNs 0,1).
+        w(&mut ftl, &mut array, &mut alloc, 6, 4, 1);
+        // Area B: sectors 14..18 (LPNs 1,2) — shares LPN 1, disjoint range.
+        w(&mut ftl, &mut array, &mut alloc, 14, 4, 2);
+        assert_eq!(ftl.counters().area_conflicts, 1);
+        // Both ranges still correct.
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 6, 12);
+        let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
+        assert_eq!(versions, vec![1, 1, 1, 1, 0, 0, 0, 0, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn gc_migrates_across_areas_correctly() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        // Persistent across area.
+        w(&mut ftl, &mut array, &mut alloc, 4, 8, 999);
+        // Hammer other LPNs until GC runs repeatedly.
+        for round in 0..1200u64 {
+            let lpn = 4 + (round % 16);
+            w(&mut ftl, &mut array, &mut alloc, lpn * 8, 8, round);
+            let mut e = env(&mut array, &mut alloc);
+            ftl.maybe_gc(&mut e).unwrap();
+        }
+        assert!(array.stats().erases > 0);
+        // The area must still serve its data after migrations.
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 4, 8);
+        assert!(v.iter().all(|&(_, ver)| ver == 999), "got {v:?}");
+    }
+
+    #[test]
+    fn three_page_read_with_area_in_the_middle() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        // Normal pages on LPN 0, 1, 2; then an area bridging LPN 1/2.
+        w(&mut ftl, &mut array, &mut alloc, 0, 8, 1);
+        w(&mut ftl, &mut array, &mut alloc, 8, 8, 2);
+        w(&mut ftl, &mut array, &mut alloc, 16, 8, 3);
+        w(&mut ftl, &mut array, &mut alloc, 12, 8, 4); // area 12..20
+        // Read the whole 0..24 range: normal head, area middle, normal tail.
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 0, 24);
+        let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
+        let mut expect = vec![1; 8];
+        expect.extend(vec![2; 4]);
+        expect.extend(vec![4; 8]);
+        expect.extend(vec![3; 4]);
+        assert_eq!(versions, expect);
+        assert_eq!(ftl.counters().merged_reads, 1);
+    }
+
+    #[test]
+    fn abutting_update_merges_without_overlap() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 4, 6, 1); // area 4..10
+        // Abuts the area end exactly (10..14, across? 10..14 is inside LPN 1
+        // — not across; still merges as an unprofitable AMerge is NOT
+        // triggered since ranges only abut, not overlap → plain write).
+        w(&mut ftl, &mut array, &mut alloc, 10, 4, 2);
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 4, 10);
+        let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
+        assert_eq!(versions, vec![1, 1, 1, 1, 1, 1, 2, 2, 2, 2]);
+        // Abutting ACROSS update does merge (4..10 area + 10..16 across?
+        // 10..16 within LPN 1 — use 12..20 which spans LPN 1/2 but doesn't
+        // touch the area's LPN pair... instead grow from the left: 0..4
+        // abuts area start but 0..4 is inside LPN 0 only).
+        // The key property checked here: abutting writes never corrupt.
+    }
+
+    #[test]
+    fn area_survives_unrelated_same_page_writes() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 6, 4, 1); // area 6..10 (LPN 0,1)
+        // A write in LPN 1's tail (12..16): shares LPN 1, no range overlap.
+        w(&mut ftl, &mut array, &mut alloc, 12, 4, 2);
+        assert_eq!(ftl.counters().live_across_areas, 1, "area untouched");
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 6, 10);
+        let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
+        assert_eq!(versions, vec![1, 1, 1, 1, 0, 0, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn repeated_same_range_updates_stay_one_area() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        for version in 1..=20u64 {
+            w(&mut ftl, &mut array, &mut alloc, 4, 8, version);
+        }
+        let c = ftl.counters();
+        assert_eq!(c.across_direct_writes, 1);
+        assert_eq!(c.profitable_amerge, 19, "every rewrite is one AMerge");
+        assert_eq!(c.live_across_areas, 1);
+        assert_eq!(c.arollbacks, 0);
+        // One program per update: 20 across programs total.
+        assert_eq!(array.stats().programs.across, 20);
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 4, 8);
+        assert!(v.iter().all(|&(_, ver)| ver == 20));
+    }
+
+    #[test]
+    fn unwritten_gap_inside_read_range_serves_zero() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 4, 8, 1); // area 4..12 only
+        // Read 0..16: sectors 0..4 and 12..16 never written.
+        let v = read_versions(&mut ftl, &mut array, &mut alloc, 0, 16);
+        let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
+        let mut expect = vec![0; 4];
+        expect.extend(vec![1; 8]);
+        expect.extend(vec![0; 4]);
+        assert_eq!(versions, expect);
+    }
+
+    #[test]
+    fn mapping_bytes_include_amt() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 0, 8, 1);
+        let without_many_areas = ftl.mapping_table_bytes();
+        assert!(without_many_areas > 0);
+        w(&mut ftl, &mut array, &mut alloc, 4, 8, 2);
+        assert!(ftl.mapping_table_bytes() >= without_many_areas);
+    }
+}

@@ -1,0 +1,44 @@
+//! # aftl-core — Across-FTL and comparator FTL schemes
+//!
+//! This crate implements the paper's contribution and both comparators on
+//! top of the `aftl-flash` NAND substrate:
+//!
+//! * [`baseline`] — the conventional dynamic page-level mapping FTL. An
+//!   across-page request costs two page operations; partial-page updates
+//!   pay read-modify-write.
+//! * [`across`] — **Across-FTL**: across-page requests are re-aligned onto
+//!   a single physical page tracked by a second-level mapping table (AMT);
+//!   overlapping updates are served by AMerge or ARollback (§3 of the
+//!   paper).
+//! * [`mrsm`] — the MRSM comparator (Chen et al., TCAD 2020): sub-page
+//!   (quarter-page) mapping that overwrites sub-regions without
+//!   read-modify-write, at the cost of a much larger, tree-structured
+//!   mapping table.
+//!
+//! Shared infrastructure: [`request`] (host requests and page extents),
+//! [`mapping`] (page/across mapping tables and the DFTL-style DRAM mapping
+//! cache that spills translation pages to flash), [`gc`] (greedy garbage
+//! collection with scheme remap callbacks), [`counters`] (the event
+//! counters behind the paper's Figures 8–12), and [`oracle`] (a
+//! sector-version mirror used by tests to prove read-your-writes across
+//! remapping, merging, rollback and GC).
+
+pub mod across;
+pub mod baseline;
+pub mod counters;
+pub mod gc;
+pub mod mapping;
+pub mod mrsm;
+pub mod oracle;
+pub mod request;
+pub mod scheme;
+
+pub use across::{AcrossFtl, AcrossOptions};
+pub use baseline::BaselineFtl;
+pub use counters::SchemeCounters;
+pub use gc::{GcConfig, GcReport};
+pub use mapping::cache::{CacheStats, MapCache};
+pub use mrsm::MrsmFtl;
+pub use oracle::Oracle;
+pub use request::{HostRequest, PageExtent, ReqKind};
+pub use scheme::{FtlEnv, FtlScheme, SchemeKind, ServiceOutcome};

@@ -1,0 +1,209 @@
+//! The across-page mapping table (AMT) — Figure 5's `(AIdx, Off, Size,
+//! APPN)` entries, with slot recycling.
+
+use aftl_flash::Ppn;
+use serde::{Deserialize, Serialize};
+
+/// One across-page area: a contiguous sector range, no larger than one
+/// page, spanning two logical pages, whose data lives re-aligned on the
+/// single physical page `appn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AmtEntry {
+    /// Absolute first sector of the area (the paper's `Off`, stored
+    /// device-absolute rather than page-relative for convenience).
+    pub start_sector: u64,
+    /// Length in sectors (the paper's `Size`).
+    pub size_sectors: u32,
+    /// The across-page physical page number (`APPN`).
+    pub appn: Ppn,
+}
+
+impl AmtEntry {
+    /// Exclusive end sector.
+    #[inline]
+    pub fn end_sector(&self) -> u64 {
+        self.start_sector + u64::from(self.size_sectors)
+    }
+
+    /// First spanned LPN.
+    #[inline]
+    pub fn first_lpn(&self, spp: u32) -> u64 {
+        self.start_sector / u64::from(spp)
+    }
+
+    /// Last spanned LPN (inclusive).
+    #[inline]
+    pub fn last_lpn(&self, spp: u32) -> u64 {
+        (self.end_sector() - 1) / u64::from(spp)
+    }
+
+    /// Whether the area fully contains `[start, end)`.
+    #[inline]
+    pub fn contains(&self, start: u64, end: u64) -> bool {
+        self.start_sector <= start && end <= self.end_sector()
+    }
+
+    /// Whether the area overlaps `[start, end)`.
+    #[inline]
+    pub fn overlaps(&self, start: u64, end: u64) -> bool {
+        self.start_sector < end && start < self.end_sector()
+    }
+
+    /// Whether `[start, end)` overlaps or directly abuts the area (an
+    /// abutting update can still be merged into one contiguous area).
+    #[inline]
+    pub fn overlaps_or_abuts(&self, start: u64, end: u64) -> bool {
+        self.start_sector <= end && start <= self.end_sector()
+    }
+}
+
+/// The AMT: slotted storage with a free list so `AIdx` values stay stable
+/// for the lifetime of an area (PMT entries reference them by index).
+#[derive(Debug, Clone, Default)]
+pub struct AcrossMapTable {
+    slots: Vec<Option<AmtEntry>>,
+    free: Vec<u32>,
+    live: u64,
+    created_total: u64,
+}
+
+impl AcrossMapTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live areas.
+    #[inline]
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// Total areas ever created (Figure 8(a) denominator).
+    #[inline]
+    pub fn created_total(&self) -> u64 {
+        self.created_total
+    }
+
+    /// Allocated slot count (live + free) — the table's memory footprint.
+    #[inline]
+    pub fn capacity_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Insert a new area, returning its stable `AIdx`.
+    pub fn insert(&mut self, entry: AmtEntry) -> u32 {
+        self.live += 1;
+        self.created_total += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(entry);
+            idx
+        } else {
+            self.slots.push(Some(entry));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, aidx: u32) -> Option<AmtEntry> {
+        self.slots.get(aidx as usize).copied().flatten()
+    }
+
+    /// Update an existing entry in place (AMerge keeps the same `AIdx`).
+    pub fn update(&mut self, aidx: u32, entry: AmtEntry) {
+        let slot = self.slots[aidx as usize]
+            .as_mut()
+            .expect("update of a dead AMT slot");
+        *slot = entry;
+    }
+
+    /// Remove an area, freeing its slot for reuse.
+    pub fn remove(&mut self, aidx: u32) -> AmtEntry {
+        let e = self.slots[aidx as usize]
+            .take()
+            .expect("remove of a dead AMT slot");
+        self.free.push(aidx);
+        self.live -= 1;
+        e
+    }
+
+    /// Iterate the live entries with their indices.
+    pub fn iter_live(&self) -> impl Iterator<Item = (u32, &AmtEntry)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i as u32, e)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(start: u64, size: u32) -> AmtEntry {
+        AmtEntry {
+            start_sector: start,
+            size_sectors: size,
+            appn: Ppn(1),
+        }
+    }
+
+    #[test]
+    fn figure5_entry_geometry() {
+        // write(1028K, 6K): sectors 2056..2068, spanning LPNs 128/129.
+        let e = entry(2056, 12);
+        assert_eq!(e.first_lpn(16), 128);
+        assert_eq!(e.last_lpn(16), 129);
+        assert_eq!(e.end_sector(), 2068);
+        assert!(e.contains(2060, 2068));
+        assert!(!e.contains(2052, 2060));
+        assert!(e.overlaps(2060, 2100));
+        assert!(!e.overlaps(2068, 2100));
+        assert!(e.overlaps_or_abuts(2068, 2100));
+        assert!(!e.overlaps_or_abuts(2069, 2100));
+    }
+
+    #[test]
+    fn slot_recycling_keeps_indices_stable() {
+        let mut t = AcrossMapTable::new();
+        let a = t.insert(entry(0, 4));
+        let b = t.insert(entry(100, 4));
+        assert_ne!(a, b);
+        assert_eq!(t.live(), 2);
+        t.remove(a);
+        assert_eq!(t.live(), 1);
+        assert!(t.get(a).is_none());
+        // Slot reused; `b` untouched.
+        let c = t.insert(entry(200, 8));
+        assert_eq!(c, a);
+        assert_eq!(t.get(b).unwrap().start_sector, 100);
+        assert_eq!(t.created_total(), 3);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut t = AcrossMapTable::new();
+        let a = t.insert(entry(10, 4));
+        t.update(a, entry(10, 8));
+        assert_eq!(t.get(a).unwrap().size_sectors, 8);
+        assert_eq!(t.created_total(), 1, "update is not a new area");
+    }
+
+    #[test]
+    fn iter_live_skips_freed() {
+        let mut t = AcrossMapTable::new();
+        let a = t.insert(entry(0, 4));
+        let b = t.insert(entry(50, 4));
+        t.remove(a);
+        let live: Vec<u32> = t.iter_live().map(|(i, _)| i).collect();
+        assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_remove_panics() {
+        let mut t = AcrossMapTable::new();
+        let a = t.insert(entry(0, 4));
+        t.remove(a);
+        t.remove(a);
+    }
+}

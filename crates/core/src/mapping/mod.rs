@@ -1,0 +1,18 @@
+//! Mapping tables and the DRAM mapping cache.
+//!
+//! * [`pmt`] — the page mapping table (PMT) with the paper's extra `AIdx`
+//!   field linking an LPN to an across-page area,
+//! * [`amt`] — the across-page mapping table (AMT): `(AIdx, Off, Size,
+//!   APPN)` entries, Figure 5,
+//! * [`cache`] — a DFTL-style DRAM cache of translation pages. Schemes
+//!   whose tables exceed the cache spill translation pages to flash, which
+//!   is what produces the Map components of Figure 10 and the DRAM access
+//!   counts of Figure 12(b).
+
+pub mod amt;
+pub mod cache;
+pub mod pmt;
+
+pub use amt::{AcrossMapTable, AmtEntry};
+pub use cache::{CacheStats, MapCache};
+pub use pmt::{PageMapTable, PmtEntry};

@@ -1,0 +1,147 @@
+//! The page mapping table (PMT).
+//!
+//! A dense LPN-indexed table. Each entry holds the physical page number and
+//! — for Across-FTL — the `AIdx` link into the across-page mapping table
+//! (Figure 5). The paper stores `AIdx` on the entries of *both* LPNs an
+//! across-page area spans, so reads that touch only the second page still
+//! find the area; we do the same.
+
+use aftl_flash::Ppn;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for "no across-page area".
+pub const NO_AIDX: u32 = u32::MAX;
+
+/// One PMT entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PmtEntry {
+    /// Physical location of the normally-mapped page data, or
+    /// [`Ppn::INVALID`] when the LPN has never been written normally.
+    pub ppn: Ppn,
+    /// Index into the AMT when (part of) this LPN's data lives in an
+    /// across-page area; [`NO_AIDX`] otherwise.
+    pub aidx: u32,
+}
+
+impl PmtEntry {
+    pub const fn empty() -> Self {
+        PmtEntry {
+            ppn: Ppn::INVALID,
+            aidx: NO_AIDX,
+        }
+    }
+
+    #[inline]
+    pub fn has_ppn(&self) -> bool {
+        self.ppn.is_valid()
+    }
+
+    #[inline]
+    pub fn has_area(&self) -> bool {
+        self.aidx != NO_AIDX
+    }
+}
+
+impl Default for PmtEntry {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// Dense page mapping table over the device's exported logical space.
+#[derive(Debug, Clone)]
+pub struct PageMapTable {
+    entries: Vec<PmtEntry>,
+    mapped: u64,
+}
+
+impl PageMapTable {
+    pub fn new(logical_pages: u64) -> Self {
+        PageMapTable {
+            entries: vec![PmtEntry::empty(); logical_pages as usize],
+            mapped: 0,
+        }
+    }
+
+    #[inline]
+    pub fn logical_pages(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// LPNs that currently have a normal physical page.
+    #[inline]
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped
+    }
+
+    #[inline]
+    pub fn get(&self, lpn: u64) -> PmtEntry {
+        self.entries[lpn as usize]
+    }
+
+    /// Set the normal-data PPN, returning the previous one (to invalidate).
+    pub fn set_ppn(&mut self, lpn: u64, ppn: Ppn) -> Ppn {
+        let e = &mut self.entries[lpn as usize];
+        let old = e.ppn;
+        if !old.is_valid() && ppn.is_valid() {
+            self.mapped += 1;
+        } else if old.is_valid() && !ppn.is_valid() {
+            self.mapped -= 1;
+        }
+        e.ppn = ppn;
+        old
+    }
+
+    /// Set or clear the across-area link.
+    pub fn set_aidx(&mut self, lpn: u64, aidx: u32) {
+        self.entries[lpn as usize].aidx = aidx;
+    }
+
+    #[inline]
+    pub fn in_range(&self, lpn: u64) -> bool {
+        (lpn as usize) < self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_entry_flags() {
+        let e = PmtEntry::empty();
+        assert!(!e.has_ppn());
+        assert!(!e.has_area());
+    }
+
+    #[test]
+    fn mapped_count_tracks_set_and_clear() {
+        let mut t = PageMapTable::new(10);
+        assert_eq!(t.mapped_pages(), 0);
+        assert_eq!(t.set_ppn(3, Ppn(100)), Ppn::INVALID);
+        assert_eq!(t.mapped_pages(), 1);
+        // Remap: count unchanged, old PPN returned.
+        assert_eq!(t.set_ppn(3, Ppn(200)), Ppn(100));
+        assert_eq!(t.mapped_pages(), 1);
+        // Unmap.
+        assert_eq!(t.set_ppn(3, Ppn::INVALID), Ppn(200));
+        assert_eq!(t.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn aidx_roundtrip() {
+        let mut t = PageMapTable::new(4);
+        t.set_aidx(2, 7);
+        assert!(t.get(2).has_area());
+        assert_eq!(t.get(2).aidx, 7);
+        t.set_aidx(2, NO_AIDX);
+        assert!(!t.get(2).has_area());
+    }
+
+    #[test]
+    fn range_check() {
+        let t = PageMapTable::new(4);
+        assert!(t.in_range(3));
+        assert!(!t.in_range(4));
+    }
+}

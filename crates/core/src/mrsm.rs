@@ -1,0 +1,865 @@
+//! MRSM — the multiregional space-management comparator (Chen et al.,
+//! TCAD 2020), as characterised by the paper:
+//!
+//! * **sub-page mapping**: each logical page is divided into four
+//!   sub-regions that can be mapped independently, so partial updates
+//!   overwrite just their sub-regions — no page-level read-modify-write,
+//! * sub-regions written by one request are **packed** into shared region
+//!   pages (up to four per flash page), so an across-page request usually
+//!   still costs a single program,
+//! * the price is a **large, tree-structured mapping table** (~2.4× the
+//!   baseline), which thrashes the DRAM mapping cache (the paper reports
+//!   42.1 % residency, 36.9 % of flash writes and 34.4 % of reads being
+//!   map traffic, and ~32× the DRAM accesses of the baseline).
+
+use std::collections::{HashMap, HashSet};
+
+use aftl_flash::{Nanos, PageKind, Ppn, Result, SectorStamp, StreamId};
+
+use crate::counters::SchemeCounters;
+use crate::gc::{self, GcConfig, GcReport};
+use crate::mapping::cache::{CacheStats, MapCache};
+use crate::request::{HostRequest, ReqKind};
+use crate::scheme::{served_unwritten, FtlEnv, FtlScheme, SchemeConfig, SchemeKind, ServiceOutcome};
+
+/// Sub-regions per page (MRSM's default granularity).
+pub const SUBS_PER_PAGE: u32 = 4;
+/// Modelled average bytes per mapping entry: the page/sub-mapped mix the
+/// paper describes averages ~2.4× the baseline's 4 B.
+pub const ENTRY_BYTES: u64 = 10;
+/// LPNs covered by one tree leaf. MRSM's mapping is a tree whose leaves are
+/// allocated on demand, so — unlike a flat page table — consecutive LPN
+/// ranges do *not* share translation pages; the DRAM cache therefore sees
+/// scattered, leaf-granular traffic (this is what produces the paper's
+/// 36.9 %/34.4 % map shares of flash writes/reads and the ~32× DRAM access
+/// count).
+pub const LEAF_LPNS: u64 = 32;
+
+/// Location of one sub-region: a flash page and a slot within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SubLoc {
+    ppn: Ppn,
+    slot: u8,
+}
+
+impl SubLoc {
+    const NONE: SubLoc = SubLoc {
+        ppn: Ppn::INVALID,
+        slot: 0,
+    };
+
+    #[inline]
+    fn is_some(self) -> bool {
+        self.ppn.is_valid()
+    }
+}
+
+/// Per-LPN mapping node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LpnMap {
+    /// All sub-regions live together on one data page.
+    Page(Ppn),
+    /// Sub-regions are mapped independently.
+    Sub([SubLoc; SUBS_PER_PAGE as usize]),
+}
+
+/// SplitMix64 — stateless hash scattering tree-leaf ids.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A sub-region write staged during request processing.
+struct SubWrite {
+    lpn: u64,
+    sub: u32,
+    /// Absolute written range within the sub-region.
+    ws: u64,
+    we: u64,
+}
+
+/// The MRSM scheme.
+pub struct MrsmFtl {
+    cfg: SchemeConfig,
+    gc_cfg: GcConfig,
+    map: HashMap<u64, LpnMap>,
+    /// Live sub-regions resident on each flash page (reverse map used for
+    /// slot-wise invalidation and GC remapping).
+    residents: HashMap<Ppn, Vec<(u64, u32)>>,
+    cache: MapCache,
+    counters: SchemeCounters,
+    touched_tpages: HashSet<u64>,
+    entries_per_tpage: u64,
+    page_bytes: u32,
+}
+
+impl MrsmFtl {
+    pub fn new(geometry: &aftl_flash::Geometry, cfg: SchemeConfig) -> Self {
+        let page_bytes = geometry.page_bytes;
+        let cache = MapCache::new(cfg.cache_tpages(page_bytes));
+        MrsmFtl {
+            gc_cfg: GcConfig {
+                threshold: cfg.gc_threshold,
+                ..GcConfig::default()
+            },
+            cfg,
+            map: HashMap::new(),
+            residents: HashMap::new(),
+            cache,
+            counters: SchemeCounters::default(),
+            touched_tpages: HashSet::new(),
+            entries_per_tpage: u64::from(page_bytes) / ENTRY_BYTES,
+            page_bytes,
+        }
+    }
+
+    /// Tree-lookup cost in DRAM accesses: one probe per level.
+    fn tree_depth(&self) -> u64 {
+        let n = self.map.len().max(2) as u64;
+        64 - n.leading_zeros() as u64
+    }
+
+    fn map_access(&mut self, env: &mut FtlEnv<'_>, lpn: u64, dirty: bool) -> Result<Nanos> {
+        // Table-size accounting is entry-based (Figure 12(a))...
+        self.touched_tpages.insert(lpn / self.entries_per_tpage);
+        self.counters.dram_accesses += self.tree_depth();
+        // ...but cache traffic is leaf-granular and scattered: hash the
+        // leaf id so neighbouring leaves do not share a cache slot.
+        let tpid = splitmix64(lpn / LEAF_LPNS);
+        self.cache
+            .access(env.array, env.alloc, env.now_ns, tpid, dirty)
+    }
+
+    /// Current location of a sub-region.
+    fn loc_of(&self, lpn: u64, sub: u32) -> Option<SubLoc> {
+        match self.map.get(&lpn) {
+            None => None,
+            Some(LpnMap::Page(p)) => Some(SubLoc {
+                ppn: *p,
+                slot: sub as u8,
+            }),
+            Some(LpnMap::Sub(locs)) => {
+                let l = locs[sub as usize];
+                l.is_some().then_some(l)
+            }
+        }
+    }
+
+    /// Remove a sub-region from its current page's residents, invalidating
+    /// the page when its last live sub-region leaves.
+    fn evict_sub(&mut self, env: &mut FtlEnv<'_>, lpn: u64, sub: u32) -> Result<()> {
+        let Some(loc) = self.loc_of(lpn, sub) else {
+            return Ok(());
+        };
+        let res = self
+            .residents
+            .get_mut(&loc.ppn)
+            .expect("mapped sub-region has a resident record");
+        let pos = res
+            .iter()
+            .position(|&(l, s)| l == lpn && s == sub)
+            .expect("resident entry for mapped sub-region");
+        res.swap_remove(pos);
+        if res.is_empty() {
+            self.residents.remove(&loc.ppn);
+            env.array.invalidate(loc.ppn)?;
+        }
+        Ok(())
+    }
+
+    /// Point `lpn/sub` at a new location, converting a page-mapped node to
+    /// sub-mapped form if needed.
+    fn set_sub_loc(&mut self, lpn: u64, sub: u32, loc: SubLoc) {
+        set_sub_loc_parts(&mut self.map, &mut self.residents, lpn, sub, loc);
+    }
+
+    /// Full-page write: back to page-mapped form.
+    fn page_write(
+        &mut self,
+        env: &mut FtlEnv<'_>,
+        lpn: u64,
+        version: u64,
+        ready: Nanos,
+    ) -> Result<Nanos> {
+        let spp = env.spp();
+        // Evict all old sub-region locations.
+        for sub in 0..SUBS_PER_PAGE {
+            self.evict_sub(env, lpn, sub)?;
+        }
+        let new_ppn = env.alloc.alloc_page(env.array, StreamId::Data)?;
+        let w = env
+            .array
+            .program(new_ppn, PageKind::Data, lpn, env.page_bytes(), env.now_ns, ready)?;
+        if env.array.tracks_content() {
+            let start = lpn * u64::from(spp);
+            let stamps: Vec<Option<SectorStamp>> = (0..spp)
+                .map(|i| {
+                    Some(SectorStamp {
+                        sector: start + u64::from(i),
+                        version,
+                    })
+                })
+                .collect();
+            env.array.record_content(new_ppn, stamps.into_boxed_slice());
+        }
+        self.map.insert(lpn, LpnMap::Page(new_ppn));
+        self.residents
+            .insert(new_ppn, (0..SUBS_PER_PAGE).map(|s| (lpn, s)).collect());
+        Ok(w.complete_ns)
+    }
+
+    /// Test-only consistency check: `residents` must be exactly the
+    /// reverse of `map` (no duplicates, no dangling references). O(map),
+    /// so call it from tests, not per request.
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        use std::collections::HashSet as Set;
+        let mut seen: Set<(u64, u32)> = Set::new();
+        for (ppn, res) in &self.residents {
+            for &(lpn, sub) in res {
+                assert!(
+                    seen.insert((lpn, sub)),
+                    "duplicate resident ({lpn},{sub}) on {ppn:?}"
+                );
+                let loc = self.loc_of(lpn, sub).unwrap_or_else(|| {
+                    panic!("resident ({lpn},{sub}) on {ppn:?} has no mapping")
+                });
+                assert_eq!(loc.ppn, *ppn, "resident ({lpn},{sub}) maps elsewhere");
+            }
+        }
+        for (&lpn, node) in &self.map {
+            for sub in 0..SUBS_PER_PAGE {
+                if let Some(loc) = self.loc_of(lpn, sub) {
+                    assert!(
+                        seen.contains(&(lpn, sub)),
+                        "mapping ({lpn},{sub}) → {:?} lacks a resident entry",
+                        loc.ppn
+                    );
+                }
+            }
+            let _ = node;
+        }
+    }
+}
+
+impl FtlScheme for MrsmFtl {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Mrsm
+    }
+
+    fn write(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<ServiceOutcome> {
+        debug_assert_eq!(req.kind, ReqKind::Write);
+        self.counters.host_writes += 1;
+        let spp = env.spp();
+        let sub_sectors = u64::from(spp / SUBS_PER_PAGE);
+        let mut outcome = ServiceOutcome::default();
+        let mut ready = env.now_ns;
+        let mut pending: Vec<SubWrite> = Vec::new();
+
+        for extent in req.extents(spp) {
+            let t = self.map_access(env, extent.lpn, true)?;
+            ready = ready.max(t);
+            if extent.is_full_page(spp) {
+                let w = self.page_write(env, extent.lpn, req.version, t)?;
+                outcome.merge_time(w);
+                continue;
+            }
+            // Stage the touched sub-regions.
+            let es = extent.start_sector(spp);
+            let ee = extent.end_sector(spp);
+            let page_start = extent.lpn * u64::from(spp);
+            let first_sub = (es - page_start) / sub_sectors;
+            let last_sub = (ee - 1 - page_start) / sub_sectors;
+            for sub in first_sub..=last_sub {
+                let sub_start = page_start + sub * sub_sectors;
+                let sub_end = sub_start + sub_sectors;
+                pending.push(SubWrite {
+                    lpn: extent.lpn,
+                    sub: sub as u32,
+                    ws: es.max(sub_start),
+                    we: ee.min(sub_end),
+                });
+            }
+        }
+
+        if pending.is_empty() {
+            outcome.merge_time(ready);
+            return Ok(outcome);
+        }
+
+        // Read the old copies of partially covered sub-regions (sub-page
+        // overwrite needs no page RMW, but a *sub-region* only partially
+        // covered must be completed from its old location).
+        let track = env.array.tracks_content();
+        let mut old_reads: HashMap<Ppn, Nanos> = HashMap::new();
+        let mut old_stamps: HashMap<Ppn, Vec<Option<SectorStamp>>> = HashMap::new();
+        for sw in &pending {
+            let sub_start = sw.lpn * u64::from(spp) + u64::from(sw.sub) * sub_sectors;
+            let partial = sw.ws > sub_start || sw.we < sub_start + sub_sectors;
+            if !partial {
+                continue;
+            }
+            if let Some(loc) = self.loc_of(sw.lpn, sw.sub) {
+                if let std::collections::hash_map::Entry::Vacant(e) = old_reads.entry(loc.ppn) {
+                    let r = env.array.read(
+                        loc.ppn,
+                        env.sectors_to_bytes(spp / SUBS_PER_PAGE),
+                        env.now_ns,
+                        ready,
+                    )?;
+                    self.counters.rmw_reads += 1;
+                    if track {
+                        if let Some(c) = env.array.content_of(loc.ppn) {
+                            old_stamps.insert(loc.ppn, c.to_vec());
+                        }
+                    }
+                    e.insert(r.complete_ns);
+                }
+            }
+        }
+
+        // Pack staged sub-regions into region pages, up to four per page.
+        for group in pending.chunks(SUBS_PER_PAGE as usize) {
+            let mut at = ready;
+            for sw in group {
+                if let Some(loc) = self.loc_of(sw.lpn, sw.sub) {
+                    if let Some(&t) = old_reads.get(&loc.ppn) {
+                        at = at.max(t);
+                    }
+                }
+            }
+            let new_ppn = env.alloc.alloc_page(env.array, StreamId::Across)?;
+            let bytes = env.sectors_to_bytes(group.len() as u32 * (spp / SUBS_PER_PAGE));
+            // Stamps assembled before the old locations are evicted.
+            let stamps = if track {
+                let mut stamps = vec![None; spp as usize];
+                for (slot, sw) in group.iter().enumerate() {
+                    let sub_start = sw.lpn * u64::from(spp) + u64::from(sw.sub) * sub_sectors;
+                    let slot_base = slot as u64 * sub_sectors;
+                    for i in 0..sub_sectors {
+                        let sector = sub_start + i;
+                        let dst = (slot_base + i) as usize;
+                        if sector >= sw.ws && sector < sw.we {
+                            stamps[dst] = Some(SectorStamp {
+                                sector,
+                                version: req.version,
+                            });
+                        } else if let Some(loc) = self.loc_of(sw.lpn, sw.sub) {
+                            // Preserved from the old location.
+                            let src = u64::from(loc.slot) * sub_sectors + i;
+                            stamps[dst] = old_stamps
+                                .get(&loc.ppn)
+                                .and_then(|c| c.get(src as usize).copied().flatten());
+                        }
+                    }
+                }
+                Some(stamps.into_boxed_slice())
+            } else {
+                None
+            };
+            let w = env
+                .array
+                .program(new_ppn, PageKind::AcrossData, group[0].lpn, bytes, env.now_ns, at)?;
+            if let Some(stamps) = stamps {
+                env.array.record_content(new_ppn, stamps);
+            }
+            outcome.merge_time(w.complete_ns);
+            for (slot, sw) in group.iter().enumerate() {
+                self.evict_sub(env, sw.lpn, sw.sub)?;
+                self.set_sub_loc(
+                    sw.lpn,
+                    sw.sub,
+                    SubLoc {
+                        ppn: new_ppn,
+                        slot: slot as u8,
+                    },
+                );
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn read(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<ServiceOutcome> {
+        debug_assert_eq!(req.kind, ReqKind::Read);
+        self.counters.host_reads += 1;
+        let spp = env.spp();
+        let sub_sectors = u64::from(spp / SUBS_PER_PAGE);
+        let track = env.array.tracks_content();
+        let mut outcome = ServiceOutcome::default();
+        let mut ready = env.now_ns;
+
+        // Gather the needed (page, in-page range) pieces.
+        struct Piece {
+            ppn: Ppn,
+            page_offset: u32,
+            sector: u64,
+            len: u32,
+        }
+        let mut pieces: Vec<Piece> = Vec::new();
+        for extent in req.extents(spp) {
+            let t = self.map_access(env, extent.lpn, false)?;
+            ready = ready.max(t);
+            let es = extent.start_sector(spp);
+            let ee = extent.end_sector(spp);
+            let page_start = extent.lpn * u64::from(spp);
+            let first_sub = (es - page_start) / sub_sectors;
+            let last_sub = (ee - 1 - page_start) / sub_sectors;
+            for sub in first_sub..=last_sub {
+                let sub_start = page_start + sub * sub_sectors;
+                let rs = es.max(sub_start);
+                let re = ee.min(sub_start + sub_sectors);
+                match self.loc_of(extent.lpn, sub as u32) {
+                    Some(loc) => pieces.push(Piece {
+                        ppn: loc.ppn,
+                        page_offset: (u64::from(loc.slot) * sub_sectors + (rs - sub_start)) as u32,
+                        sector: rs,
+                        len: (re - rs) as u32,
+                    }),
+                    None => {
+                        if track {
+                            served_unwritten(rs, (re - rs) as u32, &mut outcome.served);
+                        }
+                    }
+                }
+            }
+        }
+        outcome.merge_time(ready);
+
+        // One flash read per distinct page.
+        let mut read_pages: HashMap<Ppn, Nanos> = HashMap::new();
+        for p in &pieces {
+            if let std::collections::hash_map::Entry::Vacant(e) = read_pages.entry(p.ppn) {
+                let total: u32 = pieces.iter().filter(|q| q.ppn == p.ppn).map(|q| q.len).sum();
+                let r = env.array.read(p.ppn, env.sectors_to_bytes(total), env.now_ns, ready)?;
+                e.insert(r.complete_ns);
+                outcome.merge_time(r.complete_ns);
+            }
+        }
+        if track {
+            for p in &pieces {
+                crate::scheme::served_from_page(
+                    env.array,
+                    p.ppn,
+                    p.page_offset,
+                    p.sector,
+                    p.len,
+                    &mut outcome.served,
+                );
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn maybe_gc(&mut self, env: &mut FtlEnv<'_>) -> Result<GcReport> {
+        // MRSM's mapping information lets GC *repack* sparse region pages:
+        // live sub-regions from several victims are gathered into full
+        // pages instead of being copied sparse (the MRSM paper's "address
+        // mapping information facilitates GC efficiency"). Without this,
+        // sub-page fragmentation would permanently inflate the valid-data
+        // footprint and the device would fill with mostly-dead pages.
+        let spp = env.geometry().sectors_per_page();
+        let mut migrator = MrsmMigrator {
+            map: &mut self.map,
+            residents: &mut self.residents,
+            cache: &mut self.cache,
+            counters: &mut self.counters,
+            pending: Vec::new(),
+            spp,
+        };
+        gc::maybe_collect_with(env.array, env.alloc, env.now_ns, &self.gc_cfg, &mut migrator)
+    }
+
+    fn counters(&self) -> &SchemeCounters {
+        &self.counters
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        *self.cache.stats()
+    }
+
+    fn mapping_table_bytes(&self) -> u64 {
+        self.touched_tpages.len() as u64 * u64::from(self.page_bytes)
+    }
+
+    fn logical_pages(&self) -> u64 {
+        self.cfg.logical_pages
+    }
+}
+
+/// Shared by [`MrsmFtl::set_sub_loc`] and the GC migrator (which borrows
+/// the tables piecewise).
+fn set_sub_loc_parts(
+    map: &mut HashMap<u64, LpnMap>,
+    residents: &mut HashMap<Ppn, Vec<(u64, u32)>>,
+    lpn: u64,
+    sub: u32,
+    loc: SubLoc,
+) {
+    let node = map.entry(lpn).or_insert(LpnMap::Sub([SubLoc::NONE; 4]));
+    let locs = match node {
+        LpnMap::Page(p) => {
+            let p = *p;
+            let mut locs = [SubLoc::NONE; 4];
+            for (j, l) in locs.iter_mut().enumerate() {
+                *l = SubLoc {
+                    ppn: p,
+                    slot: j as u8,
+                };
+            }
+            *node = LpnMap::Sub(locs);
+            match node {
+                LpnMap::Sub(l) => l,
+                _ => unreachable!(),
+            }
+        }
+        LpnMap::Sub(l) => l,
+    };
+    locs[sub as usize] = loc;
+    residents.entry(loc.ppn).or_default().push((lpn, sub));
+}
+
+/// A live sub-region lifted off a GC victim, awaiting repacking.
+struct PendingSub {
+    lpn: u64,
+    sub: u32,
+    /// Its sector stamps (content tracking only).
+    stamps: Option<Vec<Option<SectorStamp>>>,
+    /// When its source read completed.
+    ready: Nanos,
+}
+
+/// MRSM's GC migrator: page-mapped pages move one-to-one; sub-mapped
+/// region pages are *repacked* — live sub-regions from several victims
+/// fill fresh pages densely, reclaiming the space fragmentation wasted.
+struct MrsmMigrator<'a> {
+    map: &'a mut HashMap<u64, LpnMap>,
+    residents: &'a mut HashMap<Ppn, Vec<(u64, u32)>>,
+    cache: &'a mut MapCache,
+    counters: &'a mut SchemeCounters,
+    pending: Vec<PendingSub>,
+    spp: u32,
+}
+
+impl MrsmMigrator<'_> {
+    fn flush_chunk(
+        &mut self,
+        array: &mut aftl_flash::FlashArray,
+        alloc: &mut aftl_flash::Allocator,
+        now: Nanos,
+    ) -> Result<u64> {
+        let n = self.pending.len().min(SUBS_PER_PAGE as usize);
+        if n == 0 {
+            return Ok(0);
+        }
+        let chunk: Vec<PendingSub> = self.pending.drain(..n).collect();
+        let sub_sectors = u64::from(self.spp / SUBS_PER_PAGE);
+        let sector_bytes = array.geometry().sector_bytes;
+        let ready = chunk.iter().map(|p| p.ready).max().unwrap_or(now);
+        let new_ppn = alloc.alloc_page(array, StreamId::Gc)?;
+        array.program(
+            new_ppn,
+            PageKind::AcrossData,
+            chunk[0].lpn,
+            n as u32 * sub_sectors as u32 * sector_bytes,
+            now,
+            ready,
+        )?;
+        if array.tracks_content() {
+            let mut stamps = vec![None; self.spp as usize];
+            for (slot, p) in chunk.iter().enumerate() {
+                if let Some(s) = &p.stamps {
+                    for (i, v) in s.iter().enumerate() {
+                        stamps[slot * sub_sectors as usize + i] = *v;
+                    }
+                }
+            }
+            array.record_content(new_ppn, stamps.into_boxed_slice());
+        }
+        for (slot, p) in chunk.iter().enumerate() {
+            set_sub_loc_parts(
+                self.map,
+                self.residents,
+                p.lpn,
+                p.sub,
+                SubLoc {
+                    ppn: new_ppn,
+                    slot: slot as u8,
+                },
+            );
+        }
+        Ok(1)
+    }
+}
+
+impl gc::PageMigrator for MrsmMigrator<'_> {
+    fn migrate(
+        &mut self,
+        array: &mut aftl_flash::FlashArray,
+        alloc: &mut aftl_flash::Allocator,
+        now: Nanos,
+        old: Ppn,
+        info: &aftl_flash::PageInfo,
+    ) -> Result<u64> {
+        self.counters.dram_accesses += 1;
+        let page_bytes = array.geometry().page_bytes;
+        let sub_sectors = (self.spp / SUBS_PER_PAGE) as usize;
+
+        if info.kind == PageKind::Map {
+            let r = array.read(old, page_bytes, now, now)?;
+            let new = alloc.alloc_page(array, StreamId::Gc)?;
+            array.program(new, PageKind::Map, info.tag, page_bytes, now, r.complete_ns)?;
+            array.invalidate(old)?;
+            self.cache.note_migrated(info.tag, new);
+            return Ok(1);
+        }
+
+        let res = self
+            .residents
+            .get(&old)
+            .expect("valid user page has residents")
+            .clone();
+        // Fully live page-mapped pages move one-to-one.
+        let page_mapped_full = res.len() == SUBS_PER_PAGE as usize
+            && matches!(self.map.get(&res[0].0), Some(LpnMap::Page(p)) if *p == old);
+        let r = array.read(old, page_bytes, now, now)?;
+        if page_mapped_full {
+            let owner_lpn = res[0].0;
+            let new = alloc.alloc_page(array, StreamId::Gc)?;
+            array.program(new, info.kind, info.tag, page_bytes, now, r.complete_ns)?;
+            if array.tracks_content() {
+                if let Some(s) = array.content_of(old).map(|s| s.to_vec().into_boxed_slice()) {
+                    array.record_content(new, s);
+                }
+            }
+            let res = self.residents.remove(&old).expect("checked above");
+            self.residents.insert(new, res);
+            self.map.insert(owner_lpn, LpnMap::Page(new));
+            array.invalidate(old)?;
+            return Ok(1);
+        }
+
+        // Sparse page: lift the live sub-regions into the repack buffer.
+        let content = array.content_of(old).map(|c| c.to_vec());
+        self.residents.remove(&old);
+        for (lpn, sub) in res {
+            let slot = match self.map.get(&lpn) {
+                Some(LpnMap::Sub(locs)) => {
+                    debug_assert_eq!(locs[sub as usize].ppn, old);
+                    locs[sub as usize].slot as usize
+                }
+                Some(LpnMap::Page(p)) => {
+                    debug_assert_eq!(*p, old);
+                    sub as usize
+                }
+                None => unreachable!("resident implies mapped"),
+            };
+            let stamps = content.as_ref().map(|c| {
+                c[slot * sub_sectors..(slot + 1) * sub_sectors].to_vec()
+            });
+            self.pending.push(PendingSub {
+                lpn,
+                sub,
+                stamps,
+                ready: r.complete_ns,
+            });
+        }
+        array.invalidate(old)?;
+
+        let mut programs = 0;
+        while self.pending.len() >= SUBS_PER_PAGE as usize {
+            programs += self.flush_chunk(array, alloc, now)?;
+        }
+        Ok(programs)
+    }
+
+    fn finish(
+        &mut self,
+        array: &mut aftl_flash::FlashArray,
+        alloc: &mut aftl_flash::Allocator,
+        now: Nanos,
+    ) -> Result<u64> {
+        let mut programs = 0;
+        while !self.pending.is_empty() {
+            programs += self.flush_chunk(array, alloc, now)?;
+        }
+        Ok(programs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftl_flash::{Allocator, FlashArray, Geometry, TimingSpec};
+
+    fn setup() -> (FlashArray, Allocator, MrsmFtl) {
+        let g = Geometry::tiny(); // spp = 8, sub-region = 2 sectors
+        let mut array = FlashArray::new(g, TimingSpec::unit()).unwrap();
+        array.enable_content_tracking();
+        let alloc = Allocator::new(&array);
+        let cfg = SchemeConfig {
+            logical_pages: g.total_pages() * 9 / 10,
+            cache_bytes: 1 << 20,
+            gc_threshold: 0.10,
+        };
+        let ftl = MrsmFtl::new(&g, cfg);
+        (array, alloc, ftl)
+    }
+
+    fn w(
+        ftl: &mut MrsmFtl,
+        array: &mut FlashArray,
+        alloc: &mut Allocator,
+        sector: u64,
+        sectors: u32,
+        version: u64,
+    ) {
+        let req = HostRequest {
+            version,
+            ..HostRequest::write(0, sector, sectors)
+        };
+        let mut e = FtlEnv {
+            array,
+            alloc,
+            now_ns: 0,
+        };
+        ftl.write(&mut e, &req).unwrap();
+    }
+
+    fn read_versions(
+        ftl: &mut MrsmFtl,
+        array: &mut FlashArray,
+        alloc: &mut Allocator,
+        sector: u64,
+        sectors: u32,
+    ) -> Vec<u64> {
+        let req = HostRequest::read(0, sector, sectors);
+        let mut e = FtlEnv {
+            array,
+            alloc,
+            now_ns: 0,
+        };
+        let out = ftl.read(&mut e, &req).unwrap();
+        let mut v: Vec<(u64, u64)> = out.served.iter().map(|s| (s.sector, s.version)).collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, ver)| ver).collect()
+    }
+
+    #[test]
+    fn across_request_packs_into_one_program() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        // Sectors 6..12: subs (lpn0: sub3) + (lpn1: subs 0,1) = 3 subs ≤ 4.
+        w(&mut ftl, &mut array, &mut alloc, 6, 6, 1);
+        assert_eq!(array.stats().programs.across, 1, "packed into one region page");
+        assert_eq!(array.stats().programs.data, 0);
+        assert_eq!(read_versions(&mut ftl, &mut array, &mut alloc, 6, 6), vec![1; 6]);
+    }
+
+    #[test]
+    fn sub_page_update_avoids_page_rmw() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 0, 8, 1); // full page
+        let reads_before = array.stats().reads.data + array.stats().reads.across;
+        // Update exactly one sub-region (sectors 2..4 = sub 1): no read.
+        w(&mut ftl, &mut array, &mut alloc, 2, 2, 2);
+        let reads_after = array.stats().reads.data + array.stats().reads.across;
+        assert_eq!(reads_after, reads_before, "aligned sub-region overwrite needs no read");
+        assert_eq!(
+            read_versions(&mut ftl, &mut array, &mut alloc, 0, 8),
+            vec![1, 1, 2, 2, 1, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn partial_sub_region_update_merges_old_data() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 0, 8, 1);
+        // One sector inside sub 1 → merge with the old sub content.
+        w(&mut ftl, &mut array, &mut alloc, 2, 1, 2);
+        assert_eq!(ftl.counters().rmw_reads, 1);
+        assert_eq!(
+            read_versions(&mut ftl, &mut array, &mut alloc, 0, 8),
+            vec![1, 1, 2, 1, 1, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn fragmented_read_costs_multiple_page_reads() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 0, 8, 1); // page-mapped
+        w(&mut ftl, &mut array, &mut alloc, 2, 2, 2); // sub 1 → region page A
+        w(&mut ftl, &mut array, &mut alloc, 6, 2, 3); // sub 3 → region page B
+        let reads_before = array.stats().reads.data + array.stats().reads.across;
+        // Full-page read must gather from 3 pages.
+        assert_eq!(
+            read_versions(&mut ftl, &mut array, &mut alloc, 0, 8),
+            vec![1, 1, 2, 2, 1, 1, 3, 3]
+        );
+        let reads_after = array.stats().reads.data + array.stats().reads.across;
+        assert_eq!(reads_after - reads_before, 3);
+        ftl.check_invariants();
+    }
+
+    #[test]
+    fn unwritten_sub_regions_serve_zero() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 2, 2, 1);
+        assert_eq!(
+            read_versions(&mut ftl, &mut array, &mut alloc, 0, 8),
+            vec![0, 0, 1, 1, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn region_page_invalidated_when_all_slots_stale() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        // Two sub-writes land in one region page.
+        w(&mut ftl, &mut array, &mut alloc, 2, 4, 1); // subs 1,2
+        let across_pages_valid = |a: &FlashArray| {
+            (0..a.geometry().total_pages())
+                .filter(|&p| {
+                    let info = a.page_info(Ppn(p)).unwrap();
+                    info.is_valid() && info.kind == PageKind::AcrossData
+                })
+                .count()
+        };
+        assert_eq!(across_pages_valid(&array), 1);
+        // Overwrite both subs: the old region page must go invalid.
+        w(&mut ftl, &mut array, &mut alloc, 2, 4, 2);
+        assert_eq!(across_pages_valid(&array), 1, "old page invalidated, new one live");
+        assert_eq!(read_versions(&mut ftl, &mut array, &mut alloc, 2, 4), vec![2; 4]);
+    }
+
+    #[test]
+    fn gc_remaps_shared_region_pages() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        // A region page shared by two LPNs (across request).
+        w(&mut ftl, &mut array, &mut alloc, 6, 4, 42); // lpn0 sub3, lpn1 sub0
+        for round in 0..1200u64 {
+            let lpn = 4 + (round % 16);
+            w(&mut ftl, &mut array, &mut alloc, lpn * 8, 8, round);
+            let mut e = FtlEnv {
+                array: &mut array,
+                alloc: &mut alloc,
+                now_ns: 0,
+            };
+            ftl.maybe_gc(&mut e).unwrap();
+        }
+        assert!(array.stats().erases > 0);
+        ftl.check_invariants();
+        assert_eq!(read_versions(&mut ftl, &mut array, &mut alloc, 6, 4), vec![42; 4]);
+    }
+
+    #[test]
+    fn tree_lookup_costs_scale_with_size() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        w(&mut ftl, &mut array, &mut alloc, 0, 8, 1);
+        let d1 = ftl.counters().dram_accesses;
+        w(&mut ftl, &mut array, &mut alloc, 8, 8, 1);
+        let d2 = ftl.counters().dram_accesses - d1;
+        assert!(d2 >= 1, "tree lookups cost multiple DRAM accesses");
+        assert!(ftl.tree_depth() >= 1);
+    }
+}

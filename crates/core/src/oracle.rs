@@ -1,0 +1,144 @@
+//! A sector-version mirror used by tests: every write records the expected
+//! generation per sector, every read's [`crate::scheme::ServedSector`] list
+//! is checked against it. This proves read-your-writes through across-page
+//! remapping, AMerge, ARollback, read-modify-write and GC migration.
+
+use std::collections::HashMap;
+
+use crate::request::HostRequest;
+use crate::scheme::ServedSector;
+
+/// The expected state of the logical address space.
+#[derive(Debug, Default)]
+pub struct Oracle {
+    expected: HashMap<u64, u64>,
+    next_version: u64,
+}
+
+/// A mismatch between what a read served and what the oracle expected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleViolation {
+    pub sector: u64,
+    pub expected: u64,
+    pub served: u64,
+}
+
+impl std::fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sector {}: served version {} but expected {}",
+            self.sector, self.served, self.expected
+        )
+    }
+}
+
+impl Oracle {
+    pub fn new() -> Self {
+        Oracle {
+            expected: HashMap::new(),
+            next_version: 1,
+        }
+    }
+
+    /// Stamp a write request with the next generation and record it.
+    /// Call *before* handing the request to the scheme.
+    pub fn stamp_write(&mut self, req: &mut HostRequest) {
+        let version = self.next_version;
+        self.next_version += 1;
+        req.version = version;
+        for s in req.sector..req.end_sector() {
+            self.expected.insert(s, version);
+        }
+    }
+
+    /// Check a read's provenance; returns every violation (empty = pass).
+    pub fn check_read(&self, req: &HostRequest, served: &[ServedSector]) -> Vec<OracleViolation> {
+        let mut violations = Vec::new();
+        // Every requested sector must be reported exactly once.
+        if served.len() as u64 != u64::from(req.sectors) {
+            violations.push(OracleViolation {
+                sector: req.sector,
+                expected: u64::from(req.sectors),
+                served: served.len() as u64,
+            });
+        }
+        for s in served {
+            let want = self.expected.get(&s.sector).copied().unwrap_or(0);
+            if s.version != want {
+                violations.push(OracleViolation {
+                    sector: s.sector,
+                    expected: want,
+                    served: s.version,
+                });
+            }
+        }
+        violations
+    }
+
+    /// Number of distinct sectors ever written.
+    pub fn written_sectors(&self) -> usize {
+        self.expected.len()
+    }
+
+    /// Latest generation issued.
+    pub fn current_version(&self) -> u64 {
+        self.next_version - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_and_check_happy_path() {
+        let mut o = Oracle::new();
+        let mut w = HostRequest::write(0, 10, 2);
+        o.stamp_write(&mut w);
+        assert_eq!(w.version, 1);
+        let r = HostRequest::read(0, 10, 2);
+        let served = vec![
+            ServedSector { sector: 10, version: 1 },
+            ServedSector { sector: 11, version: 1 },
+        ];
+        assert!(o.check_read(&r, &served).is_empty());
+    }
+
+    #[test]
+    fn stale_read_detected() {
+        let mut o = Oracle::new();
+        let mut w1 = HostRequest::write(0, 10, 2);
+        o.stamp_write(&mut w1);
+        let mut w2 = HostRequest::write(0, 10, 1);
+        o.stamp_write(&mut w2);
+        let r = HostRequest::read(0, 10, 2);
+        // Sector 10 stale (v1 instead of v2).
+        let served = vec![
+            ServedSector { sector: 10, version: 1 },
+            ServedSector { sector: 11, version: 1 },
+        ];
+        let v = o.check_read(&r, &served);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].sector, 10);
+        assert_eq!(v[0].expected, 2);
+    }
+
+    #[test]
+    fn missing_sector_detected() {
+        let o = Oracle::new();
+        let r = HostRequest::read(0, 0, 4);
+        let served = vec![ServedSector { sector: 0, version: 0 }];
+        assert!(!o.check_read(&r, &served).is_empty());
+    }
+
+    #[test]
+    fn unwritten_sectors_expect_zero() {
+        let o = Oracle::new();
+        let r = HostRequest::read(0, 5, 1);
+        let ok = vec![ServedSector { sector: 5, version: 0 }];
+        assert!(o.check_read(&r, &ok).is_empty());
+        let bad = vec![ServedSector { sector: 5, version: 3 }];
+        assert_eq!(o.check_read(&r, &bad).len(), 1);
+    }
+}

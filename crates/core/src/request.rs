@@ -1,0 +1,199 @@
+//! Host requests and their decomposition into page-level extents
+//! (the paper's "sub-requests", §2.1).
+
+use aftl_flash::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Request direction (mirror of the trace crate's `IoOp`; `aftl-core` does
+/// not depend on `aftl-trace`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    Read,
+    Write,
+}
+
+/// A host block request in 512 B sectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostRequest {
+    /// Issue time (nanoseconds on the simulation clock).
+    pub at_ns: Nanos,
+    /// First logical sector.
+    pub sector: u64,
+    /// Length in sectors (≥ 1).
+    pub sectors: u32,
+    pub kind: ReqKind,
+    /// Write-generation stamp used by the correctness oracle; 0 when
+    /// content tracking is off.
+    pub version: u64,
+}
+
+impl HostRequest {
+    pub fn write(at_ns: Nanos, sector: u64, sectors: u32) -> Self {
+        HostRequest {
+            at_ns,
+            sector,
+            sectors,
+            kind: ReqKind::Write,
+            version: 0,
+        }
+    }
+
+    pub fn read(at_ns: Nanos, sector: u64, sectors: u32) -> Self {
+        HostRequest {
+            at_ns,
+            sector,
+            sectors,
+            kind: ReqKind::Read,
+            version: 0,
+        }
+    }
+
+    /// Exclusive end sector.
+    #[inline]
+    pub fn end_sector(&self) -> u64 {
+        self.sector + u64::from(self.sectors)
+    }
+
+    /// First logical page touched.
+    #[inline]
+    pub fn first_lpn(&self, spp: u32) -> u64 {
+        self.sector / u64::from(spp)
+    }
+
+    /// Last logical page touched (inclusive).
+    #[inline]
+    pub fn last_lpn(&self, spp: u32) -> u64 {
+        (self.end_sector() - 1) / u64::from(spp)
+    }
+
+    /// The paper's across-page predicate: at most one page of data spanning
+    /// exactly two logical pages.
+    #[inline]
+    pub fn is_across_page(&self, spp: u32) -> bool {
+        self.sectors <= spp && self.last_lpn(spp) == self.first_lpn(spp) + 1
+    }
+
+    /// Split into per-LPN extents.
+    pub fn extents(&self, spp: u32) -> Vec<PageExtent> {
+        split_extents(self.sector, self.end_sector(), spp)
+    }
+}
+
+/// The part of a request that falls within one logical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageExtent {
+    pub lpn: u64,
+    /// First sector within the page (0-based).
+    pub offset: u32,
+    /// Sector count (1..=spp).
+    pub len: u32,
+}
+
+impl PageExtent {
+    /// Absolute first sector.
+    #[inline]
+    pub fn start_sector(&self, spp: u32) -> u64 {
+        self.lpn * u64::from(spp) + u64::from(self.offset)
+    }
+
+    /// Absolute exclusive end sector.
+    #[inline]
+    pub fn end_sector(&self, spp: u32) -> u64 {
+        self.start_sector(spp) + u64::from(self.len)
+    }
+
+    /// Whether the extent covers its whole page.
+    #[inline]
+    pub fn is_full_page(&self, spp: u32) -> bool {
+        self.offset == 0 && self.len == spp
+    }
+}
+
+/// Split an absolute sector range `[start, end)` into per-LPN extents.
+pub fn split_extents(start: u64, end: u64, spp: u32) -> Vec<PageExtent> {
+    assert!(end > start, "empty extent range");
+    let spp64 = u64::from(spp);
+    let mut out = Vec::with_capacity(((end - 1) / spp64 - start / spp64 + 1) as usize);
+    let mut cur = start;
+    while cur < end {
+        let lpn = cur / spp64;
+        let page_end = (lpn + 1) * spp64;
+        let stop = end.min(page_end);
+        out.push(PageExtent {
+            lpn,
+            offset: (cur - lpn * spp64) as u32,
+            len: (stop - cur) as u32,
+        });
+        cur = stop;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPP: u32 = 16;
+
+    #[test]
+    fn across_predicate_matches_paper_example() {
+        // write(1028K, 6K) = sectors 2056..2068.
+        let r = HostRequest::write(0, 2056, 12);
+        assert!(r.is_across_page(SPP));
+        let ex = r.extents(SPP);
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0], PageExtent { lpn: 128, offset: 8, len: 8 });
+        assert_eq!(ex[1], PageExtent { lpn: 129, offset: 0, len: 4 });
+    }
+
+    #[test]
+    fn aligned_multi_page_split() {
+        // write(1024K, 24K) = 3 full pages.
+        let r = HostRequest::write(0, 2048, 48);
+        assert!(!r.is_across_page(SPP));
+        let ex = r.extents(SPP);
+        assert_eq!(ex.len(), 3);
+        assert!(ex.iter().all(|e| e.is_full_page(SPP)));
+        assert_eq!(ex[0].lpn, 128);
+        assert_eq!(ex[2].lpn, 130);
+    }
+
+    #[test]
+    fn single_page_partial() {
+        let r = HostRequest::read(0, 2056, 8);
+        assert!(!r.is_across_page(SPP));
+        let ex = r.extents(SPP);
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].offset, 8);
+        assert_eq!(ex[0].len, 8);
+        assert!(!ex[0].is_full_page(SPP));
+    }
+
+    #[test]
+    fn unaligned_three_page_request_is_not_across() {
+        // write(1028K, 20K): 40 sectors over 3 pages, larger than a page.
+        let r = HostRequest::write(0, 2056, 40);
+        assert!(!r.is_across_page(SPP));
+        assert_eq!(r.extents(SPP).len(), 3);
+    }
+
+    #[test]
+    fn extent_sector_roundtrip() {
+        let e = PageExtent { lpn: 128, offset: 8, len: 8 };
+        assert_eq!(e.start_sector(SPP), 2056);
+        assert_eq!(e.end_sector(SPP), 2064);
+    }
+
+    #[test]
+    fn split_covers_range_exactly() {
+        for (start, end) in [(0u64, 1u64), (15, 17), (5, 100), (31, 33), (16, 32)] {
+            let ex = split_extents(start, end, SPP);
+            assert_eq!(ex[0].start_sector(SPP), start);
+            assert_eq!(ex.last().unwrap().end_sector(SPP), end);
+            // Contiguous, non-overlapping.
+            for w in ex.windows(2) {
+                assert_eq!(w[0].end_sector(SPP), w[1].start_sector(SPP));
+            }
+        }
+    }
+}

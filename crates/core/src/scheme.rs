@@ -1,0 +1,415 @@
+//! The FTL scheme interface shared by baseline FTL, MRSM and Across-FTL,
+//! plus helpers common to every page-mapping scheme (read-modify-write
+//! normal page programming, oracle stamp assembly).
+
+use aftl_flash::{
+    Allocator, FlashArray, Geometry, Nanos, PageKind, Ppn, Result, SectorStamp, StreamId,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::counters::SchemeCounters;
+use crate::gc::GcReport;
+use crate::mapping::cache::CacheStats;
+use crate::mapping::pmt::PageMapTable;
+use crate::request::{HostRequest, PageExtent};
+
+/// Which scheme a trait object implements (for reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    Baseline,
+    Mrsm,
+    Across,
+}
+
+impl SchemeKind {
+    pub const ALL: [SchemeKind; 3] = [SchemeKind::Baseline, SchemeKind::Mrsm, SchemeKind::Across];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Baseline => "FTL",
+            SchemeKind::Mrsm => "MRSM",
+            SchemeKind::Across => "Across-FTL",
+        }
+    }
+}
+
+/// Mutable view of the device an FTL operates on for one call.
+pub struct FtlEnv<'a> {
+    pub array: &'a mut FlashArray,
+    pub alloc: &'a mut Allocator,
+    /// Simulation time the request was dispatched.
+    pub now_ns: Nanos,
+}
+
+impl FtlEnv<'_> {
+    #[inline]
+    pub fn geometry(&self) -> &Geometry {
+        self.array.geometry()
+    }
+
+    /// Sectors per page.
+    #[inline]
+    pub fn spp(&self) -> u32 {
+        self.geometry().sectors_per_page()
+    }
+
+    #[inline]
+    pub fn page_bytes(&self) -> u32 {
+        self.geometry().page_bytes
+    }
+
+    #[inline]
+    pub fn sectors_to_bytes(&self, sectors: u32) -> u32 {
+        sectors * self.geometry().sector_bytes
+    }
+}
+
+/// What a read actually returned, for the correctness oracle. Only filled
+/// when the flash array tracks content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedSector {
+    pub sector: u64,
+    /// Write generation served; 0 for never-written sectors. `u64::MAX`
+    /// flags a page whose OOB stamp disagrees with the requested sector —
+    /// i.e. a mapping bug.
+    pub version: u64,
+}
+
+/// Result of servicing one host request.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceOutcome {
+    /// When the last sub-operation finished.
+    pub complete_ns: Nanos,
+    /// Per-sector provenance (reads with content tracking only).
+    pub served: Vec<ServedSector>,
+}
+
+impl ServiceOutcome {
+    pub fn at(complete_ns: Nanos) -> Self {
+        ServiceOutcome {
+            complete_ns,
+            served: Vec::new(),
+        }
+    }
+
+    /// Fold in a sub-operation completion.
+    #[inline]
+    pub fn merge_time(&mut self, t: Nanos) {
+        self.complete_ns = self.complete_ns.max(t);
+    }
+}
+
+/// Static scheme sizing derived from the device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeConfig {
+    /// Exported logical pages (physical × export fraction).
+    pub logical_pages: u64,
+    /// DRAM mapping-cache budget in bytes. The default equals the baseline
+    /// FTL's full table so the baseline never spills (§4.2.4 and DESIGN.md).
+    pub cache_bytes: u64,
+    /// GC trigger threshold on the free-block fraction (Table 1: 10 %).
+    pub gc_threshold: f64,
+}
+
+impl SchemeConfig {
+    /// Paper-style defaults for a device: 90 % of physical pages exported,
+    /// GC at 10 %. The DRAM mapping-cache budget equals the baseline FTL's
+    /// table over the *aged footprint* (~45 % of the logical space holds
+    /// valid data after §4.1 warm-up, at 4 B per entry): the baseline table
+    /// is then fully resident, Across-FTL's ~1.4× table is ~70 % resident
+    /// and MRSM's ~2.4× table ~42 % resident — the residency ratios §4.2.4
+    /// reports.
+    pub fn for_geometry(geometry: &Geometry) -> Self {
+        let logical_pages = geometry.total_pages() * 9 / 10;
+        SchemeConfig {
+            logical_pages,
+            // Floor at 2 MB: even small controllers carry megabytes of
+            // DRAM, and sub-floor caches on miniature test devices would
+            // thrash for every scheme alike.
+            cache_bytes: (logical_pages * 4 * 45 / 100).max(2 << 20),
+            gc_threshold: 0.10,
+        }
+    }
+
+    /// Cache capacity in translation pages.
+    pub fn cache_tpages(&self, page_bytes: u32) -> usize {
+        ((self.cache_bytes / u64::from(page_bytes)).max(1)) as usize
+    }
+}
+
+/// The FTL interface the simulator drives.
+pub trait FtlScheme {
+    fn kind(&self) -> SchemeKind;
+
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Service a host write.
+    fn write(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<ServiceOutcome>;
+
+    /// Service a host read.
+    fn read(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<ServiceOutcome>;
+
+    /// Run garbage collection if the free-space threshold is breached.
+    fn maybe_gc(&mut self, env: &mut FtlEnv<'_>) -> Result<GcReport>;
+
+    fn counters(&self) -> &SchemeCounters;
+
+    fn cache_stats(&self) -> CacheStats;
+
+    /// Modelled mapping-table footprint in bytes (Figure 12(a)).
+    fn mapping_table_bytes(&self) -> u64;
+
+    fn logical_pages(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers for page-mapping schemes
+// ---------------------------------------------------------------------------
+
+/// Content stamps for programming a page that holds `extent`'s new data at
+/// `version`, merged over `base` (the old page's stamps for read-modify-
+/// write; `None` for a fresh program).
+pub(crate) fn extent_stamps(
+    spp: u32,
+    extent: &PageExtent,
+    version: u64,
+    base: Option<&[Option<SectorStamp>]>,
+) -> Box<[Option<SectorStamp>]> {
+    let mut stamps: Vec<Option<SectorStamp>> = match base {
+        Some(b) => b.to_vec(),
+        None => vec![None; spp as usize],
+    };
+    stamps.resize(spp as usize, None);
+    let start = extent.start_sector(spp);
+    for i in 0..extent.len {
+        stamps[(extent.offset + i) as usize] = Some(SectorStamp {
+            sector: start + u64::from(i),
+            version,
+        });
+    }
+    stamps.into_boxed_slice()
+}
+
+/// Program a normally-mapped page for `extent`, with read-modify-write when
+/// the extent is partial and the LPN already has data (the conventional-FTL
+/// behaviour whose cost Across-FTL avoids for across-page requests).
+///
+/// Returns the program completion time. `ready_ns` is when the mapping
+/// lookup finished.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn program_normal_extent(
+    array: &mut FlashArray,
+    alloc: &mut Allocator,
+    pmt: &mut PageMapTable,
+    counters: &mut SchemeCounters,
+    extent: &PageExtent,
+    version: u64,
+    arrive_ns: Nanos,
+    ready_ns: Nanos,
+    stamps_override: Option<Box<[Option<SectorStamp>]>>,
+) -> Result<Nanos> {
+    let spp = array.geometry().sectors_per_page();
+    let page_bytes = array.geometry().page_bytes;
+    let sector_bytes = array.geometry().sector_bytes;
+    let old = pmt.get(extent.lpn).ppn;
+
+    let mut ready = ready_ns;
+    let mut base_stamps: Option<Box<[Option<SectorStamp>]>> = None;
+    let rmw = !extent.is_full_page(spp) && old.is_valid();
+    if rmw {
+        // Read the old copy to preserve the sectors the extent misses.
+        let r = array.read(old, page_bytes, arrive_ns, ready)?;
+        counters.rmw_reads += 1;
+        ready = r.complete_ns;
+        if array.tracks_content() {
+            base_stamps = array.content_of(old).map(|s| s.to_vec().into_boxed_slice());
+        }
+    }
+
+    let new_ppn = alloc.alloc_page(array, StreamId::Data)?;
+    let bytes = if rmw {
+        page_bytes
+    } else {
+        extent.len * sector_bytes
+    };
+    let w = array.program(new_ppn, PageKind::Data, extent.lpn, bytes, arrive_ns, ready)?;
+    if array.tracks_content() {
+        let stamps = stamps_override
+            .unwrap_or_else(|| extent_stamps(spp, extent, version, base_stamps.as_deref()));
+        array.record_content(new_ppn, stamps);
+    }
+    let prev = pmt.set_ppn(extent.lpn, new_ppn);
+    if prev.is_valid() {
+        array.invalidate(prev)?;
+    }
+    Ok(w.complete_ns)
+}
+
+/// Assemble served-sector provenance for `count` sectors starting at
+/// `first_sector`, read from `ppn` at in-page sector index `page_offset`.
+pub(crate) fn served_from_page(
+    array: &FlashArray,
+    ppn: Ppn,
+    page_offset: u32,
+    first_sector: u64,
+    count: u32,
+    out: &mut Vec<ServedSector>,
+) {
+    let content = array.content_of(ppn);
+    for i in 0..count {
+        let sector = first_sector + u64::from(i);
+        let version = match content.and_then(|c| c.get((page_offset + i) as usize).copied().flatten()) {
+            Some(stamp) if stamp.sector == sector => stamp.version,
+            Some(_) => u64::MAX, // page holds data for a different sector: mapping bug
+            None => 0,
+        };
+        out.push(ServedSector { sector, version });
+    }
+}
+
+/// Served-sector provenance for sectors known to be unwritten.
+pub(crate) fn served_unwritten(first_sector: u64, count: u32, out: &mut Vec<ServedSector>) {
+    for i in 0..count {
+        out.push(ServedSector {
+            sector: first_sector + u64::from(i),
+            version: 0,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftl_flash::TimingSpec;
+
+    #[test]
+    fn scheme_config_defaults() {
+        let g = Geometry::paper_default();
+        let cfg = SchemeConfig::for_geometry(&g);
+        assert_eq!(cfg.logical_pages, g.total_pages() * 9 / 10);
+        assert_eq!(cfg.cache_bytes, (cfg.logical_pages * 4 * 45 / 100).max(2 << 20));
+        assert!((cfg.gc_threshold - 0.10).abs() < 1e-12);
+        assert!(cfg.cache_tpages(8192) > 0);
+    }
+
+    #[test]
+    fn extent_stamps_overlay_base() {
+        let spp = 8;
+        let extent = PageExtent {
+            lpn: 2,
+            offset: 2,
+            len: 3,
+        };
+        let base: Vec<Option<SectorStamp>> = (0..8)
+            .map(|i| {
+                Some(SectorStamp {
+                    sector: 16 + i,
+                    version: 1,
+                })
+            })
+            .collect();
+        let stamps = extent_stamps(spp, &extent, 5, Some(&base));
+        assert_eq!(stamps[1].unwrap().version, 1);
+        assert_eq!(stamps[2].unwrap().version, 5);
+        assert_eq!(stamps[4].unwrap().version, 5);
+        assert_eq!(stamps[5].unwrap().version, 1);
+        assert_eq!(stamps[2].unwrap().sector, 18);
+    }
+
+    #[test]
+    fn extent_stamps_fresh_page_leaves_holes() {
+        let stamps = extent_stamps(
+            8,
+            &PageExtent {
+                lpn: 0,
+                offset: 6,
+                len: 2,
+            },
+            3,
+            None,
+        );
+        assert!(stamps[0].is_none());
+        assert!(stamps[5].is_none());
+        assert_eq!(stamps[6].unwrap().version, 3);
+        assert_eq!(stamps[7].unwrap().sector, 7);
+    }
+
+    #[test]
+    fn program_normal_extent_rmw_behaviour() {
+        let g = Geometry::tiny(); // spp = 8
+        let mut array = FlashArray::new(g, TimingSpec::unit()).unwrap();
+        array.enable_content_tracking();
+        let mut alloc = Allocator::new(&array);
+        let mut pmt = PageMapTable::new(64);
+        let mut counters = SchemeCounters::default();
+
+        // Full-page write: no RMW.
+        let full = PageExtent {
+            lpn: 1,
+            offset: 0,
+            len: 8,
+        };
+        program_normal_extent(&mut array, &mut alloc, &mut pmt, &mut counters, &full, 1, 0, 0, None)
+            .unwrap();
+        assert_eq!(counters.rmw_reads, 0);
+        let first_ppn = pmt.get(1).ppn;
+        assert!(first_ppn.is_valid());
+
+        // Partial update of the same LPN: RMW read + merge.
+        let part = PageExtent {
+            lpn: 1,
+            offset: 2,
+            len: 2,
+        };
+        program_normal_extent(&mut array, &mut alloc, &mut pmt, &mut counters, &part, 2, 0, 0, None)
+            .unwrap();
+        assert_eq!(counters.rmw_reads, 1);
+        let new_ppn = pmt.get(1).ppn;
+        assert_ne!(new_ppn, first_ppn);
+        // Old page invalidated.
+        assert!(array.page_info(first_ppn).unwrap().is_invalid());
+        // Merged stamps: sector 8+2 at v2, sector 8+5 still v1.
+        let c = array.content_of(new_ppn).unwrap();
+        assert_eq!(c[2].unwrap().version, 2);
+        assert_eq!(c[5].unwrap().version, 1);
+
+        // Partial write to a fresh LPN: no read, holes left.
+        let fresh = PageExtent {
+            lpn: 2,
+            offset: 0,
+            len: 4,
+        };
+        program_normal_extent(&mut array, &mut alloc, &mut pmt, &mut counters, &fresh, 3, 0, 0, None)
+            .unwrap();
+        assert_eq!(counters.rmw_reads, 1, "no RMW for unmapped LPN");
+        let c = array.content_of(pmt.get(2).ppn).unwrap();
+        assert!(c[6].is_none());
+    }
+
+    #[test]
+    fn served_from_page_detects_wrong_mapping() {
+        let g = Geometry::tiny();
+        let mut array = FlashArray::new(g, TimingSpec::unit()).unwrap();
+        array.enable_content_tracking();
+        array.program(Ppn(0), PageKind::Data, 9, 4096, 0, 0).unwrap();
+        let stamps: Vec<Option<SectorStamp>> = (0..8)
+            .map(|i| {
+                Some(SectorStamp {
+                    sector: 100 + i,
+                    version: 7,
+                })
+            })
+            .collect();
+        array.record_content(Ppn(0), stamps.into_boxed_slice());
+        let mut out = Vec::new();
+        served_from_page(&array, Ppn(0), 0, 100, 1, &mut out);
+        assert_eq!(out[0].version, 7);
+        out.clear();
+        // Asking for sector 100 at page offset 1 (which holds sector 101)
+        // must be flagged as a mapping bug.
+        served_from_page(&array, Ppn(0), 1, 100, 1, &mut out);
+        assert_eq!(out[0].version, u64::MAX, "stamp sector mismatch flagged");
+    }
+}

@@ -1,0 +1,188 @@
+//! Physical blocks: the erase unit, with sequential-program enforcement and
+//! valid/invalid accounting consumed by garbage collection.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Ppn;
+use crate::page::{PageInfo, PageKind, PageState};
+
+/// Address of a block: the plane it lives in plus its in-plane index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockAddr {
+    pub plane_idx: u64,
+    pub block: u32,
+}
+
+/// A NAND block.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Block {
+    pages: Vec<PageInfo>,
+    /// Next programmable page index (NAND requires in-order programming).
+    write_ptr: u32,
+    valid_count: u32,
+    invalid_count: u32,
+    erase_count: u64,
+}
+
+impl Block {
+    pub fn new(pages_per_block: u32) -> Self {
+        Block {
+            pages: vec![PageInfo::free(); pages_per_block as usize],
+            write_ptr: 0,
+            valid_count: 0,
+            invalid_count: 0,
+            erase_count: 0,
+        }
+    }
+
+    #[inline]
+    pub fn pages_per_block(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    #[inline]
+    pub fn page(&self, idx: u32) -> &PageInfo {
+        &self.pages[idx as usize]
+    }
+
+    /// Next page index the block can program, or `None` when full.
+    #[inline]
+    pub fn next_free_page(&self) -> Option<u32> {
+        (self.write_ptr < self.pages_per_block()).then_some(self.write_ptr)
+    }
+
+    /// Whether every page has been programmed.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.write_ptr == self.pages_per_block()
+    }
+
+    /// Whether the block is entirely erased.
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    #[inline]
+    pub fn valid_count(&self) -> u32 {
+        self.valid_count
+    }
+
+    #[inline]
+    pub fn invalid_count(&self) -> u32 {
+        self.invalid_count
+    }
+
+    #[inline]
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// Mark page `idx` programmed with the given kind/tag. Enforces the
+    /// sequential-program constraint; returns the previous write pointer on
+    /// success.
+    pub(crate) fn program(&mut self, idx: u32, kind: PageKind, tag: u64) -> Result<(), u32> {
+        if idx != self.write_ptr {
+            return Err(self.write_ptr);
+        }
+        let p = &mut self.pages[idx as usize];
+        debug_assert!(p.is_free());
+        p.state = PageState::Valid;
+        p.kind = kind;
+        p.tag = tag;
+        self.write_ptr += 1;
+        self.valid_count += 1;
+        Ok(())
+    }
+
+    /// Invalidate a previously valid page.
+    pub(crate) fn invalidate(&mut self, idx: u32) -> bool {
+        let p = &mut self.pages[idx as usize];
+        if p.state != PageState::Valid {
+            return false;
+        }
+        p.state = PageState::Invalid;
+        self.valid_count -= 1;
+        self.invalid_count += 1;
+        true
+    }
+
+    /// Erase the block, resetting all pages. Returns the number of pages
+    /// that were still valid (callers treat nonzero as a protocol error).
+    pub(crate) fn erase(&mut self) -> u32 {
+        let valid = self.valid_count;
+        for p in &mut self.pages {
+            *p = PageInfo::free();
+        }
+        self.write_ptr = 0;
+        self.valid_count = 0;
+        self.invalid_count = 0;
+        self.erase_count += 1;
+        valid
+    }
+
+    /// Iterate the indices of valid pages (used by GC migration).
+    pub fn valid_pages(&self) -> impl Iterator<Item = (u32, &PageInfo)> + '_ {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_valid())
+            .map(|(i, p)| (i as u32, p))
+    }
+}
+
+/// A lightweight view of a block used by GC victim selection, avoiding
+/// borrowing the whole array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSummary {
+    pub addr: BlockAddr,
+    pub first_ppn: Ppn,
+    pub valid: u32,
+    pub invalid: u32,
+    pub erases: u64,
+    pub full: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_program_enforced() {
+        let mut b = Block::new(4);
+        assert_eq!(b.next_free_page(), Some(0));
+        b.program(0, PageKind::Data, 7).unwrap();
+        // Skipping page 1 is rejected and reports the expected pointer.
+        assert_eq!(b.program(2, PageKind::Data, 8), Err(1));
+        b.program(1, PageKind::Data, 8).unwrap();
+        assert_eq!(b.valid_count(), 2);
+    }
+
+    #[test]
+    fn invalidate_and_erase_cycle() {
+        let mut b = Block::new(2);
+        b.program(0, PageKind::Data, 1).unwrap();
+        b.program(1, PageKind::Map, 2).unwrap();
+        assert!(b.is_full());
+        assert!(b.invalidate(0));
+        assert!(!b.invalidate(0), "double-invalidate must be rejected");
+        assert_eq!(b.valid_count(), 1);
+        assert_eq!(b.invalid_count(), 1);
+        let leaked = b.erase();
+        assert_eq!(leaked, 1, "erase reports pages that were still valid");
+        assert!(b.is_free());
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.next_free_page(), Some(0));
+    }
+
+    #[test]
+    fn valid_pages_iterates_only_valid() {
+        let mut b = Block::new(3);
+        b.program(0, PageKind::Data, 10).unwrap();
+        b.program(1, PageKind::Data, 11).unwrap();
+        b.invalidate(0);
+        let v: Vec<u32> = b.valid_pages().map(|(i, _)| i).collect();
+        assert_eq!(v, vec![1]);
+        assert_eq!(b.valid_pages().next().unwrap().1.tag, 11);
+    }
+}

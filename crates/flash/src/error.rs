@@ -1,0 +1,87 @@
+//! Error type for flash-array operations.
+
+use crate::geometry::Ppn;
+
+/// Errors surfaced by the NAND substrate.
+///
+/// In a correct FTL most of these indicate a protocol violation (programming
+/// a non-free page, reading a free page, …) rather than a runtime condition,
+/// so the simulator treats them as bugs and the tests assert they never
+/// appear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// The geometry description is inconsistent.
+    BadGeometry(&'static str),
+    /// The PPN lies outside the device.
+    OutOfRange(Ppn),
+    /// Programming a page that is not in the `Free` state (NAND forbids
+    /// in-place updates).
+    ProgramNonFree(Ppn),
+    /// Programming pages of a block out of order (NAND requires sequential
+    /// in-block programming).
+    NonSequentialProgram { ppn: Ppn, expected_page: u32 },
+    /// Reading a page that holds no data.
+    ReadUnwritten(Ppn),
+    /// Erasing a block that still holds valid pages.
+    EraseWithValidPages { block_first_ppn: Ppn, valid: u32 },
+    /// Invalidating a page that is not valid.
+    InvalidateNonValid(Ppn),
+    /// The device ran out of free blocks in every plane (GC failed to keep
+    /// up or over-provisioning is exhausted).
+    NoFreeBlocks,
+    /// A block exceeded its erase endurance budget.
+    WornOut { block_first_ppn: Ppn, erases: u64 },
+}
+
+impl std::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlashError::BadGeometry(msg) => write!(f, "bad geometry: {msg}"),
+            FlashError::OutOfRange(ppn) => write!(f, "{ppn} out of range"),
+            FlashError::ProgramNonFree(ppn) => {
+                write!(f, "program on non-free page {ppn} (no in-place update)")
+            }
+            FlashError::NonSequentialProgram { ppn, expected_page } => write!(
+                f,
+                "non-sequential program at {ppn}; next programmable page in block is {expected_page}"
+            ),
+            FlashError::ReadUnwritten(ppn) => write!(f, "read of unwritten page {ppn}"),
+            FlashError::EraseWithValidPages {
+                block_first_ppn,
+                valid,
+            } => write!(
+                f,
+                "erase of block at {block_first_ppn} still holding {valid} valid pages"
+            ),
+            FlashError::InvalidateNonValid(ppn) => {
+                write!(f, "invalidate of non-valid page {ppn}")
+            }
+            FlashError::NoFreeBlocks => write!(f, "no free blocks left in any plane"),
+            FlashError::WornOut {
+                block_first_ppn,
+                erases,
+            } => write!(
+                f,
+                "block at {block_first_ppn} exceeded erase endurance ({erases} erases)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlashError::ProgramNonFree(Ppn(42));
+        assert!(e.to_string().contains("PPN#42"));
+        let e = FlashError::NonSequentialProgram {
+            ppn: Ppn(7),
+            expected_page: 3,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,108 @@
+//! Per-page state and out-of-band (OOB) metadata.
+
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of a physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageState {
+    /// Erased, programmable.
+    Free,
+    /// Holds live data.
+    Valid,
+    /// Holds superseded data; space reclaimed at the next erase.
+    Invalid,
+}
+
+/// What a physical page stores — used for stream separation, GC decisions
+/// and the Map-vs-Data split the paper reports in Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageKind {
+    /// Normally mapped user data (one logical page).
+    Data,
+    /// A re-aligned across-page area (Across-FTL) or sub-page region page
+    /// (MRSM): user data that does not correspond 1:1 to a logical page.
+    AcrossData,
+    /// A translation (mapping-table) page flushed by the FTL.
+    Map,
+}
+
+/// A `(sector, version)` stamp used by the correctness oracle: the simulator
+/// can track, per physical page, which logical sectors (and which write
+/// generation of each) the page holds, so tests can assert that every read
+/// returns the newest version across remapping, merging, rollback and GC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SectorStamp {
+    /// Logical sector (LBA in 512 B units).
+    pub sector: u64,
+    /// Monotonic per-sector write generation.
+    pub version: u64,
+}
+
+/// OOB metadata kept per physical page.
+///
+/// Real SSDs store the reverse map (LPN) in the page's spare area; GC uses
+/// it to update the mapping table when migrating valid pages. We extend it
+/// with the page kind and, for across-page areas, the identifier of the AMT
+/// entry so Across-FTL's GC can fix up its second-level table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageInfo {
+    pub state: PageState,
+    pub kind: PageKind,
+    /// Reverse-map tag: for `Data` pages the LPN; for `Map` pages the
+    /// translation-page id; for `AcrossData` the owning table's entry id.
+    pub tag: u64,
+}
+
+impl PageInfo {
+    pub const fn free() -> Self {
+        PageInfo {
+            state: PageState::Free,
+            kind: PageKind::Data,
+            tag: u64::MAX,
+        }
+    }
+
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.state == PageState::Free
+    }
+
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.state == PageState::Valid
+    }
+
+    #[inline]
+    pub fn is_invalid(&self) -> bool {
+        self.state == PageState::Invalid
+    }
+}
+
+impl Default for PageInfo {
+    fn default() -> Self {
+        Self::free()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_page_defaults() {
+        let p = PageInfo::free();
+        assert!(p.is_free());
+        assert!(!p.is_valid());
+        assert!(!p.is_invalid());
+        assert_eq!(p.kind, PageKind::Data);
+    }
+
+    #[test]
+    fn state_transitions_reflected_by_predicates() {
+        let mut p = PageInfo::free();
+        p.state = PageState::Valid;
+        assert!(p.is_valid());
+        p.state = PageState::Invalid;
+        assert!(p.is_invalid());
+    }
+}

@@ -1,0 +1,114 @@
+//! NAND and controller timing parameters (paper Table 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Nanos;
+
+/// Operation latencies in nanoseconds.
+///
+/// Defaults follow the paper's Table 1 TLC settings: 0.075 ms page read,
+/// 2 ms page program, 0.001 ms DRAM cache access. Table 1 does not list the
+/// erase latency; we use 3.8 ms, the value SSDsim's TLC configuration ships
+/// with (erase time only affects absolute GC cost, not the relative results).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingSpec {
+    /// Cell-array read latency for one page.
+    pub read_ns: Nanos,
+    /// Cell-array program latency for one page.
+    pub program_ns: Nanos,
+    /// Block erase latency.
+    pub erase_ns: Nanos,
+    /// One DRAM (mapping-cache / buffer) access.
+    pub cache_access_ns: Nanos,
+    /// Channel transfer time per full page (ONFI-style bus). Scaled down for
+    /// partial-page transfers.
+    pub transfer_per_page_ns: Nanos,
+}
+
+impl TimingSpec {
+    /// Table 1 values (8 KB page).
+    pub fn paper_tlc() -> Self {
+        TimingSpec {
+            read_ns: 75_000,          // 0.075 ms
+            program_ns: 2_000_000,    // 2 ms
+            erase_ns: 3_800_000,      // 3.8 ms (SSDsim TLC default)
+            cache_access_ns: 1_000,   // 0.001 ms
+            transfer_per_page_ns: 20_000, // ~8 KB over a 400 MB/s channel
+        }
+    }
+
+    /// A fast spec for tests where absolute time is irrelevant.
+    pub fn unit() -> Self {
+        TimingSpec {
+            read_ns: 1,
+            program_ns: 10,
+            erase_ns: 100,
+            cache_access_ns: 0,
+            transfer_per_page_ns: 0,
+        }
+    }
+
+    /// Transfer time for moving `bytes` over the channel, proportional to
+    /// the full-page transfer time for `page_bytes`-sized pages.
+    #[inline]
+    pub fn transfer_ns(&self, bytes: u64, page_bytes: u32) -> Nanos {
+        if self.transfer_per_page_ns == 0 || bytes == 0 {
+            return 0;
+        }
+        // Round up so tiny transfers still cost at least 1 ns.
+        let full = u128::from(self.transfer_per_page_ns);
+        let t = (full * u128::from(bytes)).div_ceil(u128::from(page_bytes));
+        t as Nanos
+    }
+
+    /// Scale program/read latencies when the page size differs from the 8 KB
+    /// the defaults were specified for. NAND array latency is dominated by
+    /// sensing/programming the wordline rather than size, so only the
+    /// transfer component scales; this helper keeps the spec unchanged and
+    /// is provided for explicitness in page-size sweeps.
+    pub fn for_page_bytes(self, _page_bytes: u32) -> Self {
+        self
+    }
+}
+
+impl Default for TimingSpec {
+    fn default() -> Self {
+        Self::paper_tlc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table1() {
+        let t = TimingSpec::paper_tlc();
+        assert_eq!(t.read_ns, 75_000);
+        assert_eq!(t.program_ns, 2_000_000);
+        assert_eq!(t.cache_access_ns, 1_000);
+    }
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let t = TimingSpec::paper_tlc();
+        let full = t.transfer_ns(8192, 8192);
+        assert_eq!(full, t.transfer_per_page_ns);
+        let half = t.transfer_ns(4096, 8192);
+        assert_eq!(half, t.transfer_per_page_ns / 2);
+        assert_eq!(t.transfer_ns(0, 8192), 0);
+    }
+
+    #[test]
+    fn transfer_rounds_up() {
+        let t = TimingSpec::paper_tlc();
+        assert!(t.transfer_ns(1, 8192) >= 1);
+    }
+
+    #[test]
+    fn unit_spec_is_cheap() {
+        let t = TimingSpec::unit();
+        assert_eq!(t.transfer_ns(4096, 8192), 0);
+        assert_eq!(t.cache_access_ns, 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! # aftl-integration — shared helpers for the workspace-spanning tests and
+//! the runnable examples under `/examples`.
+
+use aftl_core::oracle::Oracle;
+use aftl_core::request::{HostRequest, ReqKind};
+use aftl_core::scheme::SchemeKind;
+use aftl_sim::{SimConfig, Ssd};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A small aged device for stress tests: 32 MiB, unit timing, oracle on.
+pub fn small_ssd(scheme: SchemeKind) -> Ssd {
+    let geometry = aftl_flash::GeometryBuilder::new()
+        .channels(2)
+        .chips_per_channel(2)
+        .dies_per_chip(1)
+        .planes_per_die(2)
+        .blocks_per_plane(16)
+        .pages_per_block(32)
+        .page_bytes(4096)
+        .build()
+        .expect("valid geometry");
+    let config = SimConfig {
+        geometry,
+        timing: aftl_flash::TimingSpec::unit(),
+        scheme,
+        scheme_cfg: aftl_core::scheme::SchemeConfig {
+            logical_pages: geometry.total_pages() * 9 / 10,
+            cache_bytes: 64 * 4096, // small enough to exercise spills
+            gc_threshold: 0.10,
+        },
+        warmup: aftl_sim::config::WarmupConfig {
+            used_fraction: 0.0,
+            valid_fraction: 0.0,
+            seed: 1,
+        },
+        track_content: true,
+    };
+    Ssd::new(config).expect("device")
+}
+
+/// Drive `n` random requests through `ssd`, checking every read against the
+/// oracle. Returns the number of reads checked. Panics on any violation.
+pub fn random_workload(ssd: &mut Ssd, oracle: &mut Oracle, seed: u64, n: usize) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let spp = u64::from(ssd.spp());
+    // Stay within ~60 % of logical space so GC always has headroom.
+    let span_sectors = ssd.logical_sectors() * 6 / 10;
+    let mut reads = 0;
+    for i in 0..n {
+        let sectors = *[1u32, 2, 4, 6, 8, 10, 12, 16, 24, 32]
+            .iter()
+            .filter(|&&z| u64::from(z) <= 2 * spp)
+            .nth(rng.random_range(0..8))
+            .unwrap();
+        let sector = rng.random_range(0..span_sectors - u64::from(sectors));
+        let is_write = rng.random_bool(0.6);
+        let mut req = if is_write {
+            HostRequest::write(i as u64, sector, sectors)
+        } else {
+            HostRequest::read(i as u64, sector, sectors)
+        };
+        if is_write {
+            oracle.stamp_write(&mut req);
+        }
+        let done = ssd.submit(&req).expect("request serviced");
+        if req.kind == ReqKind::Read {
+            let violations = oracle.check_read(&req, &done.served);
+            assert!(
+                violations.is_empty(),
+                "scheme {:?}: read {}+{} violated: {:?}",
+                ssd.config().scheme,
+                req.sector,
+                req.sectors,
+                violations
+            );
+            reads += 1;
+        }
+    }
+    reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_smoke() {
+        let mut ssd = small_ssd(SchemeKind::Across);
+        let mut oracle = Oracle::new();
+        let reads = random_workload(&mut ssd, &mut oracle, 42, 500);
+        assert!(reads > 100);
+    }
+}

@@ -1,0 +1,129 @@
+//! Simulation configuration.
+
+use aftl_core::scheme::{SchemeConfig, SchemeKind};
+use aftl_flash::{Geometry, GeometryBuilder, TimingSpec};
+use serde::{Deserialize, Serialize};
+
+/// Warm-up (aging) targets from §4.1: the simulated SSD is aged so 90 % of
+/// its capacity has been used, with valid data occupying ~39.8 %.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmupConfig {
+    /// Stop aging when this fraction of physical pages has been programmed.
+    pub used_fraction: f64,
+    /// Fraction of physical pages holding valid data after aging (sets the
+    /// aging footprint).
+    pub valid_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for WarmupConfig {
+    fn default() -> Self {
+        WarmupConfig {
+            used_fraction: 0.88, // just under the 10 % GC trigger
+            valid_fraction: 0.398,
+            seed: 0xA6ED_55D0,
+        }
+    }
+}
+
+/// Full configuration of one simulated device + scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    pub geometry: Geometry,
+    pub timing: TimingSpec,
+    pub scheme: SchemeKind,
+    pub scheme_cfg: SchemeConfig,
+    pub warmup: WarmupConfig,
+    /// Enable the sector-stamp oracle (tests only; costs memory).
+    pub track_content: bool,
+}
+
+impl SimConfig {
+    /// The reproduction configuration: Table 1 timing, a 16 GiB device with
+    /// the paper's channel/chip hierarchy (the paper's 128 GiB device and
+    /// its traces are scaled down together — the across-page effects are
+    /// ratio-driven, not capacity-driven; see DESIGN.md).
+    pub fn experiment(scheme: SchemeKind, page_bytes: u32) -> Self {
+        let geometry = Self::experiment_geometry(page_bytes);
+        SimConfig {
+            geometry,
+            timing: TimingSpec::paper_tlc(),
+            scheme,
+            scheme_cfg: SchemeConfig::for_geometry(&geometry),
+            warmup: WarmupConfig::default(),
+            track_content: false,
+        }
+    }
+
+    /// 16 GiB at any page size: the block count adapts so capacity stays
+    /// constant across the Figure 13/14 page-size sweep.
+    pub fn experiment_geometry(page_bytes: u32) -> Geometry {
+        let blocks_per_plane = match page_bytes {
+            4096 => 1024,
+            8192 => 512,
+            16384 => 256,
+            other => panic!("unsupported page size {other} (use 4096/8192/16384)"),
+        };
+        GeometryBuilder::new()
+            .channels(8)
+            .chips_per_channel(2)
+            .dies_per_chip(2)
+            .planes_per_die(2)
+            .blocks_per_plane(blocks_per_plane)
+            .pages_per_block(64)
+            .page_bytes(page_bytes)
+            .build()
+            .expect("experiment geometry is valid")
+    }
+
+    /// A small configuration for tests: tiny geometry, unit timing, oracle
+    /// tracking on, no aging by default.
+    pub fn test_tiny(scheme: SchemeKind) -> Self {
+        let geometry = Geometry::tiny();
+        SimConfig {
+            geometry,
+            timing: TimingSpec::unit(),
+            scheme,
+            scheme_cfg: SchemeConfig {
+                logical_pages: geometry.total_pages() * 9 / 10,
+                cache_bytes: 1 << 20,
+                gc_threshold: 0.10,
+            },
+            warmup: WarmupConfig {
+                used_fraction: 0.0,
+                valid_fraction: 0.0,
+                seed: 1,
+            },
+            track_content: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_capacity_constant_across_page_sizes() {
+        let c4 = SimConfig::experiment_geometry(4096).capacity_bytes();
+        let c8 = SimConfig::experiment_geometry(8192).capacity_bytes();
+        let c16 = SimConfig::experiment_geometry(16384).capacity_bytes();
+        assert_eq!(c4, c8);
+        assert_eq!(c8, c16);
+        assert_eq!(c8, 16 << 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsupported_page_size_panics() {
+        SimConfig::experiment_geometry(2048);
+    }
+
+    #[test]
+    fn experiment_uses_paper_timing_and_gc() {
+        let c = SimConfig::experiment(SchemeKind::Across, 8192);
+        assert_eq!(c.timing.program_ns, 2_000_000);
+        assert!((c.scheme_cfg.gc_threshold - 0.10).abs() < 1e-12);
+        assert!((c.warmup.used_fraction - 0.88).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! One-call experiment runners for (trace × scheme × page size) grids.
+
+use aftl_core::gc::GcReport;
+use aftl_core::request::ReqKind;
+use aftl_core::scheme::SchemeKind;
+use aftl_flash::Result;
+use aftl_trace::Trace;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::metrics::{cache_delta, counters_delta, flash_delta, ClassBreakdown, RunReport};
+use crate::ssd::Ssd;
+use crate::warmup;
+
+/// Replay `trace` on a device configured by `config`, with aging, and
+/// collect the full report.
+pub fn run_single_with(config: SimConfig, trace: &Trace) -> Result<RunReport> {
+    let ssd = Ssd::new(config)?;
+    run_on_device(ssd, trace)
+}
+
+/// Replay `trace` on an already-built device (custom schemes / ablations).
+pub fn run_on_device(mut ssd: Ssd, trace: &Trace) -> Result<RunReport> {
+    let started = std::time::Instant::now();
+    let warm = ssd.config().warmup;
+    warmup::age(&mut ssd, &warm)?;
+    let base = ssd.snapshot();
+
+    let mut classes = ClassBreakdown::default();
+    let mut gc = GcReport::default();
+    let mut last_complete: u128 = 0;
+    for rec in &trace.records {
+        let c = ssd.submit_record(rec)?;
+        classes.class_mut(c.kind == ReqKind::Write, c.across).record(
+            c.sectors,
+            c.latency_ns,
+            c.flash_reads,
+            c.flash_programs,
+        );
+        gc.merge(&c.gc);
+        last_complete = last_complete.max(u128::from(rec.at_ns) + u128::from(c.latency_ns));
+    }
+
+    let end = ssd.snapshot();
+    Ok(RunReport {
+        trace: trace.name.clone(),
+        scheme: ssd.config().scheme,
+        page_bytes: ssd.config().geometry.page_bytes,
+        requests: trace.records.len() as u64,
+        classes,
+        flash: flash_delta(&end.flash, &base.flash),
+        counters: counters_delta(&end.counters, &base.counters),
+        cache: cache_delta(&end.cache, &base.cache),
+        gc,
+        mapping_table_bytes: ssd.scheme().mapping_table_bytes(),
+        sim_span_ns: last_complete,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Replay `trace` on the standard experiment device at `page_bytes`.
+pub fn run_single(trace: &Trace, scheme: SchemeKind, page_bytes: u32) -> Result<RunReport> {
+    run_single_with(SimConfig::experiment(scheme, page_bytes), trace)
+}
+
+/// One trace replayed on all three schemes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonReport {
+    pub trace: String,
+    pub page_bytes: u32,
+    /// Reports in [`SchemeKind::ALL`] order: FTL, MRSM, Across-FTL.
+    pub runs: Vec<RunReport>,
+}
+
+impl ComparisonReport {
+    pub fn get(&self, scheme: SchemeKind) -> &RunReport {
+        self.runs
+            .iter()
+            .find(|r| r.scheme == scheme)
+            .expect("comparison covers all schemes")
+    }
+}
+
+/// Run all three schemes on one trace, in parallel.
+pub fn run_comparison(trace: &Trace, page_bytes: u32) -> Result<ComparisonReport> {
+    let runs: Vec<RunReport> = SchemeKind::ALL
+        .par_iter()
+        .map(|&scheme| run_single(trace, scheme, page_bytes))
+        .collect::<Result<_>>()?;
+    Ok(ComparisonReport {
+        trace: trace.name.clone(),
+        page_bytes,
+        runs,
+    })
+}
+
+/// Run the full (trace × scheme) grid, in parallel over every combination.
+pub fn run_grid(traces: &[Trace], page_bytes: u32) -> Result<Vec<ComparisonReport>> {
+    let combos: Vec<(usize, SchemeKind)> = traces
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| SchemeKind::ALL.map(|s| (i, s)))
+        .collect();
+    let runs: Vec<(usize, RunReport)> = combos
+        .par_iter()
+        .map(|&(i, scheme)| run_single(&traces[i], scheme, page_bytes).map(|r| (i, r)))
+        .collect::<Result<_>>()?;
+    let mut out: Vec<ComparisonReport> = traces
+        .iter()
+        .map(|t| ComparisonReport {
+            trace: t.name.clone(),
+            page_bytes,
+            runs: Vec::new(),
+        })
+        .collect();
+    for (i, r) in runs {
+        out[i].runs.push(r);
+    }
+    for c in &mut out {
+        c.runs.sort_by_key(|r| match r.scheme {
+            SchemeKind::Baseline => 0,
+            SchemeKind::Mrsm => 1,
+            SchemeKind::Across => 2,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftl_trace::LunPreset;
+
+    /// A miniature end-to-end comparison run: Across-FTL must beat the
+    /// baseline on flash programs for an across-heavy trace. Uses a small
+    /// device + small-footprint trace so aging and GC stay fast in tests.
+    #[test]
+    fn mini_comparison_shows_the_papers_ordering() {
+        let mut spec = LunPreset::Lun6.spec(0.006); // ~3.8 k requests
+        spec.lun_bytes = 128 << 20;
+        let trace = aftl_trace::VdiWorkload::new(spec).generate();
+
+        let geometry = aftl_flash::GeometryBuilder::new()
+            .channels(4)
+            .chips_per_channel(2)
+            .dies_per_chip(1)
+            .planes_per_die(2)
+            .blocks_per_plane(32)
+            .pages_per_block(64)
+            .page_bytes(8192)
+            .build()
+            .unwrap(); // 256 MiB
+        let runs: Vec<RunReport> = SchemeKind::ALL
+            .iter()
+            .map(|&scheme| {
+                let mut config = SimConfig::experiment(scheme, 8192);
+                config.geometry = geometry;
+                config.scheme_cfg = aftl_core::scheme::SchemeConfig::for_geometry(&geometry);
+                run_single_with(config, &trace).unwrap()
+            })
+            .collect();
+        let (ftl, across) = (&runs[0], &runs[2]);
+        assert_eq!(ftl.requests, across.requests);
+        assert!(
+            across.flash.programs.user() < ftl.flash.programs.user(),
+            "Across-FTL user programs {} must undercut FTL {}",
+            across.flash.programs.user(),
+            ftl.flash.programs.user()
+        );
+        assert!(across.counters.across_direct_writes > 0);
+        assert!(ftl.erases() > 0, "aged device must GC during the run");
+    }
+}

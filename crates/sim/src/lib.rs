@@ -1,0 +1,31 @@
+//! # aftl-sim — event-driven SSD simulator and experiment harness
+//!
+//! Glues the NAND substrate (`aftl-flash`), the FTL schemes (`aftl-core`)
+//! and the workloads (`aftl-trace`) into the trace-driven simulator the
+//! paper's evaluation methodology describes (§4.1):
+//!
+//! * [`config`] — device/scheme/warm-up configuration, including the
+//!   scaled *experiment geometry* used by the reproduction runs,
+//! * [`ssd`] — the simulated device: dispatches host requests to the
+//!   active FTL scheme, runs GC, classifies requests (across vs normal),
+//! * [`warmup`] — ages the SSD (90 % of capacity used, ~39.8 % valid)
+//!   before measurements, as the paper does,
+//! * [`metrics`] — per-run measurements: latency sums by request class,
+//!   flash op counts split Map/Data, erase counts, DRAM accesses,
+//!   mapping-table bytes — everything Figures 4 and 8–12 report,
+//! * [`experiment`] — one-call runners for (trace × scheme × page size)
+//!   grids, fanned out across cores with rayon,
+//! * [`report`] — fixed-width normalized tables mirroring the paper's
+//!   figures.
+
+pub mod config;
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod ssd;
+pub mod warmup;
+
+pub use config::SimConfig;
+pub use experiment::{run_comparison, run_single, ComparisonReport};
+pub use metrics::{ClassMetrics, RunReport};
+pub use ssd::Ssd;

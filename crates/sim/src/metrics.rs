@@ -1,0 +1,280 @@
+//! Per-run measurements: everything the paper's figures consume.
+
+use aftl_core::counters::SchemeCounters;
+use aftl_core::gc::GcReport;
+use aftl_core::mapping::cache::CacheStats;
+use aftl_core::scheme::SchemeKind;
+use aftl_flash::stats::KindCounts;
+use aftl_flash::FlashStats;
+use serde::{Deserialize, Serialize};
+
+/// Metrics for one request class (read/write × across/normal) —
+/// the decomposition behind Figure 4.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    pub requests: u64,
+    pub sectors: u64,
+    pub latency_sum_ns: u128,
+    /// Flash page reads issued while servicing these requests (GC excluded).
+    pub flash_reads: u64,
+    /// Flash page programs issued while servicing these requests (GC
+    /// excluded) — the paper's "flush" count.
+    pub flash_programs: u64,
+}
+
+impl ClassMetrics {
+    pub fn record(&mut self, sectors: u32, latency_ns: u64, reads: u64, programs: u64) {
+        self.requests += 1;
+        self.sectors += u64::from(sectors);
+        self.latency_sum_ns += u128::from(latency_ns);
+        self.flash_reads += reads;
+        self.flash_programs += programs;
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.latency_sum_ns as f64 / self.requests as f64 / 1e6
+        }
+    }
+
+    /// Figure 4 y-axis: mean latency per sector (ms / sector).
+    pub fn latency_per_sector_ms(&self) -> f64 {
+        if self.sectors == 0 {
+            0.0
+        } else {
+            self.latency_sum_ns as f64 / self.sectors as f64 / 1e6
+        }
+    }
+
+    /// Figure 4(c): flash programs per sector.
+    pub fn programs_per_sector(&self) -> f64 {
+        if self.sectors == 0 {
+            0.0
+        } else {
+            self.flash_programs as f64 / self.sectors as f64
+        }
+    }
+
+    pub fn merge(&mut self, o: &ClassMetrics) {
+        self.requests += o.requests;
+        self.sectors += o.sectors;
+        self.latency_sum_ns += o.latency_sum_ns;
+        self.flash_reads += o.flash_reads;
+        self.flash_programs += o.flash_programs;
+    }
+}
+
+/// Request classes.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ClassBreakdown {
+    pub across_reads: ClassMetrics,
+    pub normal_reads: ClassMetrics,
+    pub across_writes: ClassMetrics,
+    pub normal_writes: ClassMetrics,
+}
+
+impl ClassBreakdown {
+    pub fn class_mut(&mut self, is_write: bool, across: bool) -> &mut ClassMetrics {
+        match (is_write, across) {
+            (false, true) => &mut self.across_reads,
+            (false, false) => &mut self.normal_reads,
+            (true, true) => &mut self.across_writes,
+            (true, false) => &mut self.normal_writes,
+        }
+    }
+
+    pub fn reads_total(&self) -> ClassMetrics {
+        let mut m = self.across_reads;
+        m.merge(&self.normal_reads);
+        m
+    }
+
+    pub fn writes_total(&self) -> ClassMetrics {
+        let mut m = self.across_writes;
+        m.merge(&self.normal_writes);
+        m
+    }
+}
+
+/// The complete result of replaying one trace on one scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    pub trace: String,
+    pub scheme: SchemeKind,
+    pub page_bytes: u32,
+    pub requests: u64,
+    pub classes: ClassBreakdown,
+    /// Flash-level deltas over the measured window (map/data split).
+    pub flash: FlashStats,
+    pub counters: SchemeCounters,
+    pub cache: CacheStats,
+    pub gc: GcReport,
+    pub mapping_table_bytes: u64,
+    /// Simulated trace span (last completion − first arrival).
+    pub sim_span_ns: u128,
+    /// Host wall-clock seconds spent simulating (sanity/throughput info).
+    pub wall_seconds: f64,
+}
+
+impl RunReport {
+    /// Figure 9(c)/14(a): overall I/O time = Σ request latencies (seconds).
+    pub fn io_time_s(&self) -> f64 {
+        (self.classes.reads_total().latency_sum_ns + self.classes.writes_total().latency_sum_ns)
+            as f64
+            / 1e9
+    }
+
+    /// Figure 9(a): mean read response time (ms).
+    pub fn read_latency_ms(&self) -> f64 {
+        self.classes.reads_total().mean_latency_ms()
+    }
+
+    /// Figure 9(b): mean write response time (ms).
+    pub fn write_latency_ms(&self) -> f64 {
+        self.classes.writes_total().mean_latency_ms()
+    }
+
+    /// Figure 10(a): total flash programs, and the Map share.
+    pub fn flash_writes(&self) -> KindCounts {
+        self.flash.programs
+    }
+
+    /// Figure 10(b): total flash reads, and the Map share.
+    pub fn flash_reads(&self) -> KindCounts {
+        self.flash.reads
+    }
+
+    /// Figure 11: erase count.
+    pub fn erases(&self) -> u64 {
+        self.flash.erases
+    }
+
+    /// Figure 12(b): DRAM access count.
+    pub fn dram_accesses(&self) -> u64 {
+        self.counters.dram_accesses
+    }
+}
+
+/// Snapshot of cumulative stats, for before/after deltas around the
+/// measured window (warm-up is excluded this way).
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    pub flash: FlashStats,
+    pub counters: SchemeCounters,
+    pub cache: CacheStats,
+}
+
+fn sub_kind(a: KindCounts, b: KindCounts) -> KindCounts {
+    KindCounts {
+        data: a.data - b.data,
+        across: a.across - b.across,
+        map: a.map - b.map,
+    }
+}
+
+/// Field-wise `a − b` for flash stats.
+pub fn flash_delta(a: &FlashStats, b: &FlashStats) -> FlashStats {
+    FlashStats {
+        reads: sub_kind(a.reads, b.reads),
+        programs: sub_kind(a.programs, b.programs),
+        erases: a.erases - b.erases,
+        gc_migrations: a.gc_migrations - b.gc_migrations,
+        chip_busy_ns: a.chip_busy_ns - b.chip_busy_ns,
+        channel_busy_ns: a.channel_busy_ns - b.channel_busy_ns,
+    }
+}
+
+/// Field-wise `a − b` for scheme counters.
+pub fn counters_delta(a: &SchemeCounters, b: &SchemeCounters) -> SchemeCounters {
+    SchemeCounters {
+        host_writes: a.host_writes - b.host_writes,
+        host_reads: a.host_reads - b.host_reads,
+        dram_accesses: a.dram_accesses - b.dram_accesses,
+        rmw_reads: a.rmw_reads - b.rmw_reads,
+        across_direct_writes: a.across_direct_writes - b.across_direct_writes,
+        profitable_amerge: a.profitable_amerge - b.profitable_amerge,
+        unprofitable_amerge: a.unprofitable_amerge - b.unprofitable_amerge,
+        arollbacks: a.arollbacks - b.arollbacks,
+        area_conflicts: a.area_conflicts - b.area_conflicts,
+        across_direct_reads: a.across_direct_reads - b.across_direct_reads,
+        merged_reads: a.merged_reads - b.merged_reads,
+        merged_read_extra_flash_reads: a.merged_read_extra_flash_reads
+            - b.merged_read_extra_flash_reads,
+        // Gauges: report the current value, not a delta.
+        live_across_areas: a.live_across_areas,
+        total_across_areas: a.total_across_areas - b.total_across_areas,
+    }
+}
+
+/// Field-wise `a − b` for cache stats.
+pub fn cache_delta(a: &CacheStats, b: &CacheStats) -> CacheStats {
+    CacheStats {
+        lookups: a.lookups - b.lookups,
+        hits: a.hits - b.hits,
+        misses: a.misses - b.misses,
+        loads: a.loads - b.loads,
+        flushes: a.flushes - b.flushes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_metrics_means() {
+        let mut m = ClassMetrics::default();
+        m.record(8, 2_000_000, 1, 2);
+        m.record(8, 4_000_000, 0, 1);
+        assert_eq!(m.requests, 2);
+        assert!((m.mean_latency_ms() - 3.0).abs() < 1e-9);
+        assert!((m.latency_per_sector_ms() - 0.375).abs() < 1e-9);
+        assert!((m.programs_per_sector() - 3.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_routes_classes() {
+        let mut b = ClassBreakdown::default();
+        b.class_mut(true, true).record(4, 10, 0, 1);
+        b.class_mut(false, false).record(2, 20, 1, 0);
+        assert_eq!(b.across_writes.requests, 1);
+        assert_eq!(b.normal_reads.requests, 1);
+        assert_eq!(b.writes_total().requests, 1);
+        assert_eq!(b.reads_total().latency_sum_ns, 20);
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)]
+    fn deltas_subtract() {
+        let mut a = FlashStats::default();
+        a.erases = 10;
+        a.programs.data = 7;
+        let mut b = FlashStats::default();
+        b.erases = 4;
+        b.programs.data = 5;
+        let d = flash_delta(&a, &b);
+        assert_eq!(d.erases, 6);
+        assert_eq!(d.programs.data, 2);
+
+        let mut ca = SchemeCounters::default();
+        ca.dram_accesses = 100;
+        ca.live_across_areas = 5;
+        let mut cb = SchemeCounters::default();
+        cb.dram_accesses = 60;
+        cb.live_across_areas = 3;
+        let cd = counters_delta(&ca, &cb);
+        assert_eq!(cd.dram_accesses, 40);
+        assert_eq!(cd.live_across_areas, 5, "gauge keeps the current value");
+    }
+
+    #[test]
+    fn empty_class_metrics_divide_safely() {
+        let m = ClassMetrics::default();
+        assert_eq!(m.mean_latency_ms(), 0.0);
+        assert_eq!(m.latency_per_sector_ms(), 0.0);
+        assert_eq!(m.programs_per_sector(), 0.0);
+    }
+}

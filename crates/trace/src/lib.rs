@@ -1,0 +1,24 @@
+//! # aftl-trace — block I/O traces for the Across-FTL evaluation
+//!
+//! The paper replays six SYSTOR '17 enterprise-VDI block traces (lun1–lun6)
+//! plus a 61-trace collection for its across-page-ratio survey (Figure 2).
+//! Those traces are not redistributable, so this crate provides:
+//!
+//! * [`record`] — the in-memory trace representation, with the across-page
+//!   predicate from the paper's §1 definition,
+//! * [`parser`] — readers for the real SYSTOR '17 and MSR-Cambridge CSV
+//!   formats, so genuine traces can be replayed when available,
+//! * [`synth`] — a synthetic VDI workload generator whose six presets are
+//!   calibrated against the paper's Table 2 (request count, write ratio,
+//!   mean write size, across-page ratio at 8 KB pages), plus the 61-trace
+//!   collection used by Figure 2,
+//! * [`stats`] — per-trace statistics (Table 2 columns, Figures 2 and 13).
+
+pub mod parser;
+pub mod record;
+pub mod stats;
+pub mod synth;
+
+pub use record::{IoOp, IoRecord, Trace};
+pub use stats::TraceStats;
+pub use synth::vdi::{LunPreset, VdiSpec, VdiWorkload};

@@ -1,0 +1,65 @@
+//! Parsers for on-disk trace formats.
+//!
+//! Both parsers are tolerant of header lines and blank lines, convert byte
+//! offsets/sizes to 512 B sectors (rounding the extent outward, the way a
+//! block layer would), and produce [`crate::Trace`] values ready for replay.
+
+pub mod msr;
+pub mod systor;
+
+pub use msr::parse_msr;
+pub use systor::parse_systor;
+
+use crate::record::IoRecord;
+
+/// Error for trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub(crate) fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Convert a byte extent to a sector extent, rounding outward so the sector
+/// range covers every byte touched.
+pub(crate) fn bytes_to_sectors(offset: u64, size: u64, sector_bytes: u32) -> (u64, u32) {
+    let sb = u64::from(sector_bytes);
+    let first = offset / sb;
+    let end = (offset + size.max(1)).div_ceil(sb);
+    (first, (end - first) as u32)
+}
+
+/// Sort records by arrival time, preserving the original order of ties
+/// (trace files are usually sorted already, but replay requires it).
+pub(crate) fn sort_by_time(records: &mut [IoRecord]) {
+    records.sort_by_key(|r| r.at_ns);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_to_sectors_rounds_outward() {
+        assert_eq!(bytes_to_sectors(0, 512, 512), (0, 1));
+        assert_eq!(bytes_to_sectors(0, 513, 512), (0, 2));
+        assert_eq!(bytes_to_sectors(100, 512, 512), (0, 2));
+        assert_eq!(bytes_to_sectors(1024, 4096, 512), (2, 8));
+        // Zero-size requests still cover one sector.
+        assert_eq!(bytes_to_sectors(512, 0, 512), (1, 1));
+    }
+}

@@ -1,0 +1,162 @@
+//! Parser for the SYSTOR '17 ("LUN") VDI trace CSV format used by the paper.
+//!
+//! Format (one request per line):
+//!
+//! ```text
+//! Timestamp,Response,IOType,LUN,Offset,Size
+//! 1455259200.001234,0.000512,W,6,1052672,6144
+//! ```
+//!
+//! * `Timestamp` — seconds since epoch (fractional),
+//! * `Response` — device response time in seconds (ignored; we re-simulate),
+//! * `IOType` — `R`/`W` (also accepts `Read`/`Write`, case-insensitive),
+//! * `LUN` — logical unit id (optionally filtered),
+//! * `Offset`, `Size` — bytes.
+
+use std::io::BufRead;
+
+use crate::parser::{bytes_to_sectors, err, sort_by_time, ParseError};
+use crate::record::{IoOp, IoRecord, Trace};
+
+/// Parse a SYSTOR '17 CSV stream. When `lun_filter` is `Some(l)`, only
+/// records of that LUN are kept (the collection multiplexes several LUNs
+/// into one folder).
+pub fn parse_systor<R: BufRead>(
+    reader: R,
+    name: &str,
+    lun_filter: Option<u32>,
+) -> Result<Trace, ParseError> {
+    let mut records = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| err(lineno, format!("I/O error: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || is_header(line) {
+            continue;
+        }
+        let mut fields = line.split(',').map(str::trim);
+        let ts: f64 = next_field(&mut fields, lineno, "Timestamp")?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad timestamp: {e}")))?;
+        let _response = next_field(&mut fields, lineno, "Response")?;
+        let io_type = next_field(&mut fields, lineno, "IOType")?;
+        let lun: u32 = next_field(&mut fields, lineno, "LUN")?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad LUN: {e}")))?;
+        let offset: u64 = next_field(&mut fields, lineno, "Offset")?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad offset: {e}")))?;
+        let size: u64 = next_field(&mut fields, lineno, "Size")?
+            .parse()
+            .map_err(|e| err(lineno, format!("bad size: {e}")))?;
+
+        if let Some(want) = lun_filter {
+            if lun != want {
+                continue;
+            }
+        }
+        let op = parse_op(io_type, lineno)?;
+        let (sector, sectors) = bytes_to_sectors(offset, size, 512);
+        records.push(IoRecord {
+            at_ns: (ts * 1e9) as u64,
+            sector,
+            sectors,
+            op,
+        });
+    }
+    sort_by_time(&mut records);
+    let mut trace = Trace::new(name, records);
+    trace.rebase_time();
+    Ok(trace)
+}
+
+fn is_header(line: &str) -> bool {
+    line.starts_with(|c: char| c.is_ascii_alphabetic()) && line.to_ascii_lowercase().contains("timestamp")
+}
+
+fn next_field<'a>(
+    fields: &mut impl Iterator<Item = &'a str>,
+    lineno: usize,
+    what: &str,
+) -> Result<&'a str, ParseError> {
+    fields
+        .next()
+        .ok_or_else(|| err(lineno, format!("missing field {what}")))
+}
+
+fn parse_op(s: &str, lineno: usize) -> Result<IoOp, ParseError> {
+    match s.to_ascii_lowercase().as_str() {
+        "r" | "read" | "rs" => Ok(IoOp::Read),
+        "w" | "write" | "ws" => Ok(IoOp::Write),
+        other => Err(err(lineno, format!("unknown IOType {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+Timestamp,Response,IOType,LUN,Offset,Size
+1455259200.000000,0.000100,W,6,1052672,6144
+1455259200.000500,0.000080,R,6,1054720,4096
+1455259200.000300,0.000080,R,3,0,4096
+1455259201.000000,0.000090,Write,6,8192,8192
+";
+
+    #[test]
+    fn parses_and_filters_lun() {
+        let t = parse_systor(SAMPLE.as_bytes(), "lun6", Some(6)).unwrap();
+        assert_eq!(t.len(), 3);
+        // write(1028K, 6K) = the paper's running example.
+        assert_eq!(t.records[0].sector, 2056);
+        assert_eq!(t.records[0].sectors, 12);
+        assert_eq!(t.records[0].op, IoOp::Write);
+        assert!(t.records[0].is_across_page(16));
+        // Accepts long-form op names.
+        assert_eq!(t.records[2].op, IoOp::Write);
+    }
+
+    #[test]
+    fn no_filter_keeps_all_and_sorts() {
+        let t = parse_systor(SAMPLE.as_bytes(), "all", None).unwrap();
+        assert_eq!(t.len(), 4);
+        // The LUN-3 record at +300 µs sorts before the LUN-6 read at +500 µs.
+        assert!(t.records.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        assert_eq!(t.records[0].at_ns, 0, "timestamps rebased to zero");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let e = parse_systor("1,2,X,4,5,6".as_bytes(), "bad", None).unwrap_err();
+        assert!(e.message.contains("IOType"));
+        let e = parse_systor("abc,2,R,4,5,6".as_bytes(), "bad", None).unwrap_err();
+        assert!(e.message.contains("timestamp"));
+    }
+
+    #[test]
+    fn zero_size_request_covers_one_sector() {
+        let t = parse_systor("1.0,0.1,W,0,1024,0".as_bytes(), "z", None).unwrap();
+        assert_eq!(t.records[0].sectors, 1);
+    }
+
+    #[test]
+    fn sub_sector_extent_rounds_outward() {
+        // 100 bytes at offset 700: sectors 1..2 (covers bytes 512..1024).
+        let t = parse_systor("1.0,0.1,R,0,700,100".as_bytes(), "r", None).unwrap();
+        assert_eq!(t.records[0].sector, 1);
+        assert_eq!(t.records[0].sectors, 1);
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(parse_systor("1.0,0.1,W".as_bytes(), "bad", None).is_err());
+    }
+
+    #[test]
+    fn skips_blank_lines_and_header() {
+        let t = parse_systor("\n\nTimestamp,Response,IOType,LUN,Offset,Size\n".as_bytes(), "e", None)
+            .unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! Synthetic workload generation.
+//!
+//! [`vdi`] generates enterprise-VDI-like block traces: several VM disk
+//! images (regions) live as files on a host file system, so guest-aligned
+//! 4 KB I/O reaches the host block device at a per-image byte shift — the
+//! mechanism the paper's §1 blames for across-page requests. [`collection`]
+//! builds the 61-trace survey of Figure 2. [`zipf`] is the skewed sampler
+//! both use.
+
+pub mod collection;
+pub mod vdi;
+pub mod zipf;
+
+pub use collection::figure2_collection;
+pub use vdi::{LunPreset, VdiSpec, VdiWorkload};
+pub use zipf::Zipf;

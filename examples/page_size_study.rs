@@ -1,0 +1,56 @@
+//! The paper's §4.3 case study in miniature: how the across-page ratio and
+//! Across-FTL's benefit change with the flash page size (4/8/16 KB).
+//!
+//! ```sh
+//! cargo run --release -p aftl-integration --example page_size_study
+//! ```
+
+use aftl_core::scheme::SchemeKind;
+use aftl_sim::experiment::run_single_with;
+use aftl_sim::SimConfig;
+use aftl_trace::{LunPreset, TraceStats, VdiWorkload};
+
+fn main() {
+    let mut spec = LunPreset::Lun1.spec(0.04);
+    spec.lun_bytes = 128 << 20;
+    let trace = VdiWorkload::new(spec).generate();
+
+    println!(
+        "{:>8}{:>14}{:>12}{:>12}{:>12}{:>12}{:>12}",
+        "page", "across ratio", "FTL io[s]", "Acr io[s]", "FTL flashW", "Acr flashW", "W saved"
+    );
+    for &page in &[4096u32, 8192, 16384] {
+        let ratio = TraceStats::compute(&trace.records, page, 512).across_ratio();
+        let geometry = aftl_flash::GeometryBuilder::new()
+            .channels(4)
+            .chips_per_channel(2)
+            .dies_per_chip(1)
+            .planes_per_die(2)
+            .blocks_per_plane(128 * 8192 / page)
+            .pages_per_block(64)
+            .page_bytes(page)
+            .build()
+            .expect("geometry"); // constant 512 MiB across page sizes
+        let run = |scheme| {
+            let mut config = SimConfig::experiment(scheme, page);
+            config.geometry = geometry;
+            config.scheme_cfg = aftl_core::scheme::SchemeConfig::for_geometry(&geometry);
+            run_single_with(config, &trace).expect("run")
+        };
+        let ftl = run(SchemeKind::Baseline);
+        let across = run(SchemeKind::Across);
+        println!(
+            "{:>6}KB{:>14.3}{:>12.2}{:>12.2}{:>12}{:>12}{:>11.1}%",
+            page / 1024,
+            ratio,
+            ftl.io_time_s(),
+            across.io_time_s(),
+            ftl.flash_writes().total(),
+            across.flash_writes().total(),
+            100.0 * (1.0 - across.flash_writes().total() as f64
+                / ftl.flash_writes().total() as f64)
+        );
+    }
+    println!("\nThe across-page ratio declines with page size, but Across-FTL's relative");
+    println!("benefit tracks the ratio rather than vanishing (the paper's key §4.3 claim).");
+}

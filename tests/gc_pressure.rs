@@ -1,0 +1,69 @@
+//! Garbage-collection endurance: a small device overwritten many times its
+//! capacity must keep reclaiming space, never corrupt data, and spread
+//! wear reasonably.
+
+use aftl_core::oracle::Oracle;
+use aftl_core::request::HostRequest;
+use aftl_core::scheme::SchemeKind;
+use aftl_flash::stats::WearHistogram;
+use aftl_integration::small_ssd;
+
+#[test]
+fn sustained_overwrite_five_times_capacity() {
+    for scheme in SchemeKind::ALL {
+        let mut ssd = small_ssd(scheme);
+        let mut oracle = Oracle::new();
+        let spp = u64::from(ssd.spp());
+        let working_pages = ssd.scheme().logical_pages() / 3;
+        let total_pages = ssd.array().geometry().total_pages();
+        let writes = total_pages * 5;
+        for i in 0..writes {
+            let lpn = (i * 7919) % working_pages; // co-prime stride
+            let mut w = HostRequest::write(i, lpn * spp, spp as u32);
+            oracle.stamp_write(&mut w);
+            ssd.submit(&w).unwrap();
+        }
+        let stats = ssd.array().stats();
+        assert!(
+            stats.erases as f64 > total_pages as f64 * 3.0 / 32.0,
+            "{}: erases {} too low for {} writes",
+            scheme.name(),
+            stats.erases,
+            writes
+        );
+        // Wear must be spread: max/mean bounded (greedy GC + striping).
+        let wear = WearHistogram::from_counts(ssd.array().erase_counts());
+        assert!(
+            (wear.max as f64) < wear.mean * 6.0 + 10.0,
+            "{}: wear skew max {} mean {:.1}",
+            scheme.name(),
+            wear.max,
+            wear.mean
+        );
+        // Spot-check data integrity after all that churn.
+        for lpn in (0..working_pages).step_by(17) {
+            let r = HostRequest::read(writes + lpn, lpn * spp, spp as u32);
+            let done = ssd.submit(&r).unwrap();
+            let v = oracle.check_read(&r, &done.served);
+            assert!(v.is_empty(), "{}: {:?}", scheme.name(), v);
+        }
+    }
+}
+
+#[test]
+fn device_full_of_valid_data_errors_cleanly() {
+    let mut ssd = small_ssd(SchemeKind::Across);
+    let spp = u64::from(ssd.spp());
+    // Write unique pages until the device refuses: must be NoFreeBlocks,
+    // never a panic or corruption.
+    let mut lpn = 0u64;
+    let err = loop {
+        let w = HostRequest::write(lpn, lpn * spp, spp as u32);
+        match ssd.submit(&w) {
+            Ok(_) => lpn += 1,
+            Err(e) => break e,
+        }
+        assert!(lpn <= ssd.scheme().logical_pages(), "should fill before logical end");
+    };
+    assert_eq!(err, aftl_flash::FlashError::NoFreeBlocks);
+}

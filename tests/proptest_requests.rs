@@ -1,0 +1,71 @@
+//! Property-based data integrity: arbitrary request sequences (sizes,
+//! offsets, op mix) must always read back the newest data on every scheme.
+
+use aftl_core::oracle::Oracle;
+use aftl_core::request::HostRequest;
+use aftl_core::scheme::SchemeKind;
+use aftl_integration::small_ssd;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Op {
+    write: bool,
+    sector: u64,
+    sectors: u32,
+}
+
+fn op_strategy(span: u64) -> impl Strategy<Value = Op> {
+    (any::<bool>(), 0..span - 40, 1u32..=24).prop_map(|(write, sector, sectors)| Op {
+        write,
+        sector,
+        sectors,
+    })
+}
+
+fn run_ops(scheme: SchemeKind, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut ssd = small_ssd(scheme);
+    let mut oracle = Oracle::new();
+    for (i, op) in ops.iter().enumerate() {
+        if op.write {
+            let mut w = HostRequest::write(i as u64, op.sector, op.sectors);
+            oracle.stamp_write(&mut w);
+            ssd.submit(&w).unwrap();
+        } else {
+            let r = HostRequest::read(i as u64, op.sector, op.sectors);
+            let done = ssd.submit(&r).unwrap();
+            let v = oracle.check_read(&r, &done.served);
+            prop_assert!(v.is_empty(), "{}: {:?}", scheme.name(), v);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn across_ftl_integrity(ops in proptest::collection::vec(op_strategy(4096), 1..300)) {
+        run_ops(SchemeKind::Across, &ops)?;
+    }
+
+    #[test]
+    fn baseline_integrity(ops in proptest::collection::vec(op_strategy(4096), 1..300)) {
+        run_ops(SchemeKind::Baseline, &ops)?;
+    }
+
+    #[test]
+    fn mrsm_integrity(ops in proptest::collection::vec(op_strategy(4096), 1..300)) {
+        run_ops(SchemeKind::Mrsm, &ops)?;
+    }
+
+    /// Dense hammering of one page-boundary neighbourhood: the worst case
+    /// for area conflicts, merges and rollbacks.
+    #[test]
+    fn across_ftl_boundary_hammering(ops in proptest::collection::vec(
+        (any::<bool>(), 0u64..48, 1u32..=16).prop_map(|(write, sector, sectors)| Op {
+            write, sector, sectors
+        }), 1..400))
+    {
+        run_ops(SchemeKind::Across, &ops)?;
+    }
+}
