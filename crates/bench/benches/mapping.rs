@@ -68,7 +68,11 @@ fn bench_cache_hit(c: &mut Criterion) {
         let mut tp = 0u64;
         b.iter(|| {
             tp = (tp + 7) % 64;
-            black_box(cache.access(&mut array, &mut alloc, 0, black_box(tp), false).unwrap())
+            black_box(
+                cache
+                    .access(&mut array, &mut alloc, 0, black_box(tp), false)
+                    .unwrap(),
+            )
         })
     });
 }

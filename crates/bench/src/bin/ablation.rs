@@ -29,9 +29,13 @@ fn main() {
         "{:<8}{:>14}{:>14}{:>16}{:>16}",
         "", "full: io", "full: erases", "no-AMerge: io", "no-AMerge: erases"
     );
+    let mut results: Vec<(String, RunReport, RunReport, RunReport)> = Vec::new();
     for trace in &traces {
-        let ftl = run_single_with(SimConfig::experiment(SchemeKind::Baseline, args.page_bytes), trace)
-            .expect("baseline");
+        let ftl = run_single_with(
+            SimConfig::experiment(SchemeKind::Baseline, args.page_bytes),
+            trace,
+        )
+        .expect("baseline");
         let full = across_variant(trace, args.page_bytes, AcrossOptions::default());
         let no_merge = across_variant(
             trace,
@@ -60,7 +64,9 @@ fn main() {
             0,
             "ablation must disable merging"
         );
+        results.push((trace.name.clone(), ftl, full, no_merge));
     }
+    aftl_bench::emit_json("ablation", &results);
     println!("\nAMerge is what keeps updates of re-aligned data cheap: without it every");
     println!("overlapping update pays an ARollback (area read + normal re-writes).");
 }

@@ -2,12 +2,13 @@
 //! to the baseline FTL.
 
 use aftl_core::scheme::SchemeKind;
-use aftl_sim::report::normalized_table;
+use aftl_sim::tables::normalized_table;
 
 fn main() {
     let args = aftl_bench::Args::parse();
     let traces = aftl_bench::luns(args.scale);
     let grid = aftl_bench::grid(&traces, args.page_bytes);
+    aftl_bench::emit_json("fig10", &grid);
 
     print!(
         "{}",
@@ -21,7 +22,11 @@ fn main() {
     for c in &grid {
         print!("  {:<8}", c.trace);
         for &s in &SchemeKind::ALL {
-            print!("{}: {:>5.1}%  ", s.name(), 100.0 * c.get(s).flash_writes().map_ratio());
+            print!(
+                "{}: {:>5.1}%  ",
+                s.name(),
+                100.0 * c.get(s).flash_writes().map_ratio()
+            );
         }
         println!();
     }
@@ -39,7 +44,11 @@ fn main() {
     for c in &grid {
         print!("  {:<8}", c.trace);
         for &s in &SchemeKind::ALL {
-            print!("{}: {:>5.1}%  ", s.name(), 100.0 * c.get(s).flash_reads().map_ratio());
+            print!(
+                "{}: {:>5.1}%  ",
+                s.name(),
+                100.0 * c.get(s).flash_reads().map_ratio()
+            );
         }
         println!();
     }

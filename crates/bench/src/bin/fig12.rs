@@ -1,12 +1,13 @@
 //! Figure 12 — mapping-table space overhead and DRAM access counts.
 
 use aftl_core::scheme::SchemeKind;
-use aftl_sim::report::normalized_table;
+use aftl_sim::tables::normalized_table;
 
 fn main() {
     let args = aftl_bench::Args::parse();
     let traces = aftl_bench::luns(args.scale);
     let grid = aftl_bench::grid(&traces, args.page_bytes);
+    aftl_bench::emit_json("fig12", &grid);
 
     println!("== Figure 12(a): mapping-table size (MB) ==");
     println!("{:<8}{:>10}{:>10}{:>12}", "", "FTL", "MRSM", "Across-FTL");

@@ -19,7 +19,15 @@ fn main() {
         .collect();
     for (name, r) in &rows {
         println!("{:<8}{:>8.3}{:>8.3}{:>8.3}", name, r[0], r[1], r[2]);
-        assert!(r[0] > r[1] && r[1] > r[2], "ratio must decline with page size");
+        assert!(
+            r[0] > r[1] && r[1] > r[2],
+            "ratio must decline with page size"
+        );
     }
+    let json: Vec<(String, f64, f64, f64)> = rows
+        .iter()
+        .map(|(n, r)| (n.clone(), r[0], r[1], r[2]))
+        .collect();
+    aftl_bench::emit_json("fig13", &json);
     println!("\nLarger pages hold more data and refrain from across-page access (paper, §4.3).");
 }

@@ -2,13 +2,14 @@
 //! (4/8/16 KB), all three schemes.
 
 use aftl_core::scheme::SchemeKind;
-use aftl_sim::report::normalized_table;
+use aftl_sim::tables::normalized_table;
 
 fn main() {
     let args = aftl_bench::Args::parse();
     let traces = aftl_bench::luns(args.scale);
     for &page in &[4096u32, 8192, 16384] {
         let grid = aftl_bench::grid(&traces, page);
+        aftl_bench::emit_json(&format!("fig14_{}k", page / 1024), &grid);
         print!(
             "{}",
             normalized_table(

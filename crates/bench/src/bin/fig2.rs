@@ -15,9 +15,10 @@ fn main() {
             )
         })
         .collect();
+    aftl_bench::emit_json("fig2", &rows);
     print!(
         "{}",
-        aftl_sim::report::bar_chart(
+        aftl_sim::tables::bar_chart(
             "Figure 2: across-page access ratio, systor17-additional-01 (8 KB pages)",
             &rows,
             0.4

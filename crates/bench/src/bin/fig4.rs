@@ -12,6 +12,7 @@ fn main() {
         .par_iter()
         .map(|t| run_single(t, SchemeKind::Baseline, args.page_bytes).expect("run"))
         .collect();
+    aftl_bench::emit_json("fig4", &reports);
 
     println!("== Figure 4: across-page vs normal requests on the baseline FTL ==");
     println!(

@@ -13,13 +13,17 @@ fn main() {
         .par_iter()
         .map(|t| run_single(t, SchemeKind::Across, args.page_bytes).expect("run"))
         .collect();
+    aftl_bench::emit_json("fig8", &reports);
 
     println!("== Figure 8(a): ARollback operations per across-page area ==");
     for r in &reports {
         println!("{:<8}{:>8.3}", r.trace, r.counters.rollback_ratio());
     }
-    let mean: f64 =
-        reports.iter().map(|r| r.counters.rollback_ratio()).sum::<f64>() / reports.len() as f64;
+    let mean: f64 = reports
+        .iter()
+        .map(|r| r.counters.rollback_ratio())
+        .sum::<f64>()
+        / reports.len() as f64;
     println!("mean    {mean:>8.3}   (paper: 0.039)");
 
     println!("\n== Figure 8(b): across-page write distribution ==");
@@ -34,8 +38,8 @@ fn main() {
 
     println!("\n== §4.2.1: merged reads ==");
     for r in &reports {
-        let share = r.counters.merged_read_extra_flash_reads as f64
-            / r.flash_reads().total().max(1) as f64;
+        let share =
+            r.counters.merged_read_extra_flash_reads as f64 / r.flash_reads().total().max(1) as f64;
         println!(
             "{:<8}direct reads {:>8}  merged reads {:>7}  extra flash reads {:>6} ({:.3}% of reads; paper mean 0.12%)",
             r.trace,

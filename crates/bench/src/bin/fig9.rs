@@ -2,12 +2,13 @@
 //! time, normalized to the baseline FTL.
 
 use aftl_core::scheme::SchemeKind;
-use aftl_sim::report::normalized_table;
+use aftl_sim::tables::normalized_table;
 
 fn main() {
     let args = aftl_bench::Args::parse();
     let traces = aftl_bench::luns(args.scale);
     let grid = aftl_bench::grid(&traces, args.page_bytes);
+    aftl_bench::emit_json("fig9", &grid);
 
     print!(
         "{}",

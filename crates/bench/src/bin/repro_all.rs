@@ -7,40 +7,48 @@ use std::fmt::Write as _;
 fn main() {
     let args = aftl_bench::Args::parse();
     let started = std::time::Instant::now();
-    std::fs::create_dir_all("results").expect("create results dir");
+    let results_dir = aftl_bench::results_dir();
+    std::fs::create_dir_all(&results_dir).expect("create results dir");
 
     let run = |bin: &str| {
         let exe = std::env::current_exe().unwrap();
         let dir = exe.parent().unwrap();
         let out = std::process::Command::new(dir.join(bin))
-            .args(["--scale", &args.scale.to_string(), "--page", &args.page_bytes.to_string()])
+            .args([
+                "--scale",
+                &args.scale.to_string(),
+                "--page",
+                &args.page_bytes.to_string(),
+            ])
             .output()
             .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
-        assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{bin} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8_lossy(&out.stdout).into_owned()
     };
 
     let mut all = String::new();
-    for bin in ["table1", "table2", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"] {
+    for bin in [
+        "table1", "table2", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "fig14",
+    ] {
         eprintln!("[repro_all] running {bin}…");
         let text = run(bin);
         println!("{text}");
         writeln!(all, "{text}").unwrap();
     }
-    std::fs::write("results/all_figures.txt", &all).expect("write results");
+    std::fs::write(results_dir.join("all_figures.txt"), &all).expect("write results");
 
     // Machine-readable grid at the default page size.
     let traces = aftl_bench::luns(args.scale);
     let grid = aftl_bench::grid(&traces, args.page_bytes);
-    std::fs::write(
-        "results/grid_8k.json",
-        serde_json::to_string_pretty(&grid).expect("serialize"),
-    )
-    .expect("write json");
+    aftl_bench::emit_json("grid_8k", &grid);
 
     let io_red = aftl_bench::mean_reduction_vs(&grid, SchemeKind::Baseline, |r| r.io_time_s());
-    let er_red =
-        aftl_bench::mean_reduction_vs(&grid, SchemeKind::Baseline, |r| r.erases() as f64);
+    let er_red = aftl_bench::mean_reduction_vs(&grid, SchemeKind::Baseline, |r| r.erases() as f64);
     eprintln!(
         "[repro_all] done in {:.0}s — Across-FTL vs FTL: I/O time -{:.1}%, erases -{:.1}%. Results in results/.",
         started.elapsed().as_secs_f64(),

@@ -5,10 +5,15 @@
 //! sim_cli --scheme mrsm --trace /path/to/systor.csv
 //! sim_cli --scheme ftl --trace msr.csv --format msr --lun 1
 //! ```
+//!
+//! Every run writes its full JSON [`aftl_sim::RunReport`] manifest —
+//! to the `--json` path when given, else to `results/sim_cli_<trace>_<scheme>.json`
+//! (override the directory with `AFTL_RESULTS_DIR`). Pass `--trace-events N`
+//! to also capture an event trace and write it as JSONL next to the manifest.
 
 use aftl_core::scheme::SchemeKind;
-use aftl_sim::experiment::run_single_with;
-use aftl_sim::SimConfig;
+use aftl_sim::experiment::run_on_device_keep;
+use aftl_sim::{SimConfig, Ssd};
 use aftl_trace::parser::{parse_msr, parse_systor};
 use aftl_trace::{LunPreset, Trace};
 use std::io::BufReader;
@@ -22,11 +27,12 @@ struct Cli {
     msr: bool,
     lun: Option<u32>,
     json: Option<String>,
+    trace_events: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json]"
+        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]"
     );
     std::process::exit(2);
 }
@@ -41,6 +47,7 @@ fn parse_cli() -> Cli {
         msr: false,
         lun: None,
         json: None,
+        trace_events: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,8 +60,18 @@ fn parse_cli() -> Cli {
                     _ => usage(),
                 }
             }
-            "--page" => cli.page = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--scale" => cli.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--page" => {
+                cli.page = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--scale" => {
+                cli.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--preset" => {
                 cli.preset = Some(match it.next().as_deref() {
                     Some("lun1") => LunPreset::Lun1,
@@ -74,6 +91,12 @@ fn parse_cli() -> Cli {
             "--format" => cli.msr = matches!(it.next().as_deref(), Some("msr")),
             "--lun" => cli.lun = it.next().and_then(|v| v.parse().ok()),
             "--json" => cli.json = it.next(),
+            "--trace-events" => {
+                cli.trace_events = it.next().and_then(|v| v.parse().ok());
+                if cli.trace_events.is_none() {
+                    usage()
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -91,7 +114,9 @@ fn load_trace(cli: &Cli) -> Trace {
             parse_systor(reader, path, cli.lun).expect("parse SYSTOR trace")
         }
     } else {
-        cli.preset.unwrap_or(LunPreset::Lun1).generate_scaled(cli.scale)
+        cli.preset
+            .unwrap_or(LunPreset::Lun1)
+            .generate_scaled(cli.scale)
     }
 }
 
@@ -105,8 +130,13 @@ fn main() {
         cli.scheme.name(),
         cli.page / 1024
     );
-    let report = run_single_with(SimConfig::experiment(cli.scheme, cli.page), &trace)
-        .expect("simulation");
+    let mut config = SimConfig::experiment(cli.scheme, cli.page);
+    if let Some(cap) = cli.trace_events {
+        config.observe.trace.enabled = true;
+        config.observe.trace.capacity = cap;
+    }
+    let ssd = Ssd::new(config).expect("device");
+    let (report, ssd) = run_on_device_keep(ssd, &trace).expect("simulation");
 
     println!("scheme           : {}", report.scheme.name());
     println!("requests         : {}", report.requests);
@@ -124,7 +154,10 @@ fn main() {
         100.0 * report.flash_reads().map_ratio()
     );
     println!("erase count      : {}", report.erases());
-    println!("mapping table    : {:.2} MB", report.mapping_table_bytes as f64 / 1e6);
+    println!(
+        "mapping table    : {:.2} MB",
+        report.mapping_table_bytes as f64 / 1e6
+    );
     println!("DRAM accesses    : {}", report.dram_accesses());
     if cli.scheme == SchemeKind::Across {
         let c = &report.counters;
@@ -134,9 +167,28 @@ fn main() {
             d, p, u, c.rollback_ratio()
         );
     }
-    if let Some(path) = cli.json {
-        std::fs::write(&path, serde_json::to_string_pretty(&report).expect("serialize"))
-            .expect("write json");
-        eprintln!("wrote {path}");
+    println!("\nlatency percentiles (measured window):");
+    print!("{}", report.latency_table());
+
+    // The full manifest is always written: --json wins, else results/.
+    let json_path = match &cli.json {
+        Some(path) => {
+            std::fs::write(path, report.to_json()).expect("write json");
+            eprintln!("wrote {path}");
+            std::path::PathBuf::from(path)
+        }
+        None => {
+            let stem: String = trace
+                .name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            aftl_bench::emit_json(&format!("sim_cli_{stem}_{}", report.scheme.name()), &report)
+        }
+    };
+    if let Some(ring) = ssd.observer().events() {
+        let path = json_path.with_extension("jsonl");
+        std::fs::write(&path, ring.to_jsonl()).expect("write trace jsonl");
+        eprintln!("wrote {} ({} events)", path.display(), ring.len());
     }
 }

@@ -8,6 +8,10 @@ fn main() {
     let g = SimConfig::experiment_geometry(args.page_bytes);
     let t = aftl_flash::TimingSpec::paper_tlc();
     let cfg = SchemeConfig::for_geometry(&g);
+    aftl_bench::emit_json(
+        "table1",
+        &SimConfig::experiment(aftl_core::scheme::SchemeKind::Across, args.page_bytes),
+    );
     println!("== Table 1: simulator settings (TLC cell) ==");
     println!("{:<28}{}", "Block number", g.total_blocks());
     println!("{:<28}{}", "Pages per block", g.pages_per_block);
@@ -16,11 +20,23 @@ fn main() {
     println!("{:<28}{:.3} ms", "Read time", t.read_ns as f64 / 1e6);
     println!("{:<28}{:.3} ms", "Write time", t.program_ns as f64 / 1e6);
     println!("{:<28}{:.3} ms", "Erase time", t.erase_ns as f64 / 1e6);
-    println!("{:<28}{:.3} ms", "Cache access", t.cache_access_ns as f64 / 1e6);
-    println!("{:<28}{:.1} MB", "Mapping-cache size", cfg.cache_bytes as f64 / 1e6);
+    println!(
+        "{:<28}{:.3} ms",
+        "Cache access",
+        t.cache_access_ns as f64 / 1e6
+    );
+    println!(
+        "{:<28}{:.1} MB",
+        "Mapping-cache size",
+        cfg.cache_bytes as f64 / 1e6
+    );
     println!(
         "{:<28}{} ch x {} chips x {} dies x {} planes x {} blk",
-        "Hierarchy", g.channels, g.chips_per_channel, g.dies_per_chip, g.planes_per_die,
+        "Hierarchy",
+        g.channels,
+        g.chips_per_channel,
+        g.dies_per_chip,
+        g.planes_per_die,
         g.blocks_per_plane
     );
     println!(

@@ -22,9 +22,10 @@ fn main() {
             )
         })
         .collect();
+    aftl_bench::emit_json("table2", &rows);
     print!(
         "{}",
-        aftl_sim::report::absolute_table(
+        aftl_sim::tables::absolute_table(
             "Table 2: trace specifications — measured (paper target)",
             &["# of Req.", "Write R", "Write SZ", "Across R"],
             &rows

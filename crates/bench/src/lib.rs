@@ -13,9 +13,10 @@
 
 use aftl_core::scheme::SchemeKind;
 use aftl_sim::experiment::ComparisonReport;
-use aftl_sim::report::Row;
+use aftl_sim::tables::Row;
 use aftl_trace::{LunPreset, Trace};
 use rayon::prelude::*;
+use std::path::PathBuf;
 
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone, Copy)]
@@ -114,7 +115,28 @@ pub fn mean_reduction_vs(
         .iter()
         .map(|c| (metric(c.get(baseline)), metric(c.get(SchemeKind::Across))))
         .collect();
-    1.0 - aftl_sim::report::mean_ratio(&pairs)
+    1.0 - aftl_sim::tables::mean_ratio(&pairs)
+}
+
+/// Directory machine-readable results are written to: `$AFTL_RESULTS_DIR`
+/// if set, else `results/` under the working directory.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("AFTL_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Write `value` as pretty-printed JSON to `<results_dir>/<name>.json` and
+/// return the path. Every figure binary emits its machine-readable results
+/// through this, next to the human-readable table it prints.
+pub fn emit_json<T: serde::Serialize + ?Sized>(name: &str, value: &T) -> PathBuf {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("results serialize");
+    std::fs::write(&path, json).expect("write results json");
+    eprintln!("wrote {}", path.display());
+    path
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use crate::gc::{self, GcConfig, GcReport};
 use crate::mapping::amt::{AcrossMapTable, AmtEntry};
 use crate::mapping::cache::{CacheStats, MapCache};
 use crate::mapping::pmt::{PageMapTable, NO_AIDX};
+use crate::obs::{SchemeEvent, SchemeEventKind};
 use crate::request::{split_extents, HostRequest, ReqKind};
 use crate::scheme::{
     program_normal_extent, served_from_page, served_unwritten, FtlEnv, FtlScheme, SchemeConfig,
@@ -65,6 +66,8 @@ pub struct AcrossFtl {
     amt: AcrossMapTable,
     cache: MapCache,
     counters: SchemeCounters,
+    /// Composite-operation log for the observability layer (`None` = off).
+    event_log: Option<Vec<SchemeEvent>>,
     touched_tpages: HashSet<u64>,
     pmt_entries_per_tpage: u64,
     amt_entries_per_tpage: u64,
@@ -72,6 +75,7 @@ pub struct AcrossFtl {
 }
 
 impl AcrossFtl {
+    /// Construct with the paper's default options.
     pub fn new(geometry: &aftl_flash::Geometry, cfg: SchemeConfig) -> Self {
         Self::with_options(geometry, cfg, AcrossOptions::default())
     }
@@ -95,6 +99,7 @@ impl AcrossFtl {
             amt: AcrossMapTable::new(),
             cache,
             counters: SchemeCounters::default(),
+            event_log: None,
             touched_tpages: HashSet::new(),
             pmt_entries_per_tpage: u64::from(page_bytes) / PMT_ENTRY_BYTES,
             amt_entries_per_tpage: u64::from(page_bytes) / AMT_ENTRY_BYTES,
@@ -131,6 +136,16 @@ impl AcrossFtl {
         self.counters.total_across_areas = self.amt.created_total();
     }
 
+    #[inline]
+    fn log_event(&mut self, kind: SchemeEventKind, start_ns: Nanos, done_ns: Nanos) {
+        if let Some(log) = &mut self.event_log {
+            log.push(SchemeEvent {
+                kind,
+                latency_ns: done_ns.saturating_sub(start_ns),
+            });
+        }
+    }
+
     /// Distinct areas linked from the LPNs in `[first, last]`.
     fn areas_touching(&self, first_lpn: u64, last_lpn: u64) -> Vec<u32> {
         let mut out = Vec::new();
@@ -157,10 +172,7 @@ impl AcrossFtl {
 
     /// Content stamps held by an area's flash page (index i ↔ sector
     /// `start_sector + i`), if tracking is on.
-    fn area_stamps(
-        env: &FtlEnv<'_>,
-        entry: &AmtEntry,
-    ) -> Option<Vec<Option<SectorStamp>>> {
+    fn area_stamps(env: &FtlEnv<'_>, entry: &AmtEntry) -> Option<Vec<Option<SectorStamp>>> {
         env.array.content_of(entry.appn).map(|s| s.to_vec())
     }
 
@@ -186,9 +198,14 @@ impl AcrossFtl {
 
         let new_ppn = env.alloc.alloc_page(env.array, StreamId::Across)?;
         let bytes = env.sectors_to_bytes(req.sectors);
-        let w = env
-            .array
-            .program(new_ppn, PageKind::AcrossData, u64::from(aidx), bytes, env.now_ns, ready)?;
+        let w = env.array.program(
+            new_ppn,
+            PageKind::AcrossData,
+            u64::from(aidx),
+            bytes,
+            env.now_ns,
+            ready,
+        )?;
         if env.array.tracks_content() {
             let spp_usize = spp as usize;
             let mut stamps = vec![None; spp_usize];
@@ -243,7 +260,12 @@ impl AcrossFtl {
         let needs_read = !(req.sector <= a.start_sector && a.end_sector() <= req.end_sector());
         let data_ready = if needs_read {
             env.array
-                .read(a.appn, env.sectors_to_bytes(a.size_sectors), env.now_ns, ready)?
+                .read(
+                    a.appn,
+                    env.sectors_to_bytes(a.size_sectors),
+                    env.now_ns,
+                    ready,
+                )?
                 .complete_ns
         } else {
             ready
@@ -299,6 +321,7 @@ impl AcrossFtl {
         } else {
             self.counters.unprofitable_amerge += 1;
         }
+        self.log_event(SchemeEventKind::AMerge, env.now_ns, w.complete_ns);
         self.sync_area_gauges();
         Ok(w.complete_ns)
     }
@@ -319,9 +342,12 @@ impl AcrossFtl {
         let ready = ready.max(amt_ready);
 
         // Read the across-page area once.
-        let r = env
-            .array
-            .read(a.appn, env.sectors_to_bytes(a.size_sectors), env.now_ns, ready)?;
+        let r = env.array.read(
+            a.appn,
+            env.sectors_to_bytes(a.size_sectors),
+            env.now_ns,
+            ready,
+        )?;
         let mut done = r.complete_ns;
         let area_stamps = if env.array.tracks_content() {
             Self::area_stamps(env, &a)
@@ -404,6 +430,7 @@ impl AcrossFtl {
         env.array.invalidate(a.appn)?;
         self.amt.remove(aidx);
         self.counters.arollbacks += 1;
+        self.log_event(SchemeEventKind::ARollback, env.now_ns, done);
         self.sync_area_gauges();
         Ok(done)
     }
@@ -437,9 +464,7 @@ impl AcrossFtl {
                 if a.overlaps_or_abuts(req.sector, req.end_sector()) {
                     let union_start = a.start_sector.min(req.sector);
                     let union_end = a.end_sector().max(req.end_sector());
-                    if self.options.enable_amerge
-                        && (union_end - union_start) <= u64::from(spp)
-                    {
+                    if self.options.enable_amerge && (union_end - union_start) <= u64::from(spp) {
                         self.amerge(env, aidx, req, true, ready)
                     } else {
                         // Figure 6 right: fold everything back to normal
@@ -619,9 +644,12 @@ impl FtlScheme for AcrossFtl {
             let entry = self.pmt.get(extent.lpn);
             if entry.has_ppn() {
                 let covered: u64 = gaps.iter().map(|(gs, ge)| ge - gs).sum();
-                let r = env
-                    .array
-                    .read(entry.ppn, env.sectors_to_bytes(covered as u32), env.now_ns, ready)?;
+                let r = env.array.read(
+                    entry.ppn,
+                    env.sectors_to_bytes(covered as u32),
+                    env.now_ns,
+                    ready,
+                )?;
                 flash_reads += 1;
                 outcome.merge_time(r.complete_ns);
                 if track {
@@ -646,8 +674,7 @@ impl FtlScheme for AcrossFtl {
 
         // Classification (§3.3.2 / §4.2.1).
         if !areas.is_empty() {
-            let sole_area_covers =
-                areas.len() == 1 && areas[0].1.contains(s, e);
+            let sole_area_covers = areas.len() == 1 && areas[0].1.contains(s, e);
             if sole_area_covers {
                 self.counters.across_direct_reads += 1;
             } else {
@@ -666,23 +693,29 @@ impl FtlScheme for AcrossFtl {
         let amt = &mut self.amt;
         let cache = &mut self.cache;
         let counters = &mut self.counters;
-        gc::maybe_collect(env.array, env.alloc, env.now_ns, &self.gc_cfg, |_, old, new, info| {
-            counters.dram_accesses += 1;
-            match info.kind {
-                PageKind::Data => {
-                    let prev = pmt.set_ppn(info.tag, new);
-                    debug_assert_eq!(prev, old, "GC migrated a stale data page");
+        gc::maybe_collect(
+            env.array,
+            env.alloc,
+            env.now_ns,
+            &self.gc_cfg,
+            |_, old, new, info| {
+                counters.dram_accesses += 1;
+                match info.kind {
+                    PageKind::Data => {
+                        let prev = pmt.set_ppn(info.tag, new);
+                        debug_assert_eq!(prev, old, "GC migrated a stale data page");
+                    }
+                    PageKind::AcrossData => {
+                        let aidx = info.tag as u32;
+                        let mut e = amt.get(aidx).expect("GC migrated a dead area page");
+                        debug_assert_eq!(e.appn, old);
+                        e.appn = new;
+                        amt.update(aidx, e);
+                    }
+                    PageKind::Map => cache.note_migrated(info.tag, new),
                 }
-                PageKind::AcrossData => {
-                    let aidx = info.tag as u32;
-                    let mut e = amt.get(aidx).expect("GC migrated a dead area page");
-                    debug_assert_eq!(e.appn, old);
-                    e.appn = new;
-                    amt.update(aidx, e);
-                }
-                PageKind::Map => cache.note_migrated(info.tag, new),
-            }
-        })
+            },
+        )
     }
 
     fn counters(&self) -> &SchemeCounters {
@@ -709,6 +742,16 @@ impl FtlScheme for AcrossFtl {
 
     fn logical_pages(&self) -> u64 {
         self.cfg.logical_pages
+    }
+
+    fn set_event_log(&mut self, enabled: bool) {
+        self.event_log = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    fn drain_events(&mut self, into: &mut Vec<SchemeEvent>) {
+        if let Some(log) = &mut self.event_log {
+            into.append(log);
+        }
     }
 }
 
@@ -739,7 +782,14 @@ mod tests {
         }
     }
 
-    fn w(ftl: &mut AcrossFtl, array: &mut FlashArray, alloc: &mut Allocator, sector: u64, sectors: u32, version: u64) {
+    fn w(
+        ftl: &mut AcrossFtl,
+        array: &mut FlashArray,
+        alloc: &mut Allocator,
+        sector: u64,
+        sectors: u32,
+        version: u64,
+    ) {
         let req = HostRequest {
             version,
             ..HostRequest::write(0, sector, sectors)
@@ -826,7 +876,7 @@ mod tests {
         let (mut array, mut alloc, mut ftl) = setup();
         w(&mut ftl, &mut array, &mut alloc, 8, 8, 1); // LPN 1 normal
         w(&mut ftl, &mut array, &mut alloc, 4, 6, 2); // area 4..10
-        // Read 4..14: area (4..10) + LPN 1 page (10..14).
+                                                      // Read 4..14: area (4..10) + LPN 1 page (10..14).
         let v = read_versions(&mut ftl, &mut array, &mut alloc, 4, 10);
         let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
         assert_eq!(versions, vec![2, 2, 2, 2, 2, 2, 1, 1, 1, 1]);
@@ -837,7 +887,7 @@ mod tests {
     fn full_overwrite_drops_area() {
         let (mut array, mut alloc, mut ftl) = setup();
         w(&mut ftl, &mut array, &mut alloc, 4, 8, 1); // area 4..12
-        // Aligned 2-page write covering everything.
+                                                      // Aligned 2-page write covering everything.
         w(&mut ftl, &mut array, &mut alloc, 0, 16, 2);
         assert_eq!(ftl.counters().live_across_areas, 0);
         assert_eq!(ftl.counters().arollbacks, 0, "drop needs no rollback");
@@ -849,7 +899,7 @@ mod tests {
     fn unprofitable_amerge_from_interior_update() {
         let (mut array, mut alloc, mut ftl) = setup();
         w(&mut ftl, &mut array, &mut alloc, 4, 8, 1); // area 4..12
-        // 2-sector update inside the area (not across-page: 5..7 ⊂ LPN 0).
+                                                      // 2-sector update inside the area (not across-page: 5..7 ⊂ LPN 0).
         w(&mut ftl, &mut array, &mut alloc, 5, 2, 2);
         assert_eq!(ftl.counters().unprofitable_amerge, 1);
         let v = read_versions(&mut ftl, &mut array, &mut alloc, 4, 8);
@@ -861,7 +911,7 @@ mod tests {
     fn large_write_partially_overlapping_area_rolls_back() {
         let (mut array, mut alloc, mut ftl) = setup();
         w(&mut ftl, &mut array, &mut alloc, 6, 6, 1); // area 6..12
-        // 3-page write 8..32 overlaps the area's tail only.
+                                                      // 3-page write 8..32 overlaps the area's tail only.
         w(&mut ftl, &mut array, &mut alloc, 8, 24, 2);
         assert_eq!(ftl.counters().arollbacks, 1);
         assert_eq!(ftl.counters().live_across_areas, 0);
@@ -912,7 +962,7 @@ mod tests {
         w(&mut ftl, &mut array, &mut alloc, 8, 8, 2);
         w(&mut ftl, &mut array, &mut alloc, 16, 8, 3);
         w(&mut ftl, &mut array, &mut alloc, 12, 8, 4); // area 12..20
-        // Read the whole 0..24 range: normal head, area middle, normal tail.
+                                                       // Read the whole 0..24 range: normal head, area middle, normal tail.
         let v = read_versions(&mut ftl, &mut array, &mut alloc, 0, 24);
         let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
         let mut expect = vec![1; 8];
@@ -927,9 +977,9 @@ mod tests {
     fn abutting_update_merges_without_overlap() {
         let (mut array, mut alloc, mut ftl) = setup();
         w(&mut ftl, &mut array, &mut alloc, 4, 6, 1); // area 4..10
-        // Abuts the area end exactly (10..14, across? 10..14 is inside LPN 1
-        // — not across; still merges as an unprofitable AMerge is NOT
-        // triggered since ranges only abut, not overlap → plain write).
+                                                      // Abuts the area end exactly (10..14, across? 10..14 is inside LPN 1
+                                                      // — not across; still merges as an unprofitable AMerge is NOT
+                                                      // triggered since ranges only abut, not overlap → plain write).
         w(&mut ftl, &mut array, &mut alloc, 10, 4, 2);
         let v = read_versions(&mut ftl, &mut array, &mut alloc, 4, 10);
         let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
@@ -945,7 +995,7 @@ mod tests {
     fn area_survives_unrelated_same_page_writes() {
         let (mut array, mut alloc, mut ftl) = setup();
         w(&mut ftl, &mut array, &mut alloc, 6, 4, 1); // area 6..10 (LPN 0,1)
-        // A write in LPN 1's tail (12..16): shares LPN 1, no range overlap.
+                                                      // A write in LPN 1's tail (12..16): shares LPN 1, no range overlap.
         w(&mut ftl, &mut array, &mut alloc, 12, 4, 2);
         assert_eq!(ftl.counters().live_across_areas, 1, "area untouched");
         let v = read_versions(&mut ftl, &mut array, &mut alloc, 6, 10);
@@ -974,13 +1024,39 @@ mod tests {
     fn unwritten_gap_inside_read_range_serves_zero() {
         let (mut array, mut alloc, mut ftl) = setup();
         w(&mut ftl, &mut array, &mut alloc, 4, 8, 1); // area 4..12 only
-        // Read 0..16: sectors 0..4 and 12..16 never written.
+                                                      // Read 0..16: sectors 0..4 and 12..16 never written.
         let v = read_versions(&mut ftl, &mut array, &mut alloc, 0, 16);
         let versions: Vec<u64> = v.iter().map(|&(_, ver)| ver).collect();
         let mut expect = vec![0; 4];
         expect.extend(vec![1; 8]);
         expect.extend(vec![0; 4]);
         assert_eq!(versions, expect);
+    }
+
+    #[test]
+    fn event_log_records_amerge_and_arollback() {
+        let (mut array, mut alloc, mut ftl) = setup();
+        ftl.set_event_log(true);
+        w(&mut ftl, &mut array, &mut alloc, 4, 6, 1); // area 4..10
+        w(&mut ftl, &mut array, &mut alloc, 6, 6, 2); // AMerge: union 4..12
+        w(&mut ftl, &mut array, &mut alloc, 2, 8, 3); // union 2..12 > spp → ARollback
+        let mut events = Vec::new();
+        ftl.drain_events(&mut events);
+        let kinds: Vec<SchemeEventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SchemeEventKind::AMerge, SchemeEventKind::ARollback]
+        );
+        assert!(events.iter().all(|e| e.latency_ns > 0));
+        let mut again = Vec::new();
+        ftl.drain_events(&mut again);
+        assert!(again.is_empty(), "drain empties the log");
+
+        ftl.set_event_log(false);
+        w(&mut ftl, &mut array, &mut alloc, 20, 6, 4);
+        w(&mut ftl, &mut array, &mut alloc, 22, 6, 5); // AMerge, unlogged
+        ftl.drain_events(&mut again);
+        assert!(again.is_empty(), "disabled log records nothing");
     }
 
     #[test]

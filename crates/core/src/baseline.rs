@@ -38,6 +38,7 @@ pub struct BaselineFtl {
 }
 
 impl BaselineFtl {
+    /// Construct a baseline FTL for the given device geometry.
     pub fn new(env_geometry: &aftl_flash::Geometry, cfg: SchemeConfig) -> Self {
         let page_bytes = env_geometry.page_bytes;
         let entries_per_tpage = u64::from(page_bytes) / ENTRY_BYTES;
@@ -149,19 +150,25 @@ impl FtlScheme for BaselineFtl {
         let pmt = &mut self.pmt;
         let cache = &mut self.cache;
         let counters = &mut self.counters;
-        gc::maybe_collect(env.array, env.alloc, env.now_ns, &self.gc_cfg, |_, old, new, info| {
-            counters.dram_accesses += 1;
-            match info.kind {
-                PageKind::Data => {
-                    let prev = pmt.set_ppn(info.tag, new);
-                    debug_assert_eq!(prev, old, "GC migrated a stale data page");
+        gc::maybe_collect(
+            env.array,
+            env.alloc,
+            env.now_ns,
+            &self.gc_cfg,
+            |_, old, new, info| {
+                counters.dram_accesses += 1;
+                match info.kind {
+                    PageKind::Data => {
+                        let prev = pmt.set_ppn(info.tag, new);
+                        debug_assert_eq!(prev, old, "GC migrated a stale data page");
+                    }
+                    PageKind::Map => cache.note_migrated(info.tag, new),
+                    PageKind::AcrossData => {
+                        unreachable!("baseline FTL never writes across-data pages")
+                    }
                 }
-                PageKind::Map => cache.note_migrated(info.tag, new),
-                PageKind::AcrossData => {
-                    unreachable!("baseline FTL never writes across-data pages")
-                }
-            }
-        })
+            },
+        )
     }
 
     fn counters(&self) -> &SchemeCounters {
@@ -259,10 +266,22 @@ mod tests {
             alloc: &mut alloc,
             now_ns: 0,
         };
-        ftl.write(&mut env, &HostRequest { version: 1, ..HostRequest::write(0, 0, 8) })
-            .unwrap();
-        ftl.write(&mut env, &HostRequest { version: 2, ..HostRequest::write(0, 2, 2) })
-            .unwrap();
+        ftl.write(
+            &mut env,
+            &HostRequest {
+                version: 1,
+                ..HostRequest::write(0, 0, 8)
+            },
+        )
+        .unwrap();
+        ftl.write(
+            &mut env,
+            &HostRequest {
+                version: 2,
+                ..HostRequest::write(0, 2, 2)
+            },
+        )
+        .unwrap();
         assert_eq!(ftl.counters().rmw_reads, 1);
         // Old version preserved outside the update.
         let out = ftl.read(&mut env, &HostRequest::read(0, 0, 8)).unwrap();
@@ -296,7 +315,9 @@ mod tests {
                 alloc: &mut alloc,
                 now_ns: 0,
             };
-            let out = ftl.read(&mut env, &HostRequest::read(0, lpn * 8, 8)).unwrap();
+            let out = ftl
+                .read(&mut env, &HostRequest::read(0, lpn * 8, 8))
+                .unwrap();
             let expect = 800 - 20 + lpn + 1;
             assert!(
                 out.served.iter().all(|s| s.version == expect),

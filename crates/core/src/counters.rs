@@ -79,6 +79,7 @@ impl SchemeCounters {
         )
     }
 
+    /// Accumulate another run's counters into this one.
     pub fn merge(&mut self, o: &SchemeCounters) {
         self.host_writes += o.host_writes;
         self.host_reads += o.host_reads;

@@ -7,9 +7,7 @@
 //! supply a remap callback that fixes their mapping tables from the
 //! migrated pages' OOB tags.
 
-use aftl_flash::{
-    Allocator, FlashArray, FlashError, Nanos, PageInfo, Ppn, Result, StreamId,
-};
+use aftl_flash::{Allocator, FlashArray, FlashError, Nanos, PageInfo, Ppn, Result, StreamId};
 use serde::{Deserialize, Serialize};
 
 /// GC tuning.
@@ -34,12 +32,16 @@ impl Default for GcConfig {
 /// What one `maybe_gc` invocation did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GcReport {
+    /// Whether the free-space threshold was breached at all.
     pub triggered: bool,
+    /// Blocks erased and returned to the allocator.
     pub erased_blocks: u64,
+    /// Valid pages migrated out of victim blocks.
     pub migrated_pages: u64,
 }
 
 impl GcReport {
+    /// Accumulate another invocation's report into this one.
     pub fn merge(&mut self, o: &GcReport) {
         self.triggered |= o.triggered;
         self.erased_blocks += o.erased_blocks;
@@ -68,7 +70,12 @@ pub trait PageMigrator {
     ) -> Result<u64>;
 
     /// Called once after the episode (flush any partially packed buffers).
-    fn finish(&mut self, _array: &mut FlashArray, _alloc: &mut Allocator, _now: Nanos) -> Result<u64> {
+    fn finish(
+        &mut self,
+        _array: &mut FlashArray,
+        _alloc: &mut Allocator,
+        _now: Nanos,
+    ) -> Result<u64> {
         Ok(0)
     }
 }
@@ -240,9 +247,13 @@ mod tests {
         let g = Geometry::tiny();
         let mut array = FlashArray::new(g, TimingSpec::unit()).unwrap();
         let mut alloc = Allocator::new(&array);
-        let rep = maybe_collect(&mut array, &mut alloc, 0, &GcConfig::default(), |_, _, _, _| {
-            panic!("no migration expected")
-        })
+        let rep = maybe_collect(
+            &mut array,
+            &mut alloc,
+            0,
+            &GcConfig::default(),
+            |_, _, _, _| panic!("no migration expected"),
+        )
         .unwrap();
         assert!(!rep.triggered);
         assert_eq!(rep.erased_blocks, 0);

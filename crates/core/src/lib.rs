@@ -23,12 +23,15 @@
 //! sector-version mirror used by tests to prove read-your-writes across
 //! remapping, merging, rollback and GC).
 
+#![warn(missing_docs)]
+
 pub mod across;
 pub mod baseline;
 pub mod counters;
 pub mod gc;
 pub mod mapping;
 pub mod mrsm;
+pub mod obs;
 pub mod oracle;
 pub mod request;
 pub mod scheme;
@@ -39,6 +42,7 @@ pub use counters::SchemeCounters;
 pub use gc::{GcConfig, GcReport};
 pub use mapping::cache::{CacheStats, MapCache};
 pub use mrsm::MrsmFtl;
+pub use obs::{SchemeEvent, SchemeEventKind};
 pub use oracle::Oracle;
 pub use request::{HostRequest, PageExtent, ReqKind};
 pub use scheme::{FtlEnv, FtlScheme, SchemeKind, ServiceOutcome};

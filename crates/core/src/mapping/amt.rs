@@ -68,6 +68,7 @@ pub struct AcrossMapTable {
 }
 
 impl AcrossMapTable {
+    /// An empty table.
     pub fn new() -> Self {
         Self::default()
     }
@@ -103,6 +104,7 @@ impl AcrossMapTable {
         }
     }
 
+    /// Look up a live area by index.
     #[inline]
     pub fn get(&self, aidx: u32) -> Option<AmtEntry> {
         self.slots.get(aidx as usize).copied().flatten()

@@ -16,8 +16,11 @@ use serde::{Deserialize, Serialize};
 /// Cache event counters.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct CacheStats {
+    /// Translation-page touches.
     pub lookups: u64,
+    /// Lookups that hit a resident translation page.
     pub hits: u64,
+    /// Lookups that had to load a translation page.
     pub misses: u64,
     /// Translation-page loads from flash (Map reads).
     pub loads: u64,
@@ -26,6 +29,7 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Fraction of lookups that hit; 0 when there were none.
     pub fn hit_ratio(&self) -> f64 {
         if self.lookups == 0 {
             0.0
@@ -73,16 +77,19 @@ impl MapCache {
         Self::new(usize::MAX)
     }
 
+    /// Cumulative event counters.
     #[inline]
     pub fn stats(&self) -> &CacheStats {
         &self.stats
     }
 
+    /// Translation pages currently resident in DRAM.
     #[inline]
     pub fn resident_tpages(&self) -> usize {
         self.resident.len()
     }
 
+    /// Configured capacity in translation pages.
     #[inline]
     pub fn capacity_tpages(&self) -> usize {
         self.capacity_tpages
@@ -121,9 +128,13 @@ impl MapCache {
         // Make room; a dirty victim's write-back gates slot reuse.
         let mut ready = now + cache_ns;
         while self.resident.len() >= self.capacity_tpages {
-            let (&victim_stamp, &victim_tpid) = self.lru.iter().next().expect("cache full ⇒ lru nonempty");
+            let (&victim_stamp, &victim_tpid) =
+                self.lru.iter().next().expect("cache full ⇒ lru nonempty");
             self.lru.remove(&victim_stamp);
-            let victim = self.resident.remove(&victim_tpid).expect("lru entry resident");
+            let victim = self
+                .resident
+                .remove(&victim_tpid)
+                .expect("lru entry resident");
             if victim.dirty {
                 let done = self.flush_tpage(array, alloc, now, victim_tpid)?;
                 ready = ready.max(done);
@@ -154,8 +165,14 @@ impl MapCache {
         tpid: u64,
     ) -> Result<Nanos> {
         let new_ppn = alloc.alloc_page(array, StreamId::Map)?;
-        let out =
-            array.program(new_ppn, PageKind::Map, tpid, array.geometry().page_bytes, now, now)?;
+        let out = array.program(
+            new_ppn,
+            PageKind::Map,
+            tpid,
+            array.geometry().page_bytes,
+            now,
+            now,
+        )?;
         if let Some(old) = self.flash_loc.insert(tpid, new_ppn) {
             array.invalidate(old)?;
         }

@@ -24,6 +24,7 @@ pub struct PmtEntry {
 }
 
 impl PmtEntry {
+    /// An unmapped entry (no PPN, no area).
     pub const fn empty() -> Self {
         PmtEntry {
             ppn: Ppn::INVALID,
@@ -31,11 +32,13 @@ impl PmtEntry {
         }
     }
 
+    /// Whether the LPN has a normal physical page.
     #[inline]
     pub fn has_ppn(&self) -> bool {
         self.ppn.is_valid()
     }
 
+    /// Whether (part of) the LPN's data lives in an across-page area.
     #[inline]
     pub fn has_area(&self) -> bool {
         self.aidx != NO_AIDX
@@ -56,6 +59,7 @@ pub struct PageMapTable {
 }
 
 impl PageMapTable {
+    /// A table with every LPN unmapped.
     pub fn new(logical_pages: u64) -> Self {
         PageMapTable {
             entries: vec![PmtEntry::empty(); logical_pages as usize],
@@ -63,6 +67,7 @@ impl PageMapTable {
         }
     }
 
+    /// Size of the exported logical space in pages.
     #[inline]
     pub fn logical_pages(&self) -> u64 {
         self.entries.len() as u64
@@ -74,6 +79,7 @@ impl PageMapTable {
         self.mapped
     }
 
+    /// The entry for `lpn`.
     #[inline]
     pub fn get(&self, lpn: u64) -> PmtEntry {
         self.entries[lpn as usize]
@@ -97,6 +103,7 @@ impl PageMapTable {
         self.entries[lpn as usize].aidx = aidx;
     }
 
+    /// Whether `lpn` falls inside the exported logical space.
     #[inline]
     pub fn in_range(&self, lpn: u64) -> bool {
         (lpn as usize) < self.entries.len()

@@ -20,7 +20,9 @@ use crate::counters::SchemeCounters;
 use crate::gc::{self, GcConfig, GcReport};
 use crate::mapping::cache::{CacheStats, MapCache};
 use crate::request::{HostRequest, ReqKind};
-use crate::scheme::{served_unwritten, FtlEnv, FtlScheme, SchemeConfig, SchemeKind, ServiceOutcome};
+use crate::scheme::{
+    served_unwritten, FtlEnv, FtlScheme, SchemeConfig, SchemeKind, ServiceOutcome,
+};
 
 /// Sub-regions per page (MRSM's default granularity).
 pub const SUBS_PER_PAGE: u32 = 4;
@@ -97,6 +99,7 @@ pub struct MrsmFtl {
 }
 
 impl MrsmFtl {
+    /// Construct an MRSM FTL for the given device geometry.
     pub fn new(geometry: &aftl_flash::Geometry, cfg: SchemeConfig) -> Self {
         let page_bytes = geometry.page_bytes;
         let cache = MapCache::new(cfg.cache_tpages(page_bytes));
@@ -190,9 +193,14 @@ impl MrsmFtl {
             self.evict_sub(env, lpn, sub)?;
         }
         let new_ppn = env.alloc.alloc_page(env.array, StreamId::Data)?;
-        let w = env
-            .array
-            .program(new_ppn, PageKind::Data, lpn, env.page_bytes(), env.now_ns, ready)?;
+        let w = env.array.program(
+            new_ppn,
+            PageKind::Data,
+            lpn,
+            env.page_bytes(),
+            env.now_ns,
+            ready,
+        )?;
         if env.array.tracks_content() {
             let start = lpn * u64::from(spp);
             let stamps: Vec<Option<SectorStamp>> = (0..spp)
@@ -224,9 +232,9 @@ impl MrsmFtl {
                     seen.insert((lpn, sub)),
                     "duplicate resident ({lpn},{sub}) on {ppn:?}"
                 );
-                let loc = self.loc_of(lpn, sub).unwrap_or_else(|| {
-                    panic!("resident ({lpn},{sub}) on {ppn:?} has no mapping")
-                });
+                let loc = self
+                    .loc_of(lpn, sub)
+                    .unwrap_or_else(|| panic!("resident ({lpn},{sub}) on {ppn:?} has no mapping"));
                 assert_eq!(loc.ppn, *ppn, "resident ({lpn},{sub}) maps elsewhere");
             }
         }
@@ -360,9 +368,14 @@ impl FtlScheme for MrsmFtl {
             } else {
                 None
             };
-            let w = env
-                .array
-                .program(new_ppn, PageKind::AcrossData, group[0].lpn, bytes, env.now_ns, at)?;
+            let w = env.array.program(
+                new_ppn,
+                PageKind::AcrossData,
+                group[0].lpn,
+                bytes,
+                env.now_ns,
+                at,
+            )?;
             if let Some(stamps) = stamps {
                 env.array.record_content(new_ppn, stamps);
             }
@@ -432,8 +445,14 @@ impl FtlScheme for MrsmFtl {
         let mut read_pages: HashMap<Ppn, Nanos> = HashMap::new();
         for p in &pieces {
             if let std::collections::hash_map::Entry::Vacant(e) = read_pages.entry(p.ppn) {
-                let total: u32 = pieces.iter().filter(|q| q.ppn == p.ppn).map(|q| q.len).sum();
-                let r = env.array.read(p.ppn, env.sectors_to_bytes(total), env.now_ns, ready)?;
+                let total: u32 = pieces
+                    .iter()
+                    .filter(|q| q.ppn == p.ppn)
+                    .map(|q| q.len)
+                    .sum();
+                let r = env
+                    .array
+                    .read(p.ppn, env.sectors_to_bytes(total), env.now_ns, ready)?;
                 e.insert(r.complete_ns);
                 outcome.merge_time(r.complete_ns);
             }
@@ -469,7 +488,13 @@ impl FtlScheme for MrsmFtl {
             pending: Vec::new(),
             spp,
         };
-        gc::maybe_collect_with(env.array, env.alloc, env.now_ns, &self.gc_cfg, &mut migrator)
+        gc::maybe_collect_with(
+            env.array,
+            env.alloc,
+            env.now_ns,
+            &self.gc_cfg,
+            &mut migrator,
+        )
     }
 
     fn counters(&self) -> &SchemeCounters {
@@ -656,9 +681,9 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
                 }
                 None => unreachable!("resident implies mapped"),
             };
-            let stamps = content.as_ref().map(|c| {
-                c[slot * sub_sectors..(slot + 1) * sub_sectors].to_vec()
-            });
+            let stamps = content
+                .as_ref()
+                .map(|c| c[slot * sub_sectors..(slot + 1) * sub_sectors].to_vec());
             self.pending.push(PendingSub {
                 lpn,
                 sub,
@@ -752,9 +777,16 @@ mod tests {
         let (mut array, mut alloc, mut ftl) = setup();
         // Sectors 6..12: subs (lpn0: sub3) + (lpn1: subs 0,1) = 3 subs ≤ 4.
         w(&mut ftl, &mut array, &mut alloc, 6, 6, 1);
-        assert_eq!(array.stats().programs.across, 1, "packed into one region page");
+        assert_eq!(
+            array.stats().programs.across,
+            1,
+            "packed into one region page"
+        );
         assert_eq!(array.stats().programs.data, 0);
-        assert_eq!(read_versions(&mut ftl, &mut array, &mut alloc, 6, 6), vec![1; 6]);
+        assert_eq!(
+            read_versions(&mut ftl, &mut array, &mut alloc, 6, 6),
+            vec![1; 6]
+        );
     }
 
     #[test]
@@ -765,7 +797,10 @@ mod tests {
         // Update exactly one sub-region (sectors 2..4 = sub 1): no read.
         w(&mut ftl, &mut array, &mut alloc, 2, 2, 2);
         let reads_after = array.stats().reads.data + array.stats().reads.across;
-        assert_eq!(reads_after, reads_before, "aligned sub-region overwrite needs no read");
+        assert_eq!(
+            reads_after, reads_before,
+            "aligned sub-region overwrite needs no read"
+        );
         assert_eq!(
             read_versions(&mut ftl, &mut array, &mut alloc, 0, 8),
             vec![1, 1, 2, 2, 1, 1, 1, 1]
@@ -828,8 +863,15 @@ mod tests {
         assert_eq!(across_pages_valid(&array), 1);
         // Overwrite both subs: the old region page must go invalid.
         w(&mut ftl, &mut array, &mut alloc, 2, 4, 2);
-        assert_eq!(across_pages_valid(&array), 1, "old page invalidated, new one live");
-        assert_eq!(read_versions(&mut ftl, &mut array, &mut alloc, 2, 4), vec![2; 4]);
+        assert_eq!(
+            across_pages_valid(&array),
+            1,
+            "old page invalidated, new one live"
+        );
+        assert_eq!(
+            read_versions(&mut ftl, &mut array, &mut alloc, 2, 4),
+            vec![2; 4]
+        );
     }
 
     #[test]
@@ -849,7 +891,10 @@ mod tests {
         }
         assert!(array.stats().erases > 0);
         ftl.check_invariants();
-        assert_eq!(read_versions(&mut ftl, &mut array, &mut alloc, 6, 4), vec![42; 4]);
+        assert_eq!(
+            read_versions(&mut ftl, &mut array, &mut alloc, 6, 4),
+            vec![42; 4]
+        );
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Scheme-level observability events.
+//!
+//! Flash-level operations (reads, programs, erases) are captured by the
+//! `aftl-flash` op log; the events here cover FTL-internal composite
+//! operations that span several flash ops and only the scheme can name —
+//! today the Across-FTL AMerge and ARollback paths. Schemes buffer events
+//! when logging is enabled (see [`crate::scheme::FtlScheme::set_event_log`])
+//! and the simulator drains them per request.
+
+use aftl_flash::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Kind of a composite scheme-internal operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeEventKind {
+    /// An across-page area absorbed an overlapping update (§3.3.1).
+    AMerge,
+    /// An across-page area was folded back into normal pages (§3.3.1).
+    ARollback,
+}
+
+impl SchemeEventKind {
+    /// Human-readable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeEventKind::AMerge => "AMerge",
+            SchemeEventKind::ARollback => "ARollback",
+        }
+    }
+}
+
+/// One composite scheme operation with its end-to-end latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeEvent {
+    /// What happened.
+    pub kind: SchemeEventKind,
+    /// Latency from the triggering request's dispatch to the operation's
+    /// last flash completion.
+    pub latency_ns: Nanos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(SchemeEventKind::AMerge.name(), "AMerge");
+        assert_eq!(SchemeEventKind::ARollback.name(), "ARollback");
+    }
+}

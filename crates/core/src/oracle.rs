@@ -18,8 +18,11 @@ pub struct Oracle {
 /// A mismatch between what a read served and what the oracle expected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OracleViolation {
+    /// The logical sector that was misread.
     pub sector: u64,
+    /// Write generation the oracle expected.
     pub expected: u64,
+    /// Write generation the device actually served.
     pub served: u64,
 }
 
@@ -34,6 +37,7 @@ impl std::fmt::Display for OracleViolation {
 }
 
 impl Oracle {
+    /// An empty oracle (no sectors written yet).
     pub fn new() -> Self {
         Oracle {
             expected: HashMap::new(),
@@ -99,8 +103,14 @@ mod tests {
         assert_eq!(w.version, 1);
         let r = HostRequest::read(0, 10, 2);
         let served = vec![
-            ServedSector { sector: 10, version: 1 },
-            ServedSector { sector: 11, version: 1 },
+            ServedSector {
+                sector: 10,
+                version: 1,
+            },
+            ServedSector {
+                sector: 11,
+                version: 1,
+            },
         ];
         assert!(o.check_read(&r, &served).is_empty());
     }
@@ -115,8 +125,14 @@ mod tests {
         let r = HostRequest::read(0, 10, 2);
         // Sector 10 stale (v1 instead of v2).
         let served = vec![
-            ServedSector { sector: 10, version: 1 },
-            ServedSector { sector: 11, version: 1 },
+            ServedSector {
+                sector: 10,
+                version: 1,
+            },
+            ServedSector {
+                sector: 11,
+                version: 1,
+            },
         ];
         let v = o.check_read(&r, &served);
         assert_eq!(v.len(), 1);
@@ -128,7 +144,10 @@ mod tests {
     fn missing_sector_detected() {
         let o = Oracle::new();
         let r = HostRequest::read(0, 0, 4);
-        let served = vec![ServedSector { sector: 0, version: 0 }];
+        let served = vec![ServedSector {
+            sector: 0,
+            version: 0,
+        }];
         assert!(!o.check_read(&r, &served).is_empty());
     }
 
@@ -136,9 +155,15 @@ mod tests {
     fn unwritten_sectors_expect_zero() {
         let o = Oracle::new();
         let r = HostRequest::read(0, 5, 1);
-        let ok = vec![ServedSector { sector: 5, version: 0 }];
+        let ok = vec![ServedSector {
+            sector: 5,
+            version: 0,
+        }];
         assert!(o.check_read(&r, &ok).is_empty());
-        let bad = vec![ServedSector { sector: 5, version: 3 }];
+        let bad = vec![ServedSector {
+            sector: 5,
+            version: 3,
+        }];
         assert_eq!(o.check_read(&r, &bad).len(), 1);
     }
 }

@@ -8,7 +8,9 @@ use serde::{Deserialize, Serialize};
 /// not depend on `aftl-trace`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ReqKind {
+    /// Host read.
     Read,
+    /// Host write.
     Write,
 }
 
@@ -21,6 +23,7 @@ pub struct HostRequest {
     pub sector: u64,
     /// Length in sectors (≥ 1).
     pub sectors: u32,
+    /// Read or write.
     pub kind: ReqKind,
     /// Write-generation stamp used by the correctness oracle; 0 when
     /// content tracking is off.
@@ -28,6 +31,7 @@ pub struct HostRequest {
 }
 
 impl HostRequest {
+    /// A write request (version 0; stamp via the oracle when tracking).
     pub fn write(at_ns: Nanos, sector: u64, sectors: u32) -> Self {
         HostRequest {
             at_ns,
@@ -38,6 +42,7 @@ impl HostRequest {
         }
     }
 
+    /// A read request.
     pub fn read(at_ns: Nanos, sector: u64, sectors: u32) -> Self {
         HostRequest {
             at_ns,
@@ -82,6 +87,7 @@ impl HostRequest {
 /// The part of a request that falls within one logical page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PageExtent {
+    /// Logical page number the extent lies in.
     pub lpn: u64,
     /// First sector within the page (0-based).
     pub offset: u32,
@@ -142,8 +148,22 @@ mod tests {
         assert!(r.is_across_page(SPP));
         let ex = r.extents(SPP);
         assert_eq!(ex.len(), 2);
-        assert_eq!(ex[0], PageExtent { lpn: 128, offset: 8, len: 8 });
-        assert_eq!(ex[1], PageExtent { lpn: 129, offset: 0, len: 4 });
+        assert_eq!(
+            ex[0],
+            PageExtent {
+                lpn: 128,
+                offset: 8,
+                len: 8
+            }
+        );
+        assert_eq!(
+            ex[1],
+            PageExtent {
+                lpn: 129,
+                offset: 0,
+                len: 4
+            }
+        );
     }
 
     #[test]
@@ -179,7 +199,11 @@ mod tests {
 
     #[test]
     fn extent_sector_roundtrip() {
-        let e = PageExtent { lpn: 128, offset: 8, len: 8 };
+        let e = PageExtent {
+            lpn: 128,
+            offset: 8,
+            len: 8,
+        };
         assert_eq!(e.start_sector(SPP), 2056);
         assert_eq!(e.end_sector(SPP), 2064);
     }

@@ -11,19 +11,25 @@ use crate::counters::SchemeCounters;
 use crate::gc::GcReport;
 use crate::mapping::cache::CacheStats;
 use crate::mapping::pmt::PageMapTable;
+use crate::obs::SchemeEvent;
 use crate::request::{HostRequest, PageExtent};
 
 /// Which scheme a trait object implements (for reports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SchemeKind {
+    /// Conventional dynamic page-level mapping FTL.
     Baseline,
+    /// Multi-resolution sub-page mapping comparator (Chen et al., TCAD 2020).
     Mrsm,
+    /// The paper's Across-FTL: re-aligns across-page requests.
     Across,
 }
 
 impl SchemeKind {
+    /// Every scheme, in the order the paper's figures list them.
     pub const ALL: [SchemeKind; 3] = [SchemeKind::Baseline, SchemeKind::Mrsm, SchemeKind::Across];
 
+    /// Display name used in tables and reports.
     pub fn name(self) -> &'static str {
         match self {
             SchemeKind::Baseline => "FTL",
@@ -35,13 +41,16 @@ impl SchemeKind {
 
 /// Mutable view of the device an FTL operates on for one call.
 pub struct FtlEnv<'a> {
+    /// The NAND array (timing model, page states, optional content).
     pub array: &'a mut FlashArray,
+    /// Write-point allocator handing out physical pages per stream.
     pub alloc: &'a mut Allocator,
     /// Simulation time the request was dispatched.
     pub now_ns: Nanos,
 }
 
 impl FtlEnv<'_> {
+    /// The device geometry.
     #[inline]
     pub fn geometry(&self) -> &Geometry {
         self.array.geometry()
@@ -53,11 +62,13 @@ impl FtlEnv<'_> {
         self.geometry().sectors_per_page()
     }
 
+    /// Physical page size in bytes.
     #[inline]
     pub fn page_bytes(&self) -> u32 {
         self.geometry().page_bytes
     }
 
+    /// Convert a sector count into a byte count.
     #[inline]
     pub fn sectors_to_bytes(&self, sectors: u32) -> u32 {
         sectors * self.geometry().sector_bytes
@@ -68,6 +79,7 @@ impl FtlEnv<'_> {
 /// when the flash array tracks content.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServedSector {
+    /// Absolute logical sector number that was read.
     pub sector: u64,
     /// Write generation served; 0 for never-written sectors. `u64::MAX`
     /// flags a page whose OOB stamp disagrees with the requested sector —
@@ -85,6 +97,7 @@ pub struct ServiceOutcome {
 }
 
 impl ServiceOutcome {
+    /// An outcome that finished at `complete_ns` with no provenance.
     pub fn at(complete_ns: Nanos) -> Self {
         ServiceOutcome {
             complete_ns,
@@ -139,8 +152,10 @@ impl SchemeConfig {
 
 /// The FTL interface the simulator drives.
 pub trait FtlScheme {
+    /// Which scheme this is (for reports and dispatch-free branching).
     fn kind(&self) -> SchemeKind;
 
+    /// Display name, defaulting to the kind's name.
     fn name(&self) -> &'static str {
         self.kind().name()
     }
@@ -154,14 +169,25 @@ pub trait FtlScheme {
     /// Run garbage collection if the free-space threshold is breached.
     fn maybe_gc(&mut self, env: &mut FtlEnv<'_>) -> Result<GcReport>;
 
+    /// Cumulative event counters since construction.
     fn counters(&self) -> &SchemeCounters;
 
+    /// Mapping-cache hit/miss/eviction statistics.
     fn cache_stats(&self) -> CacheStats;
 
     /// Modelled mapping-table footprint in bytes (Figure 12(a)).
     fn mapping_table_bytes(&self) -> u64;
 
+    /// Number of logical pages the scheme exports to the host.
     fn logical_pages(&self) -> u64;
+
+    /// Turn scheme-event logging on or off (AMerge/ARollback timings for
+    /// the observability layer). Schemes without composite internal
+    /// operations keep the default no-op.
+    fn set_event_log(&mut self, _enabled: bool) {}
+
+    /// Move events logged since the last drain into `into`. Default: none.
+    fn drain_events(&mut self, _into: &mut Vec<SchemeEvent>) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -260,11 +286,12 @@ pub(crate) fn served_from_page(
     let content = array.content_of(ppn);
     for i in 0..count {
         let sector = first_sector + u64::from(i);
-        let version = match content.and_then(|c| c.get((page_offset + i) as usize).copied().flatten()) {
-            Some(stamp) if stamp.sector == sector => stamp.version,
-            Some(_) => u64::MAX, // page holds data for a different sector: mapping bug
-            None => 0,
-        };
+        let version =
+            match content.and_then(|c| c.get((page_offset + i) as usize).copied().flatten()) {
+                Some(stamp) if stamp.sector == sector => stamp.version,
+                Some(_) => u64::MAX, // page holds data for a different sector: mapping bug
+                None => 0,
+            };
         out.push(ServedSector { sector, version });
     }
 }
@@ -289,7 +316,10 @@ mod tests {
         let g = Geometry::paper_default();
         let cfg = SchemeConfig::for_geometry(&g);
         assert_eq!(cfg.logical_pages, g.total_pages() * 9 / 10);
-        assert_eq!(cfg.cache_bytes, (cfg.logical_pages * 4 * 45 / 100).max(2 << 20));
+        assert_eq!(
+            cfg.cache_bytes,
+            (cfg.logical_pages * 4 * 45 / 100).max(2 << 20)
+        );
         assert!((cfg.gc_threshold - 0.10).abs() < 1e-12);
         assert!(cfg.cache_tpages(8192) > 0);
     }
@@ -351,8 +381,18 @@ mod tests {
             offset: 0,
             len: 8,
         };
-        program_normal_extent(&mut array, &mut alloc, &mut pmt, &mut counters, &full, 1, 0, 0, None)
-            .unwrap();
+        program_normal_extent(
+            &mut array,
+            &mut alloc,
+            &mut pmt,
+            &mut counters,
+            &full,
+            1,
+            0,
+            0,
+            None,
+        )
+        .unwrap();
         assert_eq!(counters.rmw_reads, 0);
         let first_ppn = pmt.get(1).ppn;
         assert!(first_ppn.is_valid());
@@ -363,8 +403,18 @@ mod tests {
             offset: 2,
             len: 2,
         };
-        program_normal_extent(&mut array, &mut alloc, &mut pmt, &mut counters, &part, 2, 0, 0, None)
-            .unwrap();
+        program_normal_extent(
+            &mut array,
+            &mut alloc,
+            &mut pmt,
+            &mut counters,
+            &part,
+            2,
+            0,
+            0,
+            None,
+        )
+        .unwrap();
         assert_eq!(counters.rmw_reads, 1);
         let new_ppn = pmt.get(1).ppn;
         assert_ne!(new_ppn, first_ppn);
@@ -381,8 +431,18 @@ mod tests {
             offset: 0,
             len: 4,
         };
-        program_normal_extent(&mut array, &mut alloc, &mut pmt, &mut counters, &fresh, 3, 0, 0, None)
-            .unwrap();
+        program_normal_extent(
+            &mut array,
+            &mut alloc,
+            &mut pmt,
+            &mut counters,
+            &fresh,
+            3,
+            0,
+            0,
+            None,
+        )
+        .unwrap();
         assert_eq!(counters.rmw_reads, 1, "no RMW for unmapped LPN");
         let c = array.content_of(pmt.get(2).ppn).unwrap();
         assert!(c[6].is_none());
@@ -393,7 +453,9 @@ mod tests {
         let g = Geometry::tiny();
         let mut array = FlashArray::new(g, TimingSpec::unit()).unwrap();
         array.enable_content_tracking();
-        array.program(Ppn(0), PageKind::Data, 9, 4096, 0, 0).unwrap();
+        array
+            .program(Ppn(0), PageKind::Data, 9, 4096, 0, 0)
+            .unwrap();
         let stamps: Vec<Option<SectorStamp>> = (0..8)
             .map(|i| {
                 Some(SectorStamp {

@@ -83,7 +83,8 @@ impl Allocator {
     /// GC must not pick active blocks as victims.
     pub fn is_active(&self, addr: BlockAddr) -> bool {
         self.planes[addr.plane_idx as usize]
-            .active.contains(&Some(addr))
+            .active
+            .contains(&Some(addr))
     }
 
     /// Return an erased block to the free pool after GC.
@@ -140,7 +141,11 @@ impl Allocator {
         let block = plane.free_list.pop_front()?;
         self.free_blocks -= 1;
         let addr = BlockAddr { plane_idx, block };
-        debug_assert_eq!(array.next_free_page(addr), Some(0), "free-list block must be erased");
+        debug_assert_eq!(
+            array.next_free_page(addr),
+            Some(0),
+            "free-list block must be erased"
+        );
         self.planes[plane_idx as usize].active[slot] = Some(addr);
         Some(array.ppn_in_block(addr, 0))
     }
@@ -166,7 +171,10 @@ mod tests {
         let b = alloc.alloc_page(&array, StreamId::Data).unwrap();
         let ca = array.geometry().channel_index_of(a);
         let cb = array.geometry().channel_index_of(b);
-        assert_ne!(ca, cb, "consecutive allocations should hit different channels");
+        assert_ne!(
+            ca, cb,
+            "consecutive allocations should hit different channels"
+        );
     }
 
     #[test]
@@ -193,7 +201,11 @@ mod tests {
         array.program(p0, PageKind::Data, 0, 512, 0, 0).unwrap();
         alloc.cursor = 0;
         let p1 = alloc.alloc_page(&array, StreamId::Data).unwrap();
-        assert_eq!(p1.0, p0.0 + 1, "same plane allocations fill the active block in order");
+        assert_eq!(
+            p1.0,
+            p0.0 + 1,
+            "same plane allocations fill the active block in order"
+        );
     }
 
     #[test]

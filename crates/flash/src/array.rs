@@ -29,6 +29,33 @@ impl OpOutcome {
     }
 }
 
+/// Flash operation class of a logged [`FlashOpRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashOp {
+    /// Page read.
+    Read,
+    /// Page program.
+    Program,
+    /// Block erase.
+    Erase,
+}
+
+/// One completed flash operation, captured by the optional op log (see
+/// [`FlashArray::enable_op_log`]). The simulator's observability layer
+/// drains these per request to classify and histogram operation latencies.
+#[derive(Debug, Clone, Copy)]
+pub struct FlashOpRecord {
+    /// Operation class.
+    pub op: FlashOp,
+    /// Page kind of the touched page. Erases are block-level; their record
+    /// carries [`PageKind::Data`] and classifiers must key on `op` first.
+    pub kind: PageKind,
+    /// Service latency from issue to completion, chip queueing included.
+    pub latency_ns: Nanos,
+    /// Completion timestamp.
+    pub complete_ns: Nanos,
+}
+
 /// Per-plane state: the plane's blocks plus a free-block counter used by
 /// allocation and GC triggering.
 #[derive(Debug, Clone)]
@@ -48,6 +75,9 @@ pub struct FlashArray {
     stats: FlashStats,
     /// Optional per-page content tracking for the correctness oracle.
     content: Option<HashMap<Ppn, Box<[Option<SectorStamp>]>>>,
+    /// Optional per-operation log for the observability layer. `None` keeps
+    /// the hot path to a single branch per operation.
+    op_log: Option<Vec<FlashOpRecord>>,
 }
 
 impl FlashArray {
@@ -70,6 +100,7 @@ impl FlashArray {
             channel_busy: vec![0; geometry.channels as usize],
             stats: FlashStats::default(),
             content: None,
+            op_log: None,
         })
     }
 
@@ -78,6 +109,40 @@ impl FlashArray {
     pub fn enable_content_tracking(&mut self) {
         if self.content.is_none() {
             self.content = Some(HashMap::new());
+        }
+    }
+
+    /// Enable the per-operation log. Callers must drain it regularly via
+    /// [`Self::drain_op_log`] or it grows without bound.
+    pub fn enable_op_log(&mut self) {
+        if self.op_log.is_none() {
+            self.op_log = Some(Vec::new());
+        }
+    }
+
+    /// Whether the per-operation log is on.
+    #[inline]
+    pub fn op_log_enabled(&self) -> bool {
+        self.op_log.is_some()
+    }
+
+    /// Move all logged operations into `into`, keeping the log's allocation
+    /// for reuse. No-op when the log is disabled.
+    pub fn drain_op_log(&mut self, into: &mut Vec<FlashOpRecord>) {
+        if let Some(log) = &mut self.op_log {
+            into.append(log);
+        }
+    }
+
+    #[inline]
+    fn log_op(&mut self, op: FlashOp, kind: PageKind, issued_ns: Nanos, out: OpOutcome) {
+        if let Some(log) = &mut self.op_log {
+            log.push(FlashOpRecord {
+                op,
+                kind,
+                latency_ns: out.latency_from(issued_ns),
+                complete_ns: out.complete_ns,
+            });
         }
     }
 
@@ -128,8 +193,7 @@ impl FlashArray {
     /// First PPN of a block (its pages are contiguous in PPN space).
     pub fn first_ppn_of(&self, block: BlockAddr) -> Ppn {
         Ppn(
-            (block.plane_idx * u64::from(self.geometry.blocks_per_plane)
-                + u64::from(block.block))
+            (block.plane_idx * u64::from(self.geometry.blocks_per_plane) + u64::from(block.block))
                 * u64::from(self.geometry.pages_per_block),
         )
     }
@@ -279,7 +343,13 @@ impl FlashArray {
     /// Read `bytes` of a valid page. `arrive_ns` is the owning request's
     /// arrival (queue position); `ready_ns` is when the op's inputs are
     /// available (mapping lookups, prior chained ops).
-    pub fn read(&mut self, ppn: Ppn, bytes: u32, arrive_ns: Nanos, ready_ns: Nanos) -> Result<OpOutcome> {
+    pub fn read(
+        &mut self,
+        ppn: Ppn,
+        bytes: u32,
+        arrive_ns: Nanos,
+        ready_ns: Nanos,
+    ) -> Result<OpOutcome> {
         let info = self.page_info(ppn)?;
         match info.state {
             crate::page::PageState::Valid => {}
@@ -287,11 +357,20 @@ impl FlashArray {
         }
         let chip = self.geometry.chip_index_of(ppn) as usize;
         let channel = self.geometry.channel_index_of(ppn) as usize;
-        let xfer = self
-            .timing
-            .transfer_ns(u64::from(bytes.min(self.geometry.page_bytes)), self.geometry.page_bytes);
-        let out = self.schedule(chip, channel, arrive_ns, ready_ns, self.timing.read_ns, xfer);
+        let xfer = self.timing.transfer_ns(
+            u64::from(bytes.min(self.geometry.page_bytes)),
+            self.geometry.page_bytes,
+        );
+        let out = self.schedule(
+            chip,
+            channel,
+            arrive_ns,
+            ready_ns,
+            self.timing.read_ns,
+            xfer,
+        );
         self.stats.reads.bump(info.kind);
+        self.log_op(FlashOp::Read, info.kind, arrive_ns, out);
         Ok(out)
     }
 
@@ -316,9 +395,8 @@ impl FlashArray {
                 return Err(FlashError::ProgramNonFree(ppn));
             }
             let was_free = blk.is_free();
-            blk.program(page, kind, tag).map_err(|expected_page| {
-                FlashError::NonSequentialProgram { ppn, expected_page }
-            })?;
+            blk.program(page, kind, tag)
+                .map_err(|expected_page| FlashError::NonSequentialProgram { ppn, expected_page })?;
             if was_free {
                 self.planes[plane].free_blocks -= 1;
             }
@@ -326,11 +404,20 @@ impl FlashArray {
 
         let chip = self.geometry.chip_index_of(ppn) as usize;
         let channel = self.geometry.channel_index_of(ppn) as usize;
-        let xfer = self
-            .timing
-            .transfer_ns(u64::from(bytes.min(self.geometry.page_bytes)), self.geometry.page_bytes);
-        let out = self.schedule(chip, channel, arrive_ns, ready_ns, self.timing.program_ns, xfer);
+        let xfer = self.timing.transfer_ns(
+            u64::from(bytes.min(self.geometry.page_bytes)),
+            self.geometry.page_bytes,
+        );
+        let out = self.schedule(
+            chip,
+            channel,
+            arrive_ns,
+            ready_ns,
+            self.timing.program_ns,
+            xfer,
+        );
         self.stats.programs.bump(kind);
+        self.log_op(FlashOp::Program, kind, arrive_ns, out);
         Ok(out)
     }
 
@@ -361,10 +448,12 @@ impl FlashArray {
         self.stats.chip_busy_ns += complete - start;
         self.chip_busy[chip] = complete;
         self.stats.erases += 1;
-        Ok(OpOutcome {
+        let out = OpOutcome {
             start_ns: start,
             complete_ns: complete,
-        })
+        };
+        self.log_op(FlashOp::Erase, PageKind::Data, at_ns, out);
+        Ok(out)
     }
 
     /// Mark a page's data superseded. Metadata-only (free, instantaneous).
@@ -433,7 +522,10 @@ mod tests {
     #[test]
     fn read_of_free_page_rejected() {
         let mut a = tiny_array();
-        assert_eq!(a.read(Ppn(3), 512, 0, 0), Err(FlashError::ReadUnwritten(Ppn(3))));
+        assert_eq!(
+            a.read(Ppn(3), 512, 0, 0),
+            Err(FlashError::ReadUnwritten(Ppn(3)))
+        );
     }
 
     #[test]
@@ -453,7 +545,10 @@ mod tests {
         a.program(Ppn(0), PageKind::Data, 1, 512, 0, 0).unwrap();
         assert!(matches!(
             a.program(Ppn(2), PageKind::Data, 2, 512, 0, 0),
-            Err(FlashError::NonSequentialProgram { expected_page: 1, .. })
+            Err(FlashError::NonSequentialProgram {
+                expected_page: 1,
+                ..
+            })
         ));
     }
 
@@ -501,7 +596,9 @@ mod tests {
         // Plane 0 is channel 0, plane 1 is channel 1 (striped) — ops overlap.
         let other_plane_first = Ppn(g.pages_per_plane());
         let w1 = a.program(Ppn(0), PageKind::Data, 1, 4096, 0, 0).unwrap();
-        let w2 = a.program(other_plane_first, PageKind::Data, 2, 4096, 0, 0).unwrap();
+        let w2 = a
+            .program(other_plane_first, PageKind::Data, 2, 4096, 0, 0)
+            .unwrap();
         assert_eq!(w1.start_ns, 0);
         assert_eq!(w2.start_ns, 0);
     }
@@ -541,6 +638,32 @@ mod tests {
         let mut a = tiny_array();
         let bad = Ppn(a.geometry().total_pages());
         assert_eq!(a.read(bad, 512, 0, 0), Err(FlashError::OutOfRange(bad)));
+    }
+
+    #[test]
+    fn op_log_captures_and_drains() {
+        let mut a = tiny_array();
+        assert!(!a.op_log_enabled());
+        a.program(Ppn(0), PageKind::Data, 1, 512, 0, 0).unwrap();
+        a.enable_op_log();
+        a.program(Ppn(1), PageKind::Map, 2, 512, 0, 0).unwrap();
+        a.read(Ppn(1), 512, 0, 0).unwrap();
+        a.invalidate(Ppn(0)).unwrap();
+        a.invalidate(Ppn(1)).unwrap();
+        a.erase(a.block_addr_of(Ppn(0)), 0).unwrap();
+
+        let mut ops = Vec::new();
+        a.drain_op_log(&mut ops);
+        assert_eq!(ops.len(), 3, "pre-enable ops are not logged");
+        assert_eq!(ops[0].op, FlashOp::Program);
+        assert_eq!(ops[0].kind, PageKind::Map);
+        assert_eq!(ops[1].op, FlashOp::Read);
+        assert_eq!(ops[2].op, FlashOp::Erase);
+        assert!(ops.iter().all(|o| o.latency_ns > 0));
+
+        let mut again = Vec::new();
+        a.drain_op_log(&mut again);
+        assert!(again.is_empty(), "drain empties the log");
     }
 
     #[test]

@@ -364,7 +364,10 @@ mod tests {
             .unwrap();
         assert_eq!(g.channels, 4);
         assert_eq!(g.page_bytes, 4096);
-        assert_eq!(g.chips_per_channel, Geometry::paper_default().chips_per_channel);
+        assert_eq!(
+            g.chips_per_channel,
+            Geometry::paper_default().chips_per_channel
+        );
     }
 
     #[test]

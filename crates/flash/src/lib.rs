@@ -31,7 +31,7 @@ pub mod stats;
 pub mod timing;
 
 pub use allocator::{Allocator, StreamId};
-pub use array::{FlashArray, OpOutcome};
+pub use array::{FlashArray, FlashOp, FlashOpRecord, OpOutcome};
 pub use block::{Block, BlockAddr};
 pub use error::FlashError;
 pub use geometry::{Geometry, GeometryBuilder, PageAddr, Ppn};

@@ -29,10 +29,10 @@ impl TimingSpec {
     /// Table 1 values (8 KB page).
     pub fn paper_tlc() -> Self {
         TimingSpec {
-            read_ns: 75_000,          // 0.075 ms
-            program_ns: 2_000_000,    // 2 ms
-            erase_ns: 3_800_000,      // 3.8 ms (SSDsim TLC default)
-            cache_access_ns: 1_000,   // 0.001 ms
+            read_ns: 75_000,              // 0.075 ms
+            program_ns: 2_000_000,        // 2 ms
+            erase_ns: 3_800_000,          // 3.8 ms (SSDsim TLC default)
+            cache_access_ns: 1_000,       // 0.001 ms
             transfer_per_page_ns: 20_000, // ~8 KB over a 400 MB/s channel
         }
     }

@@ -35,6 +35,7 @@ pub fn small_ssd(scheme: SchemeKind) -> Ssd {
             seed: 1,
         },
         track_content: true,
+        observe: aftl_sim::ObserveConfig::standard(),
     };
     Ssd::new(config).expect("device")
 }

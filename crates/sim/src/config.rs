@@ -4,6 +4,45 @@ use aftl_core::scheme::{SchemeConfig, SchemeKind};
 use aftl_flash::{Geometry, GeometryBuilder, TimingSpec};
 use serde::{Deserialize, Serialize};
 
+use crate::observe::TraceConfig;
+
+/// Observability sinks (see [`crate::observe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObserveConfig {
+    /// Per-[`crate::observe::OpKind`] latency histograms feeding the run
+    /// manifest's percentile section. On by default; costs one op-log
+    /// record per flash operation.
+    pub histograms: bool,
+    /// Structured event tracing (off by default; see
+    /// [`crate::observe::TraceConfig`]).
+    pub trace: TraceConfig,
+}
+
+impl Default for ObserveConfig {
+    /// Same as [`ObserveConfig::standard`]: histograms on, tracing off.
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl ObserveConfig {
+    /// Histograms on, tracing off — what experiment runs use.
+    pub fn standard() -> Self {
+        ObserveConfig {
+            histograms: true,
+            trace: TraceConfig::default(),
+        }
+    }
+
+    /// Everything off: no op logging at all (throughput benchmarks).
+    pub fn disabled() -> Self {
+        ObserveConfig {
+            histograms: false,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
 /// Warm-up (aging) targets from §4.1: the simulated SSD is aged so 90 % of
 /// its capacity has been used, with valid data occupying ~39.8 %.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -13,6 +52,7 @@ pub struct WarmupConfig {
     /// Fraction of physical pages holding valid data after aging (sets the
     /// aging footprint).
     pub valid_fraction: f64,
+    /// RNG seed for the aging workload (deterministic warm-up).
     pub seed: u64,
 }
 
@@ -29,13 +69,20 @@ impl Default for WarmupConfig {
 /// Full configuration of one simulated device + scheme.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
+    /// NAND array dimensions and page size.
     pub geometry: Geometry,
+    /// Flash operation latencies (Table 1).
     pub timing: TimingSpec,
+    /// Which FTL scheme to run.
     pub scheme: SchemeKind,
+    /// Scheme sizing: logical space, cache budget, GC threshold.
     pub scheme_cfg: SchemeConfig,
+    /// Aging targets applied before the measured window.
     pub warmup: WarmupConfig,
     /// Enable the sector-stamp oracle (tests only; costs memory).
     pub track_content: bool,
+    /// Observability sinks: latency histograms and event tracing.
+    pub observe: ObserveConfig,
 }
 
 impl SimConfig {
@@ -52,6 +99,7 @@ impl SimConfig {
             scheme_cfg: SchemeConfig::for_geometry(&geometry),
             warmup: WarmupConfig::default(),
             track_content: false,
+            observe: ObserveConfig::standard(),
         }
     }
 
@@ -95,6 +143,7 @@ impl SimConfig {
                 seed: 1,
             },
             track_content: true,
+            observe: ObserveConfig::standard(),
         }
     }
 }

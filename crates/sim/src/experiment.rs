@@ -9,7 +9,8 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::config::SimConfig;
-use crate::metrics::{cache_delta, counters_delta, flash_delta, ClassBreakdown, RunReport};
+use crate::metrics::{cache_delta, counters_delta, flash_delta, ClassBreakdown};
+use crate::report::{RunReport, SCHEMA_VERSION};
 use crate::ssd::Ssd;
 use crate::warmup;
 
@@ -21,10 +22,16 @@ pub fn run_single_with(config: SimConfig, trace: &Trace) -> Result<RunReport> {
 }
 
 /// Replay `trace` on an already-built device (custom schemes / ablations).
-pub fn run_on_device(mut ssd: Ssd, trace: &Trace) -> Result<RunReport> {
+pub fn run_on_device(ssd: Ssd, trace: &Trace) -> Result<RunReport> {
+    run_on_device_keep(ssd, trace).map(|(report, _)| report)
+}
+
+/// Like [`run_on_device`], but hands the device back alongside the report
+/// for post-run inspection (event-trace export, wear state, …).
+pub fn run_on_device_keep(mut ssd: Ssd, trace: &Trace) -> Result<(RunReport, Ssd)> {
     let started = std::time::Instant::now();
     let warm = ssd.config().warmup;
-    warmup::age(&mut ssd, &warm)?;
+    let warmup = warmup::age(&mut ssd, &warm)?;
     let base = ssd.snapshot();
 
     let mut classes = ClassBreakdown::default();
@@ -32,23 +39,24 @@ pub fn run_on_device(mut ssd: Ssd, trace: &Trace) -> Result<RunReport> {
     let mut last_complete: u128 = 0;
     for rec in &trace.records {
         let c = ssd.submit_record(rec)?;
-        classes.class_mut(c.kind == ReqKind::Write, c.across).record(
-            c.sectors,
-            c.latency_ns,
-            c.flash_reads,
-            c.flash_programs,
-        );
+        classes
+            .class_mut(c.kind == ReqKind::Write, c.across)
+            .record(c.sectors, c.latency_ns, c.flash_reads, c.flash_programs);
         gc.merge(&c.gc);
         last_complete = last_complete.max(u128::from(rec.at_ns) + u128::from(c.latency_ns));
     }
 
     let end = ssd.snapshot();
-    Ok(RunReport {
+    let report = RunReport {
+        schema_version: SCHEMA_VERSION,
         trace: trace.name.clone(),
         scheme: ssd.config().scheme,
         page_bytes: ssd.config().geometry.page_bytes,
         requests: trace.records.len() as u64,
+        config: ssd.config().clone(),
+        warmup,
         classes,
+        latency: ssd.observer().breakdown(),
         flash: flash_delta(&end.flash, &base.flash),
         counters: counters_delta(&end.counters, &base.counters),
         cache: cache_delta(&end.cache, &base.cache),
@@ -56,7 +64,9 @@ pub fn run_on_device(mut ssd: Ssd, trace: &Trace) -> Result<RunReport> {
         mapping_table_bytes: ssd.scheme().mapping_table_bytes(),
         sim_span_ns: last_complete,
         wall_seconds: started.elapsed().as_secs_f64(),
-    })
+        trace_events: ssd.observer().trace_events_total(),
+    };
+    Ok((report, ssd))
 }
 
 /// Replay `trace` on the standard experiment device at `page_bytes`.
@@ -67,13 +77,16 @@ pub fn run_single(trace: &Trace, scheme: SchemeKind, page_bytes: u32) -> Result<
 /// One trace replayed on all three schemes.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ComparisonReport {
+    /// Workload name.
     pub trace: String,
+    /// Physical page size the grid cell ran at.
     pub page_bytes: u32,
     /// Reports in [`SchemeKind::ALL`] order: FTL, MRSM, Across-FTL.
     pub runs: Vec<RunReport>,
 }
 
 impl ComparisonReport {
+    /// The run for `scheme`; panics if the comparison didn't cover it.
     pub fn get(&self, scheme: SchemeKind) -> &RunReport {
         self.runs
             .iter()

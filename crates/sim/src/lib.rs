@@ -15,17 +15,28 @@
 //!   mapping-table bytes — everything Figures 4 and 8–12 report,
 //! * [`experiment`] — one-call runners for (trace × scheme × page size)
 //!   grids, fanned out across cores with rayon,
-//! * [`report`] — fixed-width normalized tables mirroring the paper's
+//! * [`observe`] — latency histograms per op kind and optional structured
+//!   event tracing (JSONL),
+//! * [`report`] — the [`RunReport`] run manifest: one self-describing JSON
+//!   document per run (config echo, warm-up stats, percentiles, counters),
+//! * [`tables`] — fixed-width normalized tables mirroring the paper's
 //!   figures.
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod experiment;
 pub mod metrics;
+pub mod observe;
 pub mod report;
 pub mod ssd;
+pub mod tables;
 pub mod warmup;
 
-pub use config::SimConfig;
+pub use config::{ObserveConfig, SimConfig};
 pub use experiment::{run_comparison, run_single, ComparisonReport};
-pub use metrics::{ClassMetrics, RunReport};
+pub use metrics::ClassMetrics;
+pub use observe::{LatencyBreakdown, LatencyHistogram, Observer, OpKind};
+pub use report::RunReport;
 pub use ssd::Ssd;
+pub use warmup::WarmupStats;

@@ -1,9 +1,9 @@
-//! Per-run measurements: everything the paper's figures consume.
+//! Per-run measurement building blocks: request-class metrics and the
+//! snapshot/delta machinery that brackets the measured window. The
+//! assembled manifest type lives in [`crate::report`].
 
 use aftl_core::counters::SchemeCounters;
-use aftl_core::gc::GcReport;
 use aftl_core::mapping::cache::CacheStats;
-use aftl_core::scheme::SchemeKind;
 use aftl_flash::stats::KindCounts;
 use aftl_flash::FlashStats;
 use serde::{Deserialize, Serialize};
@@ -12,8 +12,11 @@ use serde::{Deserialize, Serialize};
 /// the decomposition behind Figure 4.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct ClassMetrics {
+    /// Requests serviced in this class.
     pub requests: u64,
+    /// Total sectors those requests covered.
     pub sectors: u64,
+    /// Sum of request latencies in nanoseconds.
     pub latency_sum_ns: u128,
     /// Flash page reads issued while servicing these requests (GC excluded).
     pub flash_reads: u64,
@@ -23,6 +26,7 @@ pub struct ClassMetrics {
 }
 
 impl ClassMetrics {
+    /// Fold in one serviced request.
     pub fn record(&mut self, sectors: u32, latency_ns: u64, reads: u64, programs: u64) {
         self.requests += 1;
         self.sectors += u64::from(sectors);
@@ -58,6 +62,7 @@ impl ClassMetrics {
         }
     }
 
+    /// Accumulate another class's metrics into this one.
     pub fn merge(&mut self, o: &ClassMetrics) {
         self.requests += o.requests;
         self.sectors += o.sectors;
@@ -70,13 +75,18 @@ impl ClassMetrics {
 /// Request classes.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct ClassBreakdown {
+    /// Reads spanning two logical pages.
     pub across_reads: ClassMetrics,
+    /// Reads contained in one logical page.
     pub normal_reads: ClassMetrics,
+    /// Writes spanning two logical pages.
     pub across_writes: ClassMetrics,
+    /// Writes contained in one logical page.
     pub normal_writes: ClassMetrics,
 }
 
 impl ClassBreakdown {
+    /// The class cell for a (direction, across-ness) pair.
     pub fn class_mut(&mut self, is_write: bool, across: bool) -> &mut ClassMetrics {
         match (is_write, across) {
             (false, true) => &mut self.across_reads,
@@ -86,12 +96,14 @@ impl ClassBreakdown {
         }
     }
 
+    /// Both read classes combined.
     pub fn reads_total(&self) -> ClassMetrics {
         let mut m = self.across_reads;
         m.merge(&self.normal_reads);
         m
     }
 
+    /// Both write classes combined.
     pub fn writes_total(&self) -> ClassMetrics {
         let mut m = self.across_writes;
         m.merge(&self.normal_writes);
@@ -99,71 +111,15 @@ impl ClassBreakdown {
     }
 }
 
-/// The complete result of replaying one trace on one scheme.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct RunReport {
-    pub trace: String,
-    pub scheme: SchemeKind,
-    pub page_bytes: u32,
-    pub requests: u64,
-    pub classes: ClassBreakdown,
-    /// Flash-level deltas over the measured window (map/data split).
-    pub flash: FlashStats,
-    pub counters: SchemeCounters,
-    pub cache: CacheStats,
-    pub gc: GcReport,
-    pub mapping_table_bytes: u64,
-    /// Simulated trace span (last completion − first arrival).
-    pub sim_span_ns: u128,
-    /// Host wall-clock seconds spent simulating (sanity/throughput info).
-    pub wall_seconds: f64,
-}
-
-impl RunReport {
-    /// Figure 9(c)/14(a): overall I/O time = Σ request latencies (seconds).
-    pub fn io_time_s(&self) -> f64 {
-        (self.classes.reads_total().latency_sum_ns + self.classes.writes_total().latency_sum_ns)
-            as f64
-            / 1e9
-    }
-
-    /// Figure 9(a): mean read response time (ms).
-    pub fn read_latency_ms(&self) -> f64 {
-        self.classes.reads_total().mean_latency_ms()
-    }
-
-    /// Figure 9(b): mean write response time (ms).
-    pub fn write_latency_ms(&self) -> f64 {
-        self.classes.writes_total().mean_latency_ms()
-    }
-
-    /// Figure 10(a): total flash programs, and the Map share.
-    pub fn flash_writes(&self) -> KindCounts {
-        self.flash.programs
-    }
-
-    /// Figure 10(b): total flash reads, and the Map share.
-    pub fn flash_reads(&self) -> KindCounts {
-        self.flash.reads
-    }
-
-    /// Figure 11: erase count.
-    pub fn erases(&self) -> u64 {
-        self.flash.erases
-    }
-
-    /// Figure 12(b): DRAM access count.
-    pub fn dram_accesses(&self) -> u64 {
-        self.counters.dram_accesses
-    }
-}
-
 /// Snapshot of cumulative stats, for before/after deltas around the
 /// measured window (warm-up is excluded this way).
 #[derive(Debug, Clone, Default)]
 pub struct StatsSnapshot {
+    /// Flash array stats at snapshot time.
     pub flash: FlashStats,
+    /// Scheme counters at snapshot time.
     pub counters: SchemeCounters,
+    /// Mapping-cache stats at snapshot time.
     pub cache: CacheStats,
 }
 

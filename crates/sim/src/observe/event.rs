@@ -1,0 +1,244 @@
+//! Structured event tracing: a bounded ring of operation completions.
+//!
+//! When enabled, every classified operation (see [`super::OpKind`]) emits
+//! an [`Event`] into an [`EventRing`] — a fixed-capacity ring that keeps
+//! the most recent events and can serialize itself to JSONL (one JSON
+//! object per line), the format trace-analysis tooling expects. Tracing is
+//! **off by default**: with it disabled the simulator takes a single
+//! branch per request, and the flash op log that feeds it is never
+//! allocated.
+
+use aftl_flash::Nanos;
+use serde::{Deserialize, Serialize};
+
+use super::OpKind;
+
+/// Configuration of the event trace (part of
+/// [`crate::config::ObserveConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Record events at all. Off by default — tracing costs a ring-buffer
+    /// write per flash operation when on.
+    pub enabled: bool,
+    /// Ring capacity: the trace keeps the most recent `capacity` sampled
+    /// events (1 MiB of buffer at the default 2^16).
+    pub capacity: usize,
+    /// Sampling stride: keep every `sample`-th candidate event (1 = all).
+    pub sample: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            capacity: 1 << 16,
+            sample: 1,
+        }
+    }
+}
+
+/// One traced operation completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Simulated completion time of the operation.
+    pub t_ns: Nanos,
+    /// Classified operation kind.
+    pub kind: OpKind,
+    /// End-to-end latency of the operation (queueing included).
+    pub latency_ns: Nanos,
+}
+
+/// A fixed-capacity ring of the most recent sampled [`Event`]s.
+///
+/// ```
+/// use aftl_sim::observe::event::{Event, EventRing, TraceConfig};
+/// use aftl_sim::observe::OpKind;
+///
+/// let mut ring = EventRing::new(&TraceConfig { enabled: true, capacity: 2, sample: 1 });
+/// for t in 1..=3u64 {
+///     ring.offer(Event { t_ns: t, kind: OpKind::HostRead, latency_ns: 10 });
+/// }
+/// // Capacity 2: the oldest event was overwritten, order is preserved.
+/// let kept: Vec<u64> = ring.iter().map(|e| e.t_ns).collect();
+/// assert_eq!(kept, vec![2, 3]);
+/// assert_eq!(ring.total_offered(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    sample: u32,
+    offered: u64,
+}
+
+impl EventRing {
+    /// An empty ring sized per `cfg` (capacity is clamped to ≥ 1).
+    pub fn new(cfg: &TraceConfig) -> Self {
+        EventRing {
+            buf: Vec::new(),
+            cap: cfg.capacity.max(1),
+            head: 0,
+            sample: cfg.sample.max(1),
+            offered: 0,
+        }
+    }
+
+    /// Submit an event; it is kept if it falls on the sampling stride,
+    /// evicting the oldest kept event when the ring is full.
+    #[inline]
+    pub fn offer(&mut self, event: Event) {
+        self.offered += 1;
+        if !(self.offered - 1).is_multiple_of(u64::from(self.sample)) {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events submitted over the ring's lifetime (kept or not).
+    pub fn total_offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Kept events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Serialize the kept events as JSONL: one JSON object per line,
+    /// oldest first, trailing newline on the last line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.iter() {
+            out.push_str(&serde_json::to_string(e).expect("events serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drop all kept events and reset the sampling phase; capacity and
+    /// stride are retained.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.offered = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> Event {
+        Event {
+            t_ns: t,
+            kind: OpKind::MapRead,
+            latency_ns: t * 2,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_in_order() {
+        let mut r = EventRing::new(&TraceConfig {
+            enabled: true,
+            capacity: 3,
+            sample: 1,
+        });
+        for t in 1..=7 {
+            r.offer(ev(t));
+        }
+        let ts: Vec<u64> = r.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![5, 6, 7]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_offered(), 7);
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth() {
+        let mut r = EventRing::new(&TraceConfig {
+            enabled: true,
+            capacity: 100,
+            sample: 3,
+        });
+        for t in 0..9 {
+            r.offer(ev(t));
+        }
+        let ts: Vec<u64> = r.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![0, 3, 6]);
+        assert_eq!(r.total_offered(), 9);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let mut r = EventRing::new(&TraceConfig {
+            enabled: true,
+            capacity: 8,
+            sample: 1,
+        });
+        r.offer(Event {
+            t_ns: 42,
+            kind: OpKind::AMerge,
+            latency_ns: 7,
+        });
+        r.offer(Event {
+            t_ns: 43,
+            kind: OpKind::Erase,
+            latency_ns: 9,
+        });
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back: Event = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(back.t_ns, 42);
+        assert_eq!(back.kind, OpKind::AMerge);
+        let back: Event = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(back.kind, OpKind::Erase);
+        assert_eq!(back.latency_ns, 9);
+    }
+
+    #[test]
+    fn clear_resets_contents_and_phase() {
+        let mut r = EventRing::new(&TraceConfig {
+            enabled: true,
+            capacity: 4,
+            sample: 2,
+        });
+        r.offer(ev(1));
+        r.offer(ev(2));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.total_offered(), 0);
+        r.offer(ev(3));
+        assert_eq!(r.len(), 1, "sampling phase restarts after clear");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(&TraceConfig {
+            enabled: true,
+            capacity: 0,
+            sample: 0,
+        });
+        r.offer(ev(1));
+        r.offer(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().t_ns, 2);
+    }
+}

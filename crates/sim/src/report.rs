@@ -1,173 +1,206 @@
-//! Fixed-width text tables mirroring the paper's figures: normalized bars
-//! with the baseline's absolute value in parentheses, exactly the way the
-//! paper annotates its X axes.
+//! Run manifests: the single JSON document each experiment run emits.
+//!
+//! A [`RunReport`] is self-describing — it echoes the full [`SimConfig`]
+//! (geometry, timing, scheme parameters, warm-up seed), records what
+//! aging actually did ([`WarmupStats`]), and carries every measurement of
+//! the run: per-class request metrics, per-[`crate::observe::OpKind`]
+//! latency percentiles, flash-level op counts, scheme counters, cache and
+//! GC statistics. All figure/table binaries consume this one type — the
+//! human-readable tables in [`crate::tables`] are renderings of it, not a
+//! second accounting path.
 
-/// One row of a normalized figure: a label plus per-scheme absolute values.
-#[derive(Debug, Clone)]
-pub struct Row {
-    pub label: String,
-    /// `(scheme name, absolute value)` — the first entry is the
-    /// normalization baseline.
-    pub values: Vec<(String, f64)>,
+use aftl_core::counters::SchemeCounters;
+use aftl_core::gc::GcReport;
+use aftl_core::mapping::cache::CacheStats;
+use aftl_core::scheme::SchemeKind;
+use aftl_flash::stats::KindCounts;
+use aftl_flash::FlashStats;
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimConfig;
+use crate::metrics::ClassBreakdown;
+use crate::observe::LatencyBreakdown;
+use crate::warmup::WarmupStats;
+
+/// Version of the [`RunReport`] JSON schema. Bumped whenever a field is
+/// added, removed or changes meaning, so downstream tooling can detect
+/// manifests it does not understand.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The complete result of replaying one trace on one scheme — the run
+/// manifest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// JSON schema version (see [`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Name of the replayed trace.
+    pub trace: String,
+    /// Scheme the device ran.
+    pub scheme: SchemeKind,
+    /// Flash page size of the device.
+    pub page_bytes: u32,
+    /// Host requests replayed in the measured window.
+    pub requests: u64,
+    /// Full configuration echo: geometry, timing, scheme parameters,
+    /// warm-up targets and seed, observability settings.
+    pub config: SimConfig,
+    /// What aging actually did before measurement started.
+    pub warmup: WarmupStats,
+    /// Per request-class metrics (read/write × across/normal).
+    pub classes: ClassBreakdown,
+    /// Per op-kind latency percentiles (p50/p95/p99/p999).
+    pub latency: LatencyBreakdown,
+    /// Flash-level deltas over the measured window (map/data split).
+    pub flash: FlashStats,
+    /// Scheme event counters (AMerge, ARollback, RMW, DRAM accesses, …).
+    pub counters: SchemeCounters,
+    /// Mapping-cache statistics.
+    pub cache: CacheStats,
+    /// Accumulated GC work.
+    pub gc: GcReport,
+    /// Resident mapping-table footprint.
+    pub mapping_table_bytes: u64,
+    /// Simulated trace span (last completion − first arrival).
+    pub sim_span_ns: u128,
+    /// Host wall-clock seconds spent simulating (sanity/throughput info).
+    pub wall_seconds: f64,
+    /// Events offered to the trace ring (0 unless tracing was enabled).
+    pub trace_events: u64,
 }
 
-impl Row {
-    pub fn new(label: impl Into<String>, values: Vec<(String, f64)>) -> Self {
-        Row {
-            label: label.into(),
-            values,
-        }
+impl RunReport {
+    /// Figure 9(c)/14(a): overall I/O time = Σ request latencies (seconds).
+    pub fn io_time_s(&self) -> f64 {
+        (self.classes.reads_total().latency_sum_ns + self.classes.writes_total().latency_sum_ns)
+            as f64
+            / 1e9
     }
-}
 
-/// Render a normalized table: each value divided by the row's first value,
-/// with the baseline absolute printed alongside (the paper's convention).
-pub fn normalized_table(title: &str, unit: &str, rows: &[Row]) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("== {title} ==\n"));
-    if rows.is_empty() {
-        out.push_str("(no rows)\n");
-        return out;
+    /// Figure 9(a): mean read response time (ms).
+    pub fn read_latency_ms(&self) -> f64 {
+        self.classes.reads_total().mean_latency_ms()
     }
-    // Header.
-    out.push_str(&format!("{:<8}", ""));
-    for (name, _) in &rows[0].values {
-        out.push_str(&format!("{name:>12}"));
-    }
-    out.push_str(&format!("  {:>14}\n", format!("abs[{unit}]")));
-    for row in rows {
-        let base = row.values.first().map(|v| v.1).unwrap_or(1.0);
-        out.push_str(&format!("{:<8}", row.label));
-        for &(_, v) in &row.values {
-            if base.abs() < f64::EPSILON {
-                out.push_str(&format!("{:>12}", "-"));
-            } else {
-                out.push_str(&format!("{:>12.3}", v / base));
-            }
-        }
-        out.push_str(&format!("  {:>14}\n", format_abs(base)));
-    }
-    out
-}
 
-/// Render an absolute-valued table (used for Table 2 and Figure 12(a)).
-pub fn absolute_table(title: &str, header: &[&str], rows: &[(String, Vec<String>)]) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("== {title} ==\n"));
-    out.push_str(&format!("{:<12}", ""));
-    for h in header {
-        out.push_str(&format!("{h:>14}"));
+    /// Figure 9(b): mean write response time (ms).
+    pub fn write_latency_ms(&self) -> f64 {
+        self.classes.writes_total().mean_latency_ms()
     }
-    out.push('\n');
-    for (label, cells) in rows {
-        out.push_str(&format!("{label:<12}"));
-        for c in cells {
-            out.push_str(&format!("{c:>14}"));
-        }
-        out.push('\n');
-    }
-    out
-}
 
-/// Simple ASCII bar chart for ratio series (Figure 2 / Figure 13).
-pub fn bar_chart(title: &str, rows: &[(String, f64)], max_hint: f64) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("== {title} ==\n"));
-    let max = rows
-        .iter()
-        .map(|(_, v)| *v)
-        .fold(max_hint, f64::max)
-        .max(f64::EPSILON);
-    for (label, v) in rows {
-        let width = ((v / max) * 50.0).round() as usize;
+    /// Figure 10(a): total flash programs, and the Map share.
+    pub fn flash_writes(&self) -> KindCounts {
+        self.flash.programs
+    }
+
+    /// Figure 10(b): total flash reads, and the Map share.
+    pub fn flash_reads(&self) -> KindCounts {
+        self.flash.reads
+    }
+
+    /// Figure 11: erase count.
+    pub fn erases(&self) -> u64 {
+        self.flash.erases
+    }
+
+    /// Figure 12(b): DRAM access count.
+    pub fn dram_accesses(&self) -> u64 {
+        self.counters.dram_accesses
+    }
+
+    /// The manifest as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("run reports serialize")
+    }
+
+    /// A human-readable percentile table of the latency section, one line
+    /// per op kind with samples (empty kinds are skipped).
+    pub fn latency_table(&self) -> String {
+        use crate::observe::OpKind;
+        let mut out = String::new();
         out.push_str(&format!(
-            "{label:<28} {:>7.3} |{}\n",
-            v,
-            "#".repeat(width)
+            "{:<12}{:>10}{:>12}{:>12}{:>12}{:>12}{:>12}\n",
+            "op", "count", "mean[us]", "p50[us]", "p95[us]", "p99[us]", "max[us]"
         ));
+        for kind in OpKind::ALL {
+            let s = self.latency.get(kind);
+            if s.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<12}{:>10}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{:>12.1}\n",
+                kind.name(),
+                s.count,
+                s.mean_ns / 1e3,
+                s.p50_ns as f64 / 1e3,
+                s.p95_ns as f64 / 1e3,
+                s.p99_ns as f64 / 1e3,
+                s.max_ns as f64 / 1e3,
+            ));
+        }
+        out
     }
-    out
-}
-
-fn format_abs(v: f64) -> String {
-    if v == 0.0 {
-        "0".to_string()
-    } else if v.abs() >= 1e6 {
-        format!("({:.2}e6)", v / 1e6)
-    } else if v.abs() >= 100.0 {
-        format!("({v:.0})")
-    } else {
-        format!("({v:.2})")
-    }
-}
-
-/// Geometric mean of ratios `new/base` across rows — the "average X %
-/// reduction" numbers quoted in the paper's text.
-pub fn mean_ratio(pairs: &[(f64, f64)]) -> f64 {
-    if pairs.is_empty() {
-        return 1.0;
-    }
-    let log_sum: f64 = pairs
-        .iter()
-        .filter(|(b, _)| *b > 0.0)
-        .map(|(b, n)| (n / b).max(1e-12).ln())
-        .sum();
-    (log_sum / pairs.len() as f64).exp()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiment::run_single_with;
+    use aftl_core::scheme::SchemeKind;
+    use aftl_trace::{IoOp, IoRecord, Trace};
 
-    #[test]
-    fn normalized_table_renders() {
-        let rows = vec![
-            Row::new(
-                "lun1",
-                vec![
-                    ("FTL".into(), 10.0),
-                    ("MRSM".into(), 9.0),
-                    ("Across".into(), 8.0),
-                ],
-            ),
-            Row::new(
-                "lun2",
-                vec![
-                    ("FTL".into(), 20.0),
-                    ("MRSM".into(), 22.0),
-                    ("Across".into(), 18.0),
-                ],
-            ),
-        ];
-        let t = normalized_table("Figure 9(c) I/O time", "ks", &rows);
-        assert!(t.contains("lun1"));
-        assert!(t.contains("0.800"));
-        assert!(t.contains("1.100"));
-        assert!(t.contains("(10.00)"));
+    fn tiny_trace() -> Trace {
+        let mut records = Vec::new();
+        for i in 0..200u64 {
+            records.push(IoRecord {
+                at_ns: i * 10_000,
+                sector: (i * 5) % 4096,
+                sectors: 4 + (i % 8) as u32,
+                op: if i % 3 == 0 { IoOp::Read } else { IoOp::Write },
+            });
+        }
+        Trace {
+            name: "unit".into(),
+            records,
+        }
     }
 
     #[test]
-    fn zero_baseline_renders_dash() {
-        let rows = vec![Row::new(
-            "empty",
-            vec![("FTL".into(), 0.0), ("Across".into(), 5.0)],
-        )];
-        let t = normalized_table("x", "u", &rows);
-        assert!(t.contains('-'));
+    fn manifest_round_trips_through_json() {
+        let mut config = SimConfig::test_tiny(SchemeKind::Across);
+        config.track_content = false;
+        config.observe.trace.enabled = true;
+        let report = run_single_with(config, &tiny_trace()).unwrap();
+
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.requests, 200);
+        assert_eq!(report.latency.host_write.count, report.counters.host_writes);
+        assert_eq!(report.latency.host_read.count, report.counters.host_reads);
+        assert!(report.latency.host_write.p50_ns > 0);
+        assert!(report.trace_events > 0, "tracing was enabled");
+
+        let json = report.to_json();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.requests, report.requests);
+        assert_eq!(
+            back.latency.host_write.p99_ns,
+            report.latency.host_write.p99_ns
+        );
+        assert_eq!(
+            back.config.geometry.page_bytes,
+            report.config.geometry.page_bytes
+        );
+        assert_eq!(back.scheme, SchemeKind::Across);
     }
 
     #[test]
-    fn bar_chart_scales() {
-        let rows = vec![("t1".to_string(), 0.1), ("t2".to_string(), 0.4)];
-        let c = bar_chart("ratios", &rows, 0.4);
-        let lines: Vec<&str> = c.lines().collect();
-        assert!(lines[2].matches('#').count() > lines[1].matches('#').count());
-    }
-
-    #[test]
-    fn mean_ratio_geometric() {
-        let m = mean_ratio(&[(10.0, 5.0), (10.0, 20.0)]);
-        assert!((m - 1.0).abs() < 1e-9, "0.5 and 2.0 average to 1.0, got {m}");
-        assert_eq!(mean_ratio(&[]), 1.0);
+    fn latency_table_lists_recorded_kinds() {
+        let mut config = SimConfig::test_tiny(SchemeKind::Baseline);
+        config.track_content = false;
+        let report = run_single_with(config, &tiny_trace()).unwrap();
+        let table = report.latency_table();
+        assert!(table.contains("HostWrite"));
+        assert!(table.contains("HostRead"));
+        assert!(table.contains("p99[us]"));
+        assert!(!table.contains("AMerge"), "baseline never merges");
     }
 }

@@ -10,14 +10,18 @@ use aftl_trace::{IoOp, IoRecord};
 
 use crate::config::SimConfig;
 use crate::metrics::StatsSnapshot;
+use crate::observe::{Observer, Phase};
 
 /// A serviced request.
 #[derive(Debug, Clone)]
 pub struct Completed {
+    /// Read or write.
     pub kind: ReqKind,
     /// Across-page at this device's page size (the paper's §1 predicate).
     pub across: bool,
+    /// Request length in sectors.
     pub sectors: u32,
+    /// Submit-to-completion time on the simulation clock.
     pub latency_ns: Nanos,
     /// Flash reads issued for this request (GC excluded).
     pub flash_reads: u64,
@@ -35,34 +39,31 @@ pub struct Ssd {
     array: FlashArray,
     alloc: Allocator,
     scheme: Box<dyn FtlScheme + Send>,
+    observer: Observer,
 }
 
 impl Ssd {
+    /// Build a device with the scheme named by `config.scheme`.
     pub fn new(config: SimConfig) -> Result<Self> {
-        let mut array = FlashArray::new(config.geometry, config.timing)?;
-        if config.track_content {
-            array.enable_content_tracking();
-        }
-        let alloc = Allocator::new(&array);
         let scheme: Box<dyn FtlScheme + Send> = match config.scheme {
             SchemeKind::Baseline => Box::new(BaselineFtl::new(&config.geometry, config.scheme_cfg)),
             SchemeKind::Mrsm => Box::new(MrsmFtl::new(&config.geometry, config.scheme_cfg)),
             SchemeKind::Across => Box::new(AcrossFtl::new(&config.geometry, config.scheme_cfg)),
         };
-        Ok(Ssd {
-            config,
-            array,
-            alloc,
-            scheme,
-        })
+        Self::with_scheme(config, scheme)
     }
 
     /// Build a device around a custom scheme instance (ablation studies,
     /// user-provided FTLs). `config.scheme` is used only for labelling.
-    pub fn with_scheme(config: SimConfig, scheme: Box<dyn FtlScheme + Send>) -> Result<Self> {
+    pub fn with_scheme(config: SimConfig, mut scheme: Box<dyn FtlScheme + Send>) -> Result<Self> {
         let mut array = FlashArray::new(config.geometry, config.timing)?;
         if config.track_content {
             array.enable_content_tracking();
+        }
+        let observer = Observer::new(&config.observe);
+        if observer.enabled() {
+            array.enable_op_log();
+            scheme.set_event_log(true);
         }
         let alloc = Allocator::new(&array);
         Ok(Ssd {
@@ -70,22 +71,32 @@ impl Ssd {
             array,
             alloc,
             scheme,
+            observer,
         })
     }
 
+    /// The configuration the device was built from.
     #[inline]
     pub fn config(&self) -> &SimConfig {
         &self.config
     }
 
+    /// The underlying NAND array.
     #[inline]
     pub fn array(&self) -> &FlashArray {
         &self.array
     }
 
+    /// The active FTL scheme.
     #[inline]
     pub fn scheme(&self) -> &dyn FtlScheme {
         self.scheme.as_ref()
+    }
+
+    /// The latency/trace aggregator (see [`crate::observe`]).
+    #[inline]
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Sectors per page of this device.
@@ -110,11 +121,13 @@ impl Ssd {
         }
     }
 
-    /// Forget warm-up history: zero the op counters and chip timelines so
-    /// measurements start clean (mapping state and data placement remain).
+    /// Forget warm-up history: zero the op counters, chip timelines and
+    /// observability sinks so measurements start clean (mapping state and
+    /// data placement remain).
     pub fn finish_warmup(&mut self) {
         self.array.reset_stats();
         self.array.reset_timelines();
+        self.observer.reset();
     }
 
     /// Clamp a request into the exported logical space (external traces may
@@ -151,6 +164,19 @@ impl Ssd {
         let flash_reads = self.array.stats().reads.total() - before_reads;
         let flash_programs = self.array.stats().programs.total() - before_programs;
 
+        let phase = match req.kind {
+            ReqKind::Read => Phase::HostRead,
+            ReqKind::Write => Phase::HostWrite,
+        };
+        self.observer.absorb_ops(&mut self.array, phase);
+        self.observer
+            .absorb_scheme_events(self.scheme.as_mut(), req.at_ns);
+        self.observer.record_host(
+            req.kind,
+            outcome.complete_ns.saturating_sub(req.at_ns),
+            outcome.complete_ns,
+        );
+
         // GC runs after the request so its ops are not attributed to it.
         let mut env = FtlEnv {
             array: &mut self.array,
@@ -158,6 +184,7 @@ impl Ssd {
             now_ns: req.at_ns,
         };
         let gc = self.scheme.maybe_gc(&mut env)?;
+        self.observer.absorb_ops(&mut self.array, Phase::Gc);
 
         Ok(Completed {
             kind: req.kind,
@@ -247,6 +274,45 @@ mod tests {
         // Unit timing: program = 10 ns.
         assert!(c.latency_ns >= 10);
         assert!(c.latency_ns < 1000, "latency measured from arrival");
+    }
+
+    #[test]
+    fn observer_captures_host_and_flash_latencies() {
+        let mut config = SimConfig::test_tiny(SchemeKind::Across);
+        config.observe.trace.enabled = true;
+        let mut ssd = Ssd::new(config).unwrap();
+        assert!(ssd.observer().enabled());
+
+        let w = HostRequest::write(0, 4, 8); // across-page write
+        ssd.submit(&w).unwrap();
+        let r = HostRequest::read(10, 4, 8);
+        ssd.submit(&r).unwrap();
+
+        let b = ssd.observer().breakdown();
+        assert_eq!(b.host_write.count, 1);
+        assert_eq!(b.host_read.count, 1);
+        assert!(b.host_write.p50_ns > 0);
+        // The trace saw at least the two host completions.
+        let ring = ssd.observer().events().unwrap();
+        assert!(ring.len() >= 2);
+        let jsonl = ring.to_jsonl();
+        assert_eq!(jsonl.lines().count(), ring.len());
+
+        // finish_warmup clears the measured window.
+        ssd.finish_warmup();
+        assert_eq!(ssd.observer().breakdown().host_write.count, 0);
+        assert_eq!(ssd.observer().trace_events_total(), 0);
+    }
+
+    #[test]
+    fn observer_disabled_keeps_op_log_off() {
+        let mut config = SimConfig::test_tiny(SchemeKind::Baseline);
+        config.observe = crate::config::ObserveConfig::disabled();
+        let mut ssd = Ssd::new(config).unwrap();
+        assert!(!ssd.observer().enabled());
+        assert!(!ssd.array().op_log_enabled());
+        ssd.submit(&HostRequest::write(0, 0, 8)).unwrap();
+        assert_eq!(ssd.observer().breakdown().host_write.count, 0);
     }
 
     #[test]

@@ -9,24 +9,41 @@ use aftl_core::request::HostRequest;
 use aftl_flash::Result;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::config::WarmupConfig;
 use crate::ssd::Ssd;
 
-/// Age `ssd` per `cfg`. Call [`Ssd::finish_warmup`] afterwards to zero the
-/// counters and timelines (done here for convenience).
-pub fn age(ssd: &mut Ssd, cfg: &WarmupConfig) -> Result<()> {
+/// What aging actually did — echoed into the run manifest so a report is
+/// self-describing about the device state measurements started from.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WarmupStats {
+    /// Distinct logical pages written in the sequential fill pass.
+    pub footprint_pages: u64,
+    /// Total warm-up host writes issued (fill + overwrite passes).
+    pub writes: u64,
+    /// Achieved used-capacity fraction (1 − free block fraction).
+    pub used_fraction: f64,
+    /// Achieved valid-page fraction after aging.
+    pub valid_fraction: f64,
+}
+
+/// Age `ssd` per `cfg` and report what was done. Calls
+/// [`Ssd::finish_warmup`] at the end so the measured window starts clean.
+pub fn age(ssd: &mut Ssd, cfg: &WarmupConfig) -> Result<WarmupStats> {
     let spp = u64::from(ssd.spp());
     let total_pages = ssd.array().geometry().total_pages();
-    let footprint_pages = ((total_pages as f64 * cfg.valid_fraction) as u64)
-        .min(ssd.scheme().logical_pages());
+    let footprint_pages =
+        ((total_pages as f64 * cfg.valid_fraction) as u64).min(ssd.scheme().logical_pages());
     let free_target = 1.0 - cfg.used_fraction;
+    let mut writes = 0u64;
 
     if cfg.used_fraction > 0.0 && footprint_pages > 0 {
         // Pass 1: sequential fill of the footprint (all full-page writes).
         for lpn in 0..footprint_pages {
             let req = HostRequest::write(0, lpn * spp, spp as u32);
             ssd.submit(&req)?;
+            writes += 1;
         }
         // Pass 2: uniform overwrites until the used-capacity target.
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -34,10 +51,17 @@ pub fn age(ssd: &mut Ssd, cfg: &WarmupConfig) -> Result<()> {
             let lpn = rng.random_range(0..footprint_pages);
             let req = HostRequest::write(0, lpn * spp, spp as u32);
             ssd.submit(&req)?;
+            writes += 1;
         }
     }
+    let stats = WarmupStats {
+        footprint_pages: if writes == 0 { 0 } else { footprint_pages },
+        writes,
+        used_fraction: 1.0 - ssd.array().free_block_fraction(),
+        valid_fraction: ssd.array().valid_page_fraction(),
+    };
     ssd.finish_warmup();
-    Ok(())
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -56,9 +80,12 @@ mod tests {
             valid_fraction: 0.4,
             seed: 7,
         };
-        age(&mut ssd, &cfg).unwrap();
+        let stats = age(&mut ssd, &cfg).unwrap();
         let free = ssd.array().free_block_fraction();
         assert!(free <= 0.3 + 1e-9, "free fraction {free}");
+        assert!(stats.writes >= stats.footprint_pages);
+        assert!(stats.footprint_pages > 0);
+        assert!((stats.used_fraction - (1.0 - free)).abs() < 1e-9);
         let valid = ssd.array().valid_page_fraction();
         assert!((valid - 0.4).abs() < 0.05, "valid fraction {valid}");
         // Counters were reset for the measured window.
@@ -68,7 +95,7 @@ mod tests {
     #[test]
     fn zero_warmup_is_noop() {
         let mut ssd = Ssd::new(SimConfig::test_tiny(SchemeKind::Across)).unwrap();
-        age(
+        let stats = age(
             &mut ssd,
             &WarmupConfig {
                 used_fraction: 0.0,
@@ -78,5 +105,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ssd.array().free_block_fraction(), 1.0);
+        assert_eq!(stats.writes, 0);
+        assert_eq!(stats.footprint_pages, 0);
     }
 }

@@ -32,7 +32,10 @@ pub fn parse_msr<R: BufRead>(
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         if fields.len() < 6 {
-            return Err(err(lineno, format!("expected ≥6 fields, got {}", fields.len())));
+            return Err(err(
+                lineno,
+                format!("expected ≥6 fields, got {}", fields.len()),
+            ));
         }
         let ticks: u64 = fields[0]
             .parse()

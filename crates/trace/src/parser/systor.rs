@@ -71,7 +71,8 @@ pub fn parse_systor<R: BufRead>(
 }
 
 fn is_header(line: &str) -> bool {
-    line.starts_with(|c: char| c.is_ascii_alphabetic()) && line.to_ascii_lowercase().contains("timestamp")
+    line.starts_with(|c: char| c.is_ascii_alphabetic())
+        && line.to_ascii_lowercase().contains("timestamp")
 }
 
 fn next_field<'a>(
@@ -155,8 +156,12 @@ Timestamp,Response,IOType,LUN,Offset,Size
 
     #[test]
     fn skips_blank_lines_and_header() {
-        let t = parse_systor("\n\nTimestamp,Response,IOType,LUN,Offset,Size\n".as_bytes(), "e", None)
-            .unwrap();
+        let t = parse_systor(
+            "\n\nTimestamp,Response,IOType,LUN,Offset,Size\n".as_bytes(),
+            "e",
+            None,
+        )
+        .unwrap();
         assert!(t.is_empty());
     }
 }

@@ -155,9 +155,7 @@ mod tests {
     #[test]
     fn across_ratio_shrinks_with_page_size() {
         // 4 KB requests at 2 KB phase: across at 4 KB pages, not at 16 KB.
-        let records: Vec<IoRecord> = (0..100)
-            .map(|i| rec(4 + i * 8, 8, IoOp::Write))
-            .collect();
+        let records: Vec<IoRecord> = (0..100).map(|i| rec(4 + i * 8, 8, IoOp::Write)).collect();
         let s4 = TraceStats::compute(&records, 4096, 512);
         let s16 = TraceStats::compute(&records, 16384, 512);
         assert!(s4.across_ratio() > s16.across_ratio());

@@ -17,7 +17,10 @@ pub const COLLECTION_SIZE: usize = 61;
 /// request count (full size is 100 k requests per trace — the survey only
 /// measures static trace statistics, so it needs no long replay).
 pub fn collection_spec(idx: usize, scale: f64) -> VdiSpec {
-    assert!(idx < COLLECTION_SIZE, "collection has {COLLECTION_SIZE} traces");
+    assert!(
+        idx < COLLECTION_SIZE,
+        "collection has {COLLECTION_SIZE} traces"
+    );
     // Sweep the across-page target over a Figure-2-like range with some
     // deterministic jitter so the bar chart looks like a real population
     // rather than a ramp.
@@ -77,8 +80,14 @@ mod tests {
             .collect();
         let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
         let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(min < 0.06, "population should include low-ratio traces, min {min}");
-        assert!(max > 0.28, "population should include high-ratio traces, max {max}");
+        assert!(
+            min < 0.06,
+            "population should include low-ratio traces, min {min}"
+        );
+        assert!(
+            max > 0.28,
+            "population should include high-ratio traces, max {max}"
+        );
         let above_tenth = ratios.iter().filter(|&&r| r > 0.10).count();
         assert!(
             above_tenth as f64 > 0.5 * ratios.len() as f64,

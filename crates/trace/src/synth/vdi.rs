@@ -464,10 +464,7 @@ mod tests {
             let m = mixture_for_mean(target);
             let total: f64 = m.iter().map(|(_, w)| w).sum();
             let mean: f64 = m.iter().map(|&(z, w)| w * f64::from(z) / 2.0).sum::<f64>() / total;
-            assert!(
-                (mean - target).abs() < 0.05,
-                "target {target} got {mean}"
-            );
+            assert!((mean - target).abs() < 0.05, "target {target} got {mean}");
         }
     }
 

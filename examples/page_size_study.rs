@@ -47,8 +47,8 @@ fn main() {
             across.io_time_s(),
             ftl.flash_writes().total(),
             across.flash_writes().total(),
-            100.0 * (1.0 - across.flash_writes().total() as f64
-                / ftl.flash_writes().total() as f64)
+            100.0
+                * (1.0 - across.flash_writes().total() as f64 / ftl.flash_writes().total() as f64)
         );
     }
     println!("\nThe across-page ratio declines with page size, but Across-FTL's relative");

@@ -39,14 +39,23 @@ fn main() {
 
     let done = ssd.submit(&write).expect("write serviced");
     println!("write(1028K, 6K):");
-    println!("  flash programs used : {} (a conventional FTL needs 2)", done.flash_programs);
-    println!("  latency             : {:.3} ms", done.latency_ns as f64 / 1e6);
+    println!(
+        "  flash programs used : {} (a conventional FTL needs 2)",
+        done.flash_programs
+    );
+    println!(
+        "  latency             : {:.3} ms",
+        done.latency_ns as f64 / 1e6
+    );
 
     // Read it back: a direct across-page read — one flash read.
     let read = HostRequest::read(done.latency_ns, 1028 * 1024 / 512, 6 * 1024 / 512);
     let done = ssd.submit(&read).expect("read serviced");
     println!("read(1028K, 6K):");
-    println!("  flash reads used    : {} (a conventional FTL needs 2)", done.flash_reads);
+    println!(
+        "  flash reads used    : {} (a conventional FTL needs 2)",
+        done.flash_reads
+    );
     println!(
         "  all sectors version : {}",
         done.served.iter().all(|s| s.version == 1)
@@ -57,5 +66,8 @@ fn main() {
     println!("  live across-page areas : {}", c.live_across_areas);
     println!("  direct across writes   : {}", c.across_direct_writes);
     println!("  direct across reads    : {}", c.across_direct_reads);
-    println!("  mapping table          : {} bytes", ssd.scheme().mapping_table_bytes());
+    println!(
+        "  mapping table          : {} bytes",
+        ssd.scheme().mapping_table_bytes()
+    );
 }

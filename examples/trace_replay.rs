@@ -45,7 +45,10 @@ fn main() {
             let demo = demo_csv();
             let path = std::env::temp_dir().join("aftl_demo_trace.csv");
             std::fs::write(&path, demo).expect("write demo trace");
-            println!("(no trace given — replaying generated demo {})\n", path.display());
+            println!(
+                "(no trace given — replaying generated demo {})\n",
+                path.display()
+            );
             let file = std::fs::File::open(&path).expect("open demo");
             parse_systor(BufReader::new(file), "demo", None).expect("parse demo")
         }

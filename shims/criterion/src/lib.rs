@@ -1,0 +1,224 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A self-contained timing harness with criterion's call-site surface:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size` / `throughput`, and `black_box`.
+//! Instead of criterion's statistical machinery it reports the median of
+//! `sample_size` timed samples (after one warm-up run), which is plenty
+//! to catch the "did this PR regress the hot path" regressions the
+//! ROADMAP cares about. Passing `--test` (as `cargo test --benches`
+//! does) runs every closure exactly once for a smoke check.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Units for reporting relative throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing collector handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    smoke_test: bool,
+}
+
+impl Bencher {
+    /// Time `f`, sampling it `sample_size` times after a warm-up call.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        if self.smoke_test {
+            black_box(f());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        black_box(f()); // warm-up
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn report(name: &str, samples: &mut [Duration], throughput: Option<Throughput>, smoke: bool) {
+    if smoke {
+        println!("{name:<40} ok (smoke test)");
+        return;
+    }
+    let med = median(samples);
+    let ns = med.as_nanos();
+    match throughput {
+        Some(Throughput::Elements(n)) if med.as_secs_f64() > 0.0 => {
+            println!(
+                "{name:<40} {ns:>12} ns/iter  {:>12.0} elem/s",
+                n as f64 / med.as_secs_f64()
+            );
+        }
+        Some(Throughput::Bytes(n)) if med.as_secs_f64() > 0.0 => {
+            println!(
+                "{name:<40} {ns:>12} ns/iter  {:>12.0} B/s",
+                n as f64 / med.as_secs_f64()
+            );
+        }
+        _ => println!("{name:<40} {ns:>12} ns/iter"),
+    }
+}
+
+/// Top-level bench context (shim of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            smoke_test: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, self.sample_size, self.smoke_test, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            smoke_test: self.smoke_test,
+            _parent: self,
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    smoke_test: bool,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+        smoke_test,
+    };
+    f(&mut b);
+    report(name, &mut b.samples, throughput, smoke_test);
+}
+
+/// A group of benchmarks sharing sample size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    smoke_test: bool,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Attach a throughput annotation to subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.sample_size, self.smoke_test, self.throughput, f);
+        self
+    }
+
+    /// Finish the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Define a bench group function from a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` from a list of bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+            smoke_test: false,
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(b.samples.len(), 3);
+        assert_eq!(count, 4, "warm-up + samples");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 10,
+            smoke_test: true,
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn median_of_odd_samples() {
+        let mut s = vec![
+            Duration::from_nanos(30),
+            Duration::from_nanos(10),
+            Duration::from_nanos(20),
+        ];
+        assert_eq!(median(&mut s), Duration::from_nanos(20));
+        assert_eq!(median(&mut []), Duration::ZERO);
+    }
+}

@@ -1,0 +1,404 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no access to crates.io (see `ci.sh` and
+//! README "Offline builds"), so the workspace ships minimal shims for the
+//! handful of external crates it uses. This crate mirrors the subset of
+//! serde's surface the repo relies on:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on plain structs with named
+//!   fields and on unit-variant enums (re-exported from `serde_derive`),
+//! * the [`Serialize`] / [`Deserialize`] traits, defined over an explicit
+//!   JSON-shaped [`Value`] tree instead of serde's visitor machinery.
+//!
+//! `serde_json` (also shimmed) renders/parses [`Value`] as real JSON, so
+//! downstream code and report files look exactly as they would with the
+//! real crates. Unsupported serde features (attributes, borrowed data,
+//! non-unit enum variants) fail at compile time in the derive.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-shaped value tree: the data model every [`Serialize`] /
+/// [`Deserialize`] implementation round-trips through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (covers `u8`..`u128`).
+    U128(u128),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+/// Error produced when converting a [`Value`] back into a Rust type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Build an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl Value {
+    /// Look up a field of an object; `Err` with a useful message otherwise.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error(format!("missing field `{name}`"))),
+            other => Err(Error(format!(
+                "expected object with field `{name}`, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Field lookup returning `None` when absent (object or not).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `u128`, if non-negative integral.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Value::U128(u) => Some(*u),
+            Value::I64(i) if *i >= 0 => Some(*i as u128),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64` (integers convert losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            Value::U128(u) => Some(*u as f64),
+            Value::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if this is an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Conversion into the [`Value`] data model (shim for `serde::Serialize`).
+pub trait Serialize {
+    /// Render `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model (shim for
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U128(u128::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_u128()
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| Error(format!(concat!("expected ", stringify!($t), ", got {:?}"), v)))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, u128);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::I64(i) => <$t>::try_from(*i).ok(),
+                    Value::U128(u) => i64::try_from(*u).ok().and_then(|i| <$t>::try_from(i).ok()),
+                    _ => None,
+                }
+                .ok_or_else(|| Error(format!(concat!("expected ", stringify!($t), ", got {:?}"), v)))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U128(*self as u128)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_u128()
+            .and_then(|u| usize::try_from(u).ok())
+            .ok_or_else(|| Error(format!("expected usize, got {v:?}")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error(format!("expected f64, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error(format!("expected f32, got {v:?}")))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+// ---- containers -----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error(format!("expected tuple array, got {v:?}")))?;
+                let mut it = s.iter();
+                Ok(($({
+                    let _ = $n; // positional marker
+                    $t::from_value(it.next().ok_or_else(|| Error("tuple too short".into()))?)?
+                },)+))
+            }
+        }
+    )+};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| V::from_value(v).map(|v| (k.clone(), v)))
+                .collect(),
+            other => Err(Error(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(f64::from_value(&1.5f64.to_value()).unwrap() == 1.5);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1u64, "x".to_string(), 2.5f64);
+        assert_eq!(<(u64, String, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let o: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn field_lookup_errors_are_descriptive() {
+        let v = Value::Map(vec![("a".into(), Value::U128(1))]);
+        assert!(v.field("a").is_ok());
+        let e = v.field("b").unwrap_err();
+        assert!(e.0.contains("missing field `b`"));
+    }
+}

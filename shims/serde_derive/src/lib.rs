@@ -1,0 +1,283 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the shimmed `serde` value-tree model, parsing the item's token stream by
+//! hand (the real derive pulls in `syn`/`quote`, which are unavailable in
+//! the offline build container). Two item shapes are supported — exactly
+//! the shapes this workspace uses:
+//!
+//! * structs with named fields (no generics),
+//! * enums whose variants are all unit variants.
+//!
+//! Anything else produces a `compile_error!` naming the unsupported
+//! construct, so misuse fails loudly at build time rather than silently
+//! serializing wrong data.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    /// Single-field tuple struct (`struct Ppn(pub u64);`), serialized
+    /// transparently as its inner value — matching real serde's newtype
+    /// representation.
+    Newtype {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<String>,
+    },
+}
+
+/// Split a brace-group body into top-level comma-separated chunks,
+/// treating `<...>` generic arguments as nesting (parens/brackets/braces
+/// are already atomic `Group` tokens).
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...) from a token chunk.
+fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: `#` followed by a bracket group.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // Optional restriction group: pub(crate) / pub(super).
+                if matches!(chunk.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    &chunk[i..]
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility on the item itself.
+    let rest = strip_attrs_and_vis(&tokens);
+    let mut kind = None;
+    let mut name = None;
+    while i < rest.len() {
+        match &rest[i] {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(s);
+                    if let Some(TokenTree::Ident(n)) = rest.get(i + 1) {
+                        name = Some(n.to_string());
+                    }
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.ok_or("expected `struct` or `enum`")?;
+    let name = name.ok_or("expected item name")?;
+    // Generic items are out of scope for the shim.
+    if matches!(rest.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive shim does not support generic item `{name}`"
+        ));
+    }
+    // Tuple struct: the name is followed directly by a paren group.
+    if kind == "struct" {
+        if let Some(TokenTree::Group(g)) = rest.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                let arity = split_top_level(g.stream().into_iter().collect()).len();
+                return if arity == 1 {
+                    Ok(Item::Newtype { name })
+                } else {
+                    Err(format!(
+                        "`{name}`: only single-field tuple structs are supported by the serde shim"
+                    ))
+                };
+            }
+        }
+    }
+    // The body is the next (and only) brace group.
+    let body = rest[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("`{name}`: only braced structs/enums are supported"))?;
+
+    let chunks = split_top_level(body.into_iter().collect());
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        for chunk in &chunks {
+            let chunk = strip_attrs_and_vis(chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) if matches!(chunk.get(1), Some(TokenTree::Punct(p)) if p.as_char() == ':') =>
+                {
+                    fields.push(id.to_string());
+                }
+                _ => return Err(format!("`{name}`: only named struct fields are supported")),
+            }
+        }
+        Ok(Item::Struct { name, fields })
+    } else {
+        let mut variants = Vec::new();
+        for chunk in &chunks {
+            let chunk = strip_attrs_and_vis(chunk);
+            match chunk {
+                [TokenTree::Ident(id)] => variants.push(id.to_string()),
+                _ => {
+                    return Err(format!(
+                        "`{name}`: only unit enum variants are supported by the serde shim"
+                    ))
+                }
+            }
+        }
+        Ok(Item::Enum { name, variants })
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive the shimmed `serde::Serialize` for named-field structs and
+/// unit-variant enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(it) => it,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derive the shimmed `serde::Deserialize` for named-field structs and
+/// unit-variant enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(it) => it,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Newtype { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str().ok_or_else(|| ::serde::Error::msg(\"expected enum string\"))? {{\n\
+                             {arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

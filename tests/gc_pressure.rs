@@ -63,7 +63,10 @@ fn device_full_of_valid_data_errors_cleanly() {
             Ok(_) => lpn += 1,
             Err(e) => break e,
         }
-        assert!(lpn <= ssd.scheme().logical_pages(), "should fill before logical end");
+        assert!(
+            lpn <= ssd.scheme().logical_pages(),
+            "should fill before logical end"
+        );
     };
     assert_eq!(err, aftl_flash::FlashError::NoFreeBlocks);
 }

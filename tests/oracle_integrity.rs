@@ -24,7 +24,11 @@ fn across_ftl_serves_newest_data_under_pressure() {
     assert!(ssd.array().stats().erases > 0);
     let c = ssd.scheme().counters();
     // The workload must actually exercise the paper's machinery.
-    assert!(c.across_direct_writes > 100, "direct writes: {}", c.across_direct_writes);
+    assert!(
+        c.across_direct_writes > 100,
+        "direct writes: {}",
+        c.across_direct_writes
+    );
     assert!(
         c.profitable_amerge + c.unprofitable_amerge > 20,
         "merges: {} + {}",

@@ -41,7 +41,10 @@ fn figure_orderings_hold() {
 
     // Fig 10(a): user flash writes — Across < FTL; MRSM pays map traffic.
     assert!(across.flash_writes().total() < ftl.flash_writes().total());
-    assert!(mrsm.flash_writes().map > 0, "MRSM must show a Map component");
+    assert!(
+        mrsm.flash_writes().map > 0,
+        "MRSM must show a Map component"
+    );
     // At this miniature scale the cache is only a handful of translation
     // pages, so Across-FTL spills more than at full scale — but always far
     // less than MRSM.
@@ -82,7 +85,11 @@ fn across_statistics_populated() {
     let runs = mini_runs();
     let c = &runs[2].counters;
     assert!(c.across_direct_writes > 0);
-    assert!(c.rollback_ratio() < 0.5, "rollbacks are a minority: {}", c.rollback_ratio());
+    assert!(
+        c.rollback_ratio() < 0.5,
+        "rollbacks are a minority: {}",
+        c.rollback_ratio()
+    );
     let (d, p, u) = c.across_write_distribution();
     assert!((d + p + u - 1.0).abs() < 1e-9);
     assert!(u < d + p, "unprofitable merges are the smallest class");

@@ -1,0 +1,108 @@
+//! Property-based checks of the observability histogram: merging two
+//! histograms must behave exactly like recording the union of their sample
+//! streams, merged quantiles must be bounded by the inputs' quantiles, and
+//! every reported quantile must sit within the documented ~3 % relative
+//! error below the exact sample quantile.
+
+use aftl_sim::observe::hist::LatencyHistogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact `q`-quantile (ceil-rank order statistic) of a sample set.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+const QS: [f64; 5] = [0.1, 0.5, 0.9, 0.99, 1.0];
+
+fn check_merge(a_vals: &[u64], b_vals: &[u64]) -> Result<(), TestCaseError> {
+    let a = hist_of(a_vals);
+    let b = hist_of(b_vals);
+    let mut merged = a.clone();
+    merged.merge(&b);
+
+    // Merging is exactly recording the union.
+    let mut union_vals: Vec<u64> = a_vals.iter().chain(b_vals).copied().collect();
+    let union = hist_of(&union_vals);
+    prop_assert_eq!(&merged, &union);
+    prop_assert_eq!(merged.count(), (a_vals.len() + b_vals.len()) as u64);
+    prop_assert_eq!(
+        merged.min_ns(),
+        a_vals.iter().chain(b_vals).copied().min().unwrap()
+    );
+    prop_assert_eq!(
+        merged.max_ns(),
+        a_vals.iter().chain(b_vals).copied().max().unwrap()
+    );
+
+    union_vals.sort_unstable();
+    let mut prev = 0u64;
+    for q in QS {
+        let qa = a.quantile(q);
+        let qb = b.quantile(q);
+        let qm = merged.quantile(q);
+
+        // Merged quantiles are bounded by the inputs' quantiles: never
+        // above the larger, and never meaningfully below the smaller
+        // (one sub-bucket of slack covers bucket-floor rounding).
+        let lo = qa.min(qb);
+        prop_assert!(
+            qm >= lo.saturating_sub(lo / 16 + 1),
+            "q{q}: merged {qm} far below min(input) {lo}"
+        );
+        prop_assert!(
+            qm <= qa.max(qb),
+            "q{q}: merged {qm} above max(input) {}",
+            qa.max(qb)
+        );
+
+        // Reported quantiles sit within the documented error of the exact
+        // sample quantile: never above it, at most ~3 % (one sub-bucket,
+        // plus 1 for integer truncation) below it.
+        let exact = exact_quantile(&union_vals, q);
+        prop_assert!(qm <= exact, "q{q}: merged {qm} above exact {exact}");
+        prop_assert!(
+            qm >= exact.saturating_sub(exact / 32 + 1),
+            "q{q}: merged {qm} more than a bucket below exact {exact}"
+        );
+
+        // Quantiles are monotone in q.
+        prop_assert!(qm >= prev, "q{q}: {qm} < previous {prev}");
+        prev = qm;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_quantiles_bound_inputs(
+        (a, b) in (
+            proptest::collection::vec(0u64..50_000_000, 1..300),
+            proptest::collection::vec(0u64..50_000_000, 1..300),
+        )
+    ) {
+        check_merge(&a, &b)?;
+    }
+
+    #[test]
+    fn merge_quantiles_bound_inputs_disjoint_ranges(
+        (a, b) in (
+            proptest::collection::vec(0u64..1_000, 1..100),
+            proptest::collection::vec(1_000_000_000u64..2_000_000_000, 1..100),
+        )
+    ) {
+        // Disjoint value ranges stress the bounding property hardest: the
+        // merged quantile must move between the two clusters as q sweeps.
+        check_merge(&a, &b)?;
+    }
+}
