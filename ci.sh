@@ -38,4 +38,20 @@ cargo build --release
 say "cargo test"
 cargo test -q
 
+say "fault-injection smoke"
+# A short replay with nonzero fault rates must complete cleanly, actually
+# inject faults, and lose no host data (retry ladder + relocation cover
+# every injected failure at these rates).
+smoke=target/ci_fault_smoke.json
+cargo run --release -q -p aftl-bench --bin sim_cli -- \
+    --scheme across --preset lun1 --scale 0.01 \
+    --fault-seed 7 --read-fail-rate 0.01 \
+    --program-fail-rate 0.002 --erase-fail-rate 0.002 \
+    --json "$smoke" >/dev/null
+grep -q '"read_fail_rate": 0.01' "$smoke" || { echo "fault config missing from manifest"; exit 1; }
+if grep -q '"read_faults": 0$\|"read_faults": 0,' "$smoke"; then
+    echo "smoke run injected no faults"; exit 1
+fi
+grep -q '"host_unrecoverable_reads": 0' "$smoke" || { echo "smoke run lost host data"; exit 1; }
+
 say "CI gate passed"

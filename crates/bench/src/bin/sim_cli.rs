@@ -12,11 +12,40 @@
 //! to also capture an event trace and write it as JSONL next to the manifest.
 
 use aftl_core::scheme::SchemeKind;
+use aftl_flash::{FaultConfig, FlashError};
 use aftl_sim::experiment::run_on_device_keep;
 use aftl_sim::{SimConfig, Ssd};
 use aftl_trace::parser::{parse_msr, parse_systor};
 use aftl_trace::{LunPreset, Trace};
 use std::io::BufReader;
+
+/// Everything that can go wrong in a run, reported as one clean line on
+/// stderr with exit code 1 (no panic, no backtrace).
+#[derive(Debug)]
+enum CliError {
+    /// The trace file could not be opened.
+    TraceOpen { path: String, err: std::io::Error },
+    /// The trace file opened but did not parse.
+    TraceParse { path: String, err: String },
+    /// Building the simulated device failed (bad geometry/config).
+    Device(FlashError),
+    /// The simulation itself failed.
+    Sim(FlashError),
+    /// An output file (JSON manifest / JSONL trace) could not be written.
+    WriteOut { path: String, err: std::io::Error },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::TraceOpen { path, err } => write!(f, "cannot open trace {path}: {err}"),
+            CliError::TraceParse { path, err } => write!(f, "cannot parse trace {path}: {err}"),
+            CliError::Device(e) => write!(f, "cannot build device: {e}"),
+            CliError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CliError::WriteOut { path, err } => write!(f, "cannot write {path}: {err}"),
+        }
+    }
+}
 
 struct Cli {
     scheme: SchemeKind,
@@ -28,11 +57,12 @@ struct Cli {
     lun: Option<u32>,
     json: Option<String>,
     trace_events: Option<usize>,
+    fault: FaultConfig,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]"
+        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
     );
     std::process::exit(2);
 }
@@ -48,6 +78,7 @@ fn parse_cli() -> Cli {
         lun: None,
         json: None,
         trace_events: None,
+        fault: FaultConfig::disabled(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -97,6 +128,48 @@ fn parse_cli() -> Cli {
                     usage()
                 }
             }
+            "--fault-seed" => {
+                cli.fault.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--read-fail-rate" => {
+                cli.fault.read_fail_rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--program-fail-rate" => {
+                cli.fault.program_fail_rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--erase-fail-rate" => {
+                cli.fault.erase_fail_rate = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--erase-endurance" => {
+                cli.fault.erase_endurance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--read-retries" => {
+                cli.fault.read_retries = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--min-spare-blocks" => {
+                cli.fault.min_spare_blocks = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -104,25 +177,40 @@ fn parse_cli() -> Cli {
     cli
 }
 
-fn load_trace(cli: &Cli) -> Trace {
+fn load_trace(cli: &Cli) -> Result<Trace, CliError> {
     if let Some(path) = &cli.trace_path {
-        let file = std::fs::File::open(path).expect("open trace file");
+        let file = std::fs::File::open(path).map_err(|err| CliError::TraceOpen {
+            path: path.clone(),
+            err,
+        })?;
         let reader = BufReader::new(file);
-        if cli.msr {
-            parse_msr(reader, path, cli.lun).expect("parse MSR trace")
+        let parsed = if cli.msr {
+            parse_msr(reader, path, cli.lun)
         } else {
-            parse_systor(reader, path, cli.lun).expect("parse SYSTOR trace")
-        }
+            parse_systor(reader, path, cli.lun)
+        };
+        parsed.map_err(|err| CliError::TraceParse {
+            path: path.clone(),
+            err: err.to_string(),
+        })
     } else {
-        cli.preset
+        Ok(cli
+            .preset
             .unwrap_or(LunPreset::Lun1)
-            .generate_scaled(cli.scale)
+            .generate_scaled(cli.scale))
     }
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("sim_cli: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), CliError> {
     let cli = parse_cli();
-    let trace = load_trace(&cli);
+    let trace = load_trace(&cli)?;
     eprintln!(
         "replaying {} ({} requests) on {} @ {} KB pages…",
         trace.name,
@@ -135,8 +223,9 @@ fn main() {
         config.observe.trace.enabled = true;
         config.observe.trace.capacity = cap;
     }
-    let ssd = Ssd::new(config).expect("device");
-    let (report, ssd) = run_on_device_keep(ssd, &trace).expect("simulation");
+    config.fault = cli.fault;
+    let ssd = Ssd::new(config).map_err(CliError::Device)?;
+    let (report, ssd) = run_on_device_keep(ssd, &trace).map_err(CliError::Sim)?;
 
     println!("scheme           : {}", report.scheme.name());
     println!("requests         : {}", report.requests);
@@ -167,28 +256,55 @@ fn main() {
             d, p, u, c.rollback_ratio()
         );
     }
+    if cli.fault.injects() || cli.fault.wears() || cli.fault.min_spare_blocks > 0 {
+        println!(
+            "fault summary    : {} failed reads, {} failed programs, {} failed erases, {} worn out",
+            report.flash.read_faults,
+            report.flash.program_faults,
+            report.flash.erase_faults,
+            report.flash.worn_out_blocks
+        );
+        println!(
+            "degradation      : {} retired blocks, {} lost pages, {} unrecoverable reads, {} rejected writes{}",
+            report.flash.retired_blocks,
+            report.counters.lost_pages + report.gc.lost_pages,
+            report.counters.host_unrecoverable_reads,
+            report.counters.write_rejections,
+            if ssd.read_only() { " (device is read-only)" } else { "" }
+        );
+    }
     println!("\nlatency percentiles (measured window):");
     print!("{}", report.latency_table());
 
     // The full manifest is always written: --json wins, else results/.
     let json_path = match &cli.json {
-        Some(path) => {
-            std::fs::write(path, report.to_json()).expect("write json");
-            eprintln!("wrote {path}");
-            std::path::PathBuf::from(path)
-        }
+        Some(path) => std::path::PathBuf::from(path),
         None => {
             let stem: String = trace
                 .name
                 .chars()
                 .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
                 .collect();
-            aftl_bench::emit_json(&format!("sim_cli_{stem}_{}", report.scheme.name()), &report)
+            let dir = aftl_bench::results_dir();
+            std::fs::create_dir_all(&dir).map_err(|err| CliError::WriteOut {
+                path: dir.display().to_string(),
+                err,
+            })?;
+            dir.join(format!("sim_cli_{stem}_{}.json", report.scheme.name()))
         }
     };
+    std::fs::write(&json_path, report.to_json()).map_err(|err| CliError::WriteOut {
+        path: json_path.display().to_string(),
+        err,
+    })?;
+    eprintln!("wrote {}", json_path.display());
     if let Some(ring) = ssd.observer().events() {
         let path = json_path.with_extension("jsonl");
-        std::fs::write(&path, ring.to_jsonl()).expect("write trace jsonl");
+        std::fs::write(&path, ring.to_jsonl()).map_err(|err| CliError::WriteOut {
+            path: path.display().to_string(),
+            err,
+        })?;
         eprintln!("wrote {} ({} events)", path.display(), ring.len());
     }
+    Ok(())
 }

@@ -27,10 +27,11 @@ use crate::mapping::amt::{AcrossMapTable, AmtEntry};
 use crate::mapping::cache::{CacheStats, MapCache};
 use crate::mapping::pmt::{PageMapTable, NO_AIDX};
 use crate::obs::{SchemeEvent, SchemeEventKind};
+use crate::recover::{program_relocating, read_with_retry, PageRead, LOST_VERSION};
 use crate::request::{split_extents, HostRequest, ReqKind};
 use crate::scheme::{
-    program_normal_extent, served_from_page, served_unwritten, FtlEnv, FtlScheme, SchemeConfig,
-    SchemeKind, ServiceOutcome,
+    program_normal_extent, served_from_page, served_lost, served_unwritten, FtlEnv, FtlScheme,
+    SchemeConfig, SchemeKind, ServiceOutcome,
 };
 
 /// Modelled bytes per PMT entry (32-bit PPN + 16-bit AIdx reference):
@@ -196,10 +197,11 @@ impl AcrossFtl {
         let amt_ready = self.amt_access(env, aidx, true)?;
         let ready = ready.max(amt_ready);
 
-        let new_ppn = env.alloc.alloc_page(env.array, StreamId::Across)?;
         let bytes = env.sectors_to_bytes(req.sectors);
-        let w = env.array.program(
-            new_ppn,
+        let (new_ppn, w) = program_relocating(
+            env.array,
+            env.alloc,
+            StreamId::Across,
             PageKind::AcrossData,
             u64::from(aidx),
             bytes,
@@ -258,22 +260,35 @@ impl AcrossFtl {
         // fully re-cover it — re-writing the same range (the common hot-
         // update case) skips the read entirely.
         let needs_read = !(req.sector <= a.start_sector && a.end_sector() <= req.end_sector());
+        let mut lost_old = false;
         let data_ready = if needs_read {
-            env.array
-                .read(
-                    a.appn,
-                    env.sectors_to_bytes(a.size_sectors),
-                    env.now_ns,
-                    ready,
-                )?
-                .complete_ns
+            let r = read_with_retry(
+                env.array,
+                a.appn,
+                env.sectors_to_bytes(a.size_sectors),
+                env.now_ns,
+                ready,
+            )?;
+            if r.is_lost() {
+                lost_old = true;
+                self.counters.lost_pages += 1;
+            }
+            r.complete_ns()
         } else {
             ready
         };
-        let new_ppn = env.alloc.alloc_page(env.array, StreamId::Across)?;
         let mut stamps_opt = None;
         if env.array.tracks_content() {
-            let old = Self::area_stamps(env, &a);
+            let mut old = Self::area_stamps(env, &a);
+            if lost_old {
+                // The carried-over sectors are unrecoverable; stamp them as
+                // an acknowledged loss, not stale data.
+                if let Some(old) = old.as_mut() {
+                    for s in old.iter_mut().flatten() {
+                        s.version = LOST_VERSION;
+                    }
+                }
+            }
             let mut stamps = vec![None; spp as usize];
             if let Some(old) = old {
                 for i in 0..a.size_sectors as usize {
@@ -290,8 +305,10 @@ impl AcrossFtl {
             }
             stamps_opt = Some(stamps.into_boxed_slice());
         }
-        let w = env.array.program(
-            new_ppn,
+        let (new_ppn, w) = program_relocating(
+            env.array,
+            env.alloc,
+            StreamId::Across,
             PageKind::AcrossData,
             u64::from(aidx),
             env.sectors_to_bytes(union_size),
@@ -342,15 +359,28 @@ impl AcrossFtl {
         let ready = ready.max(amt_ready);
 
         // Read the across-page area once.
-        let r = env.array.read(
+        let r = read_with_retry(
+            env.array,
             a.appn,
             env.sectors_to_bytes(a.size_sectors),
             env.now_ns,
             ready,
         )?;
-        let mut done = r.complete_ns;
+        if r.is_lost() {
+            self.counters.lost_pages += 1;
+        }
+        let area_ready = r.complete_ns();
+        let mut done = area_ready;
         let area_stamps = if env.array.tracks_content() {
-            Self::area_stamps(env, &a)
+            let mut stamps = Self::area_stamps(env, &a);
+            if r.is_lost() {
+                if let Some(stamps) = stamps.as_mut() {
+                    for s in stamps.iter_mut().flatten() {
+                        s.version = LOST_VERSION;
+                    }
+                }
+            }
+            stamps
         } else {
             None
         };
@@ -370,7 +400,7 @@ impl AcrossFtl {
         self.clear_links(aidx, &a, spp);
 
         for extent in split_extents(fold_start, fold_end, spp) {
-            let ext_ready = self.pmt_access(env, extent.lpn, true)?.max(r.complete_ns);
+            let ext_ready = self.pmt_access(env, extent.lpn, true)?.max(area_ready);
             // Merge stamps: old normal content (if RMW), then area data,
             // then the update — newest last.
             let stamps_override = if env.array.tracks_content() {
@@ -593,26 +623,38 @@ impl FtlScheme for AcrossFtl {
 
         // Serve the area-covered sub-ranges from the across pages.
         let mut flash_reads = 0u64;
+        let mut any_lost = false;
         for (_, a) in &areas {
             let ov_start = a.start_sector.max(s);
             let ov_end = a.end_sector().min(e);
-            let r = env.array.read(
+            let r = read_with_retry(
+                env.array,
                 a.appn,
                 env.sectors_to_bytes((ov_end - ov_start) as u32),
                 env.now_ns,
                 ready,
             )?;
             flash_reads += 1;
-            outcome.merge_time(r.complete_ns);
-            if track {
-                served_from_page(
-                    env.array,
-                    a.appn,
-                    (ov_start - a.start_sector) as u32,
-                    ov_start,
-                    (ov_end - ov_start) as u32,
-                    &mut outcome.served,
-                );
+            outcome.merge_time(r.complete_ns());
+            match r {
+                PageRead::Ok(_) => {
+                    if track {
+                        served_from_page(
+                            env.array,
+                            a.appn,
+                            (ov_start - a.start_sector) as u32,
+                            ov_start,
+                            (ov_end - ov_start) as u32,
+                            &mut outcome.served,
+                        );
+                    }
+                }
+                PageRead::Lost { .. } => {
+                    any_lost = true;
+                    if track {
+                        served_lost(ov_start, (ov_end - ov_start) as u32, &mut outcome.served);
+                    }
+                }
             }
         }
 
@@ -644,25 +686,38 @@ impl FtlScheme for AcrossFtl {
             let entry = self.pmt.get(extent.lpn);
             if entry.has_ppn() {
                 let covered: u64 = gaps.iter().map(|(gs, ge)| ge - gs).sum();
-                let r = env.array.read(
+                let r = read_with_retry(
+                    env.array,
                     entry.ppn,
                     env.sectors_to_bytes(covered as u32),
                     env.now_ns,
                     ready,
                 )?;
                 flash_reads += 1;
-                outcome.merge_time(r.complete_ns);
-                if track {
-                    let page_start = extent.lpn * u64::from(spp);
-                    for (gs, ge) in &gaps {
-                        served_from_page(
-                            env.array,
-                            entry.ppn,
-                            (gs - page_start) as u32,
-                            *gs,
-                            (ge - gs) as u32,
-                            &mut outcome.served,
-                        );
+                outcome.merge_time(r.complete_ns());
+                match r {
+                    PageRead::Ok(_) => {
+                        if track {
+                            let page_start = extent.lpn * u64::from(spp);
+                            for (gs, ge) in &gaps {
+                                served_from_page(
+                                    env.array,
+                                    entry.ppn,
+                                    (gs - page_start) as u32,
+                                    *gs,
+                                    (ge - gs) as u32,
+                                    &mut outcome.served,
+                                );
+                            }
+                        }
+                    }
+                    PageRead::Lost { .. } => {
+                        any_lost = true;
+                        if track {
+                            for (gs, ge) in &gaps {
+                                served_lost(*gs, (ge - gs) as u32, &mut outcome.served);
+                            }
+                        }
                     }
                 }
             } else if track {
@@ -670,6 +725,10 @@ impl FtlScheme for AcrossFtl {
                     served_unwritten(*gs, (ge - gs) as u32, &mut outcome.served);
                 }
             }
+        }
+
+        if any_lost {
+            self.counters.host_unrecoverable_reads += 1;
         }
 
         // Classification (§3.3.2 / §4.2.1).

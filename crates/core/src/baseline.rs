@@ -14,10 +14,11 @@ use crate::counters::SchemeCounters;
 use crate::gc::{self, GcConfig, GcReport};
 use crate::mapping::cache::{CacheStats, MapCache};
 use crate::mapping::pmt::PageMapTable;
+use crate::recover::{read_with_retry, PageRead};
 use crate::request::{HostRequest, ReqKind};
 use crate::scheme::{
-    program_normal_extent, served_from_page, served_unwritten, FtlEnv, FtlScheme, SchemeConfig,
-    SchemeKind, ServiceOutcome,
+    program_normal_extent, served_from_page, served_lost, served_unwritten, FtlEnv, FtlScheme,
+    SchemeConfig, SchemeKind, ServiceOutcome,
 };
 
 /// Modelled bytes per PMT entry (a 32-bit PPN).
@@ -121,22 +122,33 @@ impl FtlScheme for BaselineFtl {
             outcome.merge_time(ready);
             let entry = self.pmt.get(extent.lpn);
             if entry.has_ppn() {
-                let r = env.array.read(
+                let r = read_with_retry(
+                    env.array,
                     entry.ppn,
                     env.sectors_to_bytes(extent.len),
                     env.now_ns,
                     ready,
                 )?;
-                outcome.merge_time(r.complete_ns);
-                if track {
-                    served_from_page(
-                        env.array,
-                        entry.ppn,
-                        extent.offset,
-                        extent.start_sector(spp),
-                        extent.len,
-                        &mut outcome.served,
-                    );
+                outcome.merge_time(r.complete_ns());
+                match r {
+                    PageRead::Ok(_) => {
+                        if track {
+                            served_from_page(
+                                env.array,
+                                entry.ppn,
+                                extent.offset,
+                                extent.start_sector(spp),
+                                extent.len,
+                                &mut outcome.served,
+                            );
+                        }
+                    }
+                    PageRead::Lost { .. } => {
+                        self.counters.host_unrecoverable_reads += 1;
+                        if track {
+                            served_lost(extent.start_sector(spp), extent.len, &mut outcome.served);
+                        }
+                    }
                 }
             } else if track {
                 served_unwritten(extent.start_sector(spp), extent.len, &mut outcome.served);

@@ -47,6 +47,20 @@ pub struct SchemeCounters {
     pub live_across_areas: u64,
     /// Total across-page areas ever created.
     pub total_across_areas: u64,
+
+    // --- fault handling ---------------------------------------------------
+    /// Pages whose data was lost after exhausting the read-retry ladder
+    /// during internal operations (RMW, merge, rollback). The replacement
+    /// page is stamped with `recover::LOST_VERSION`.
+    #[serde(default)]
+    pub lost_pages: u64,
+    /// Host reads that served at least one sector from a lost page — data
+    /// the device acknowledged but could no longer return.
+    #[serde(default)]
+    pub host_unrecoverable_reads: u64,
+    /// Host writes rejected because the device was in read-only mode.
+    #[serde(default)]
+    pub write_rejections: u64,
 }
 
 impl SchemeCounters {
@@ -95,6 +109,9 @@ impl SchemeCounters {
         self.merged_read_extra_flash_reads += o.merged_read_extra_flash_reads;
         self.live_across_areas += o.live_across_areas;
         self.total_across_areas += o.total_across_areas;
+        self.lost_pages += o.lost_pages;
+        self.host_unrecoverable_reads += o.host_unrecoverable_reads;
+        self.write_rejections += o.write_rejections;
     }
 }
 

@@ -7,6 +7,7 @@
 //! supply a remap callback that fixes their mapping tables from the
 //! migrated pages' OOB tags.
 
+use crate::recover::{lost_stamps_of, program_relocating, read_with_retry};
 use aftl_flash::{Allocator, FlashArray, FlashError, Nanos, PageInfo, Ppn, Result, StreamId};
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +39,15 @@ pub struct GcReport {
     pub erased_blocks: u64,
     /// Valid pages migrated out of victim blocks.
     pub migrated_pages: u64,
+    /// Victim blocks retired instead of reclaimed (erase failure or
+    /// worn-out endurance budget). Their pages were migrated first, so no
+    /// data is lost — only capacity.
+    #[serde(default)]
+    pub retired_blocks: u64,
+    /// Migrated pages whose source read exhausted the retry ladder; the
+    /// copy carries [`crate::recover::LOST_VERSION`] stamps.
+    #[serde(default)]
+    pub lost_pages: u64,
 }
 
 impl GcReport {
@@ -46,6 +56,8 @@ impl GcReport {
         self.triggered |= o.triggered;
         self.erased_blocks += o.erased_blocks;
         self.migrated_pages += o.migrated_pages;
+        self.retired_blocks += o.retired_blocks;
+        self.lost_pages += o.lost_pages;
     }
 }
 
@@ -59,7 +71,8 @@ impl GcReport {
 pub trait PageMigrator {
     /// Relocate one valid page (`old`, with OOB `info`). The implementation
     /// must issue the flash ops, invalidate `old`, and update its mapping
-    /// state. Returns the number of pages programmed.
+    /// state. Returns the number of pages programmed; source-read losses
+    /// are recorded in `report.lost_pages`.
     fn migrate(
         &mut self,
         array: &mut FlashArray,
@@ -67,6 +80,7 @@ pub trait PageMigrator {
         now: Nanos,
         old: Ppn,
         info: &PageInfo,
+        report: &mut GcReport,
     ) -> Result<u64>;
 
     /// Called once after the episode (flush any partially packed buffers).
@@ -75,6 +89,7 @@ pub trait PageMigrator {
         _array: &mut FlashArray,
         _alloc: &mut Allocator,
         _now: Nanos,
+        _report: &mut GcReport,
     ) -> Result<u64> {
         Ok(0)
     }
@@ -94,17 +109,34 @@ where
         now: Nanos,
         old: Ppn,
         info: &PageInfo,
+        report: &mut GcReport,
     ) -> Result<u64> {
         let page_bytes = array.geometry().page_bytes;
-        let r = array.read(old, page_bytes, now, now)?;
+        let r = read_with_retry(array, old, page_bytes, now, now)?;
+        if r.is_lost() {
+            report.lost_pages += 1;
+        }
         // Stripe migrated pages across planes: the program (2 ms) dominates
         // the migration cost, and pinning it to the victim's chip would
         // serialise a whole block's migration on one chip, stalling host
         // I/O far beyond what SSDsim's per-plane GC exhibits.
-        let new_ppn = alloc.alloc_page(array, StreamId::Gc)?;
-        array.program(new_ppn, info.kind, info.tag, page_bytes, now, r.complete_ns)?;
+        let (new_ppn, _) = program_relocating(
+            array,
+            alloc,
+            StreamId::Gc,
+            info.kind,
+            info.tag,
+            page_bytes,
+            now,
+            r.complete_ns(),
+        )?;
         if array.tracks_content() {
-            if let Some(stamps) = array.content_of(old).map(|s| s.to_vec().into_boxed_slice()) {
+            let stamps = if r.is_lost() {
+                lost_stamps_of(array, old)
+            } else {
+                array.content_of(old).map(|s| s.to_vec().into_boxed_slice())
+            };
+            if let Some(stamps) = stamps {
                 array.record_content(new_ppn, stamps);
             }
         }
@@ -147,11 +179,12 @@ pub fn maybe_collect_with(
 
     // One scan builds the victim list for the whole episode: full blocks
     // with reclaimable (invalid) pages, most-invalid first. Active blocks
-    // are excluded (they are still being programmed).
+    // are excluded (they are still being programmed), as are retired
+    // blocks (they can never be erased, so there is nothing to reclaim).
     let mut candidates: Vec<(u32, u64, u32)> = Vec::new(); // (invalid, plane, block)
     for plane in 0..array.geometry().total_planes() {
         for s in array.block_summaries(plane) {
-            if s.full && s.invalid > 0 && !alloc.is_active(s.addr) {
+            if s.full && s.invalid > 0 && !s.retired && !alloc.is_active(s.addr) {
                 candidates.push((s.invalid, s.addr.plane_idx, s.addr.block));
             }
         }
@@ -164,16 +197,27 @@ pub fn maybe_collect_with(
         }
         let victim = aftl_flash::BlockAddr { plane_idx, block };
         for (old_ppn, info) in array.valid_pages_of(victim) {
-            report.migrated_pages += migrator.migrate(array, alloc, now, old_ppn, &info)?;
+            let programs = migrator.migrate(array, alloc, now, old_ppn, &info, &mut report)?;
+            report.migrated_pages += programs;
             array.note_gc_migration();
         }
         // Safe to erase before draining packed buffers: migrate() already
-        // read the data and invalidated the source pages.
-        array.erase(victim, now)?;
-        alloc.release_block(victim);
-        report.erased_blocks += 1;
+        // read the data and invalidated the source pages. A failed or
+        // worn-out erase retires the victim instead of reclaiming it —
+        // its valid data already moved, so only capacity shrinks.
+        match array.erase(victim, now) {
+            Ok(_) => {
+                alloc.release_block(victim);
+                report.erased_blocks += 1;
+            }
+            Err(FlashError::EraseFailed { .. }) | Err(FlashError::WornOut { .. }) => {
+                report.retired_blocks += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
-    report.migrated_pages += migrator.finish(array, alloc, now)?;
+    let programs = migrator.finish(array, alloc, now, &mut report)?;
+    report.migrated_pages += programs;
 
     if alloc.free_fraction() < cfg.threshold && report.erased_blocks == 0 {
         // Nothing reclaimable: the device is genuinely full of valid data.

@@ -19,9 +19,11 @@
 //! [`mapping`] (page/across mapping tables and the DFTL-style DRAM mapping
 //! cache that spills translation pages to flash), [`gc`] (greedy garbage
 //! collection with scheme remap callbacks), [`counters`] (the event
-//! counters behind the paper's Figures 8–12), and [`oracle`] (a
+//! counters behind the paper's Figures 8–12), [`oracle`] (a
 //! sector-version mirror used by tests to prove read-your-writes across
-//! remapping, merging, rollback and GC).
+//! remapping, merging, rollback and GC), and [`recover`] (the read-retry
+//! ladder and program-failure relocation every scheme uses when fault
+//! injection is enabled).
 
 #![warn(missing_docs)]
 
@@ -33,6 +35,7 @@ pub mod mapping;
 pub mod mrsm;
 pub mod obs;
 pub mod oracle;
+pub mod recover;
 pub mod request;
 pub mod scheme;
 
@@ -44,5 +47,6 @@ pub use mapping::cache::{CacheStats, MapCache};
 pub use mrsm::MrsmFtl;
 pub use obs::{SchemeEvent, SchemeEventKind};
 pub use oracle::Oracle;
+pub use recover::{program_relocating, read_with_retry, PageRead, LOST_VERSION};
 pub use request::{HostRequest, PageExtent, ReqKind};
 pub use scheme::{FtlEnv, FtlScheme, SchemeKind, ServiceOutcome};

@@ -142,12 +142,19 @@ impl MapCache {
         }
 
         // Load from flash if a copy exists; first-touch pages materialise
-        // in DRAM directly (dirty, so they eventually reach flash).
+        // in DRAM directly (dirty, so they eventually reach flash). A load
+        // that exhausts the retry ladder only costs time: the mapping is
+        // rebuilt from the in-DRAM tables (OOB scan in a real device) and
+        // the page is re-marked dirty so a fresh copy reaches flash.
         let mut dirty = make_dirty;
         if let Some(&ppn) = self.flash_loc.get(&tpid) {
-            let out = array.read(ppn, array.geometry().page_bytes, now, now)?;
+            let r =
+                crate::recover::read_with_retry(array, ppn, array.geometry().page_bytes, now, now)?;
+            if r.is_lost() {
+                dirty = true;
+            }
             self.stats.loads += 1;
-            ready = ready.max(out.complete_ns);
+            ready = ready.max(r.complete_ns());
         } else {
             dirty = true;
         }
@@ -164,9 +171,10 @@ impl MapCache {
         now: Nanos,
         tpid: u64,
     ) -> Result<Nanos> {
-        let new_ppn = alloc.alloc_page(array, StreamId::Map)?;
-        let out = array.program(
-            new_ppn,
+        let (new_ppn, out) = crate::recover::program_relocating(
+            array,
+            alloc,
+            StreamId::Map,
             PageKind::Map,
             tpid,
             array.geometry().page_bytes,

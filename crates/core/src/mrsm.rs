@@ -19,6 +19,7 @@ use aftl_flash::{Nanos, PageKind, Ppn, Result, SectorStamp, StreamId};
 use crate::counters::SchemeCounters;
 use crate::gc::{self, GcConfig, GcReport};
 use crate::mapping::cache::{CacheStats, MapCache};
+use crate::recover::{lost_stamps_of, program_relocating, read_with_retry, PageRead, LOST_VERSION};
 use crate::request::{HostRequest, ReqKind};
 use crate::scheme::{
     served_unwritten, FtlEnv, FtlScheme, SchemeConfig, SchemeKind, ServiceOutcome,
@@ -192,9 +193,10 @@ impl MrsmFtl {
         for sub in 0..SUBS_PER_PAGE {
             self.evict_sub(env, lpn, sub)?;
         }
-        let new_ppn = env.alloc.alloc_page(env.array, StreamId::Data)?;
-        let w = env.array.program(
-            new_ppn,
+        let (new_ppn, w) = program_relocating(
+            env.array,
+            env.alloc,
+            StreamId::Data,
             PageKind::Data,
             lpn,
             env.page_bytes(),
@@ -312,19 +314,29 @@ impl FtlScheme for MrsmFtl {
             }
             if let Some(loc) = self.loc_of(sw.lpn, sw.sub) {
                 if let std::collections::hash_map::Entry::Vacant(e) = old_reads.entry(loc.ppn) {
-                    let r = env.array.read(
+                    let r = read_with_retry(
+                        env.array,
                         loc.ppn,
                         env.sectors_to_bytes(spp / SUBS_PER_PAGE),
                         env.now_ns,
                         ready,
                     )?;
                     self.counters.rmw_reads += 1;
+                    if r.is_lost() {
+                        self.counters.lost_pages += 1;
+                    }
                     if track {
                         if let Some(c) = env.array.content_of(loc.ppn) {
-                            old_stamps.insert(loc.ppn, c.to_vec());
+                            let mut c = c.to_vec();
+                            if r.is_lost() {
+                                for s in c.iter_mut().flatten() {
+                                    s.version = LOST_VERSION;
+                                }
+                            }
+                            old_stamps.insert(loc.ppn, c);
                         }
                     }
-                    e.insert(r.complete_ns);
+                    e.insert(r.complete_ns());
                 }
             }
         }
@@ -339,7 +351,6 @@ impl FtlScheme for MrsmFtl {
                     }
                 }
             }
-            let new_ppn = env.alloc.alloc_page(env.array, StreamId::Across)?;
             let bytes = env.sectors_to_bytes(group.len() as u32 * (spp / SUBS_PER_PAGE));
             // Stamps assembled before the old locations are evicted.
             let stamps = if track {
@@ -368,8 +379,10 @@ impl FtlScheme for MrsmFtl {
             } else {
                 None
             };
-            let w = env.array.program(
-                new_ppn,
+            let (new_ppn, w) = program_relocating(
+                env.array,
+                env.alloc,
+                StreamId::Across,
                 PageKind::AcrossData,
                 group[0].lpn,
                 bytes,
@@ -443,6 +456,7 @@ impl FtlScheme for MrsmFtl {
 
         // One flash read per distinct page.
         let mut read_pages: HashMap<Ppn, Nanos> = HashMap::new();
+        let mut lost_pages: HashSet<Ppn> = HashSet::new();
         for p in &pieces {
             if let std::collections::hash_map::Entry::Vacant(e) = read_pages.entry(p.ppn) {
                 let total: u32 = pieces
@@ -450,23 +464,37 @@ impl FtlScheme for MrsmFtl {
                     .filter(|q| q.ppn == p.ppn)
                     .map(|q| q.len)
                     .sum();
-                let r = env
-                    .array
-                    .read(p.ppn, env.sectors_to_bytes(total), env.now_ns, ready)?;
-                e.insert(r.complete_ns);
-                outcome.merge_time(r.complete_ns);
+                let r = read_with_retry(
+                    env.array,
+                    p.ppn,
+                    env.sectors_to_bytes(total),
+                    env.now_ns,
+                    ready,
+                )?;
+                if let PageRead::Lost { .. } = r {
+                    lost_pages.insert(p.ppn);
+                }
+                e.insert(r.complete_ns());
+                outcome.merge_time(r.complete_ns());
             }
+        }
+        if !lost_pages.is_empty() {
+            self.counters.host_unrecoverable_reads += 1;
         }
         if track {
             for p in &pieces {
-                crate::scheme::served_from_page(
-                    env.array,
-                    p.ppn,
-                    p.page_offset,
-                    p.sector,
-                    p.len,
-                    &mut outcome.served,
-                );
+                if lost_pages.contains(&p.ppn) {
+                    crate::scheme::served_lost(p.sector, p.len, &mut outcome.served);
+                } else {
+                    crate::scheme::served_from_page(
+                        env.array,
+                        p.ppn,
+                        p.page_offset,
+                        p.sector,
+                        p.len,
+                        &mut outcome.served,
+                    );
+                }
             }
         }
         Ok(outcome)
@@ -583,9 +611,10 @@ impl MrsmMigrator<'_> {
         let sub_sectors = u64::from(self.spp / SUBS_PER_PAGE);
         let sector_bytes = array.geometry().sector_bytes;
         let ready = chunk.iter().map(|p| p.ready).max().unwrap_or(now);
-        let new_ppn = alloc.alloc_page(array, StreamId::Gc)?;
-        array.program(
-            new_ppn,
+        let (new_ppn, _) = program_relocating(
+            array,
+            alloc,
+            StreamId::Gc,
             PageKind::AcrossData,
             chunk[0].lpn,
             n as u32 * sub_sectors as u32 * sector_bytes,
@@ -627,15 +656,27 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
         now: Nanos,
         old: Ppn,
         info: &aftl_flash::PageInfo,
+        report: &mut GcReport,
     ) -> Result<u64> {
         self.counters.dram_accesses += 1;
         let page_bytes = array.geometry().page_bytes;
         let sub_sectors = (self.spp / SUBS_PER_PAGE) as usize;
 
         if info.kind == PageKind::Map {
-            let r = array.read(old, page_bytes, now, now)?;
-            let new = alloc.alloc_page(array, StreamId::Gc)?;
-            array.program(new, PageKind::Map, info.tag, page_bytes, now, r.complete_ns)?;
+            let r = read_with_retry(array, old, page_bytes, now, now)?;
+            if r.is_lost() {
+                report.lost_pages += 1;
+            }
+            let (new, _) = program_relocating(
+                array,
+                alloc,
+                StreamId::Gc,
+                PageKind::Map,
+                info.tag,
+                page_bytes,
+                now,
+                r.complete_ns(),
+            )?;
             array.invalidate(old)?;
             self.cache.note_migrated(info.tag, new);
             return Ok(1);
@@ -649,13 +690,29 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
         // Fully live page-mapped pages move one-to-one.
         let page_mapped_full = res.len() == SUBS_PER_PAGE as usize
             && matches!(self.map.get(&res[0].0), Some(LpnMap::Page(p)) if *p == old);
-        let r = array.read(old, page_bytes, now, now)?;
+        let r = read_with_retry(array, old, page_bytes, now, now)?;
+        if r.is_lost() {
+            report.lost_pages += 1;
+        }
         if page_mapped_full {
             let owner_lpn = res[0].0;
-            let new = alloc.alloc_page(array, StreamId::Gc)?;
-            array.program(new, info.kind, info.tag, page_bytes, now, r.complete_ns)?;
+            let (new, _) = program_relocating(
+                array,
+                alloc,
+                StreamId::Gc,
+                info.kind,
+                info.tag,
+                page_bytes,
+                now,
+                r.complete_ns(),
+            )?;
             if array.tracks_content() {
-                if let Some(s) = array.content_of(old).map(|s| s.to_vec().into_boxed_slice()) {
+                let stamps = if r.is_lost() {
+                    lost_stamps_of(array, old)
+                } else {
+                    array.content_of(old).map(|s| s.to_vec().into_boxed_slice())
+                };
+                if let Some(s) = stamps {
                     array.record_content(new, s);
                 }
             }
@@ -667,7 +724,11 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
         }
 
         // Sparse page: lift the live sub-regions into the repack buffer.
-        let content = array.content_of(old).map(|c| c.to_vec());
+        let content = if r.is_lost() {
+            lost_stamps_of(array, old).map(|c| c.to_vec())
+        } else {
+            array.content_of(old).map(|c| c.to_vec())
+        };
         self.residents.remove(&old);
         for (lpn, sub) in res {
             let slot = match self.map.get(&lpn) {
@@ -688,7 +749,7 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
                 lpn,
                 sub,
                 stamps,
-                ready: r.complete_ns,
+                ready: r.complete_ns(),
             });
         }
         array.invalidate(old)?;
@@ -705,6 +766,7 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
         array: &mut aftl_flash::FlashArray,
         alloc: &mut aftl_flash::Allocator,
         now: Nanos,
+        _report: &mut GcReport,
     ) -> Result<u64> {
         let mut programs = 0;
         while !self.pending.is_empty() {

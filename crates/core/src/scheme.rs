@@ -12,6 +12,7 @@ use crate::gc::GcReport;
 use crate::mapping::cache::CacheStats;
 use crate::mapping::pmt::PageMapTable;
 use crate::obs::SchemeEvent;
+use crate::recover::{lost_stamps_of, program_relocating, read_with_retry, PageRead, LOST_VERSION};
 use crate::request::{HostRequest, PageExtent};
 
 /// Which scheme a trait object implements (for reports).
@@ -83,7 +84,9 @@ pub struct ServedSector {
     pub sector: u64,
     /// Write generation served; 0 for never-written sectors. `u64::MAX`
     /// flags a page whose OOB stamp disagrees with the requested sector —
-    /// i.e. a mapping bug.
+    /// i.e. a mapping bug. [`crate::recover::LOST_VERSION`] (`u64::MAX - 1`)
+    /// marks data the device lost to unrecoverable read failures and
+    /// *acknowledged* losing — not a bug, a modelled fault outcome.
     pub version: u64,
 }
 
@@ -246,21 +249,42 @@ pub(crate) fn program_normal_extent(
     let rmw = !extent.is_full_page(spp) && old.is_valid();
     if rmw {
         // Read the old copy to preserve the sectors the extent misses.
-        let r = array.read(old, page_bytes, arrive_ns, ready)?;
-        counters.rmw_reads += 1;
-        ready = r.complete_ns;
-        if array.tracks_content() {
-            base_stamps = array.content_of(old).map(|s| s.to_vec().into_boxed_slice());
+        match read_with_retry(array, old, page_bytes, arrive_ns, ready)? {
+            PageRead::Ok(r) => {
+                ready = r.complete_ns;
+                if array.tracks_content() {
+                    base_stamps = array.content_of(old).map(|s| s.to_vec().into_boxed_slice());
+                }
+            }
+            PageRead::Lost { complete_ns } => {
+                // The sectors the extent misses are gone; the merged page
+                // carries LOST_VERSION stamps for them so later reads
+                // report the acknowledged loss instead of stale data.
+                ready = complete_ns;
+                counters.lost_pages += 1;
+                if array.tracks_content() {
+                    base_stamps = lost_stamps_of(array, old);
+                }
+            }
         }
+        counters.rmw_reads += 1;
     }
 
-    let new_ppn = alloc.alloc_page(array, StreamId::Data)?;
     let bytes = if rmw {
         page_bytes
     } else {
         extent.len * sector_bytes
     };
-    let w = array.program(new_ppn, PageKind::Data, extent.lpn, bytes, arrive_ns, ready)?;
+    let (new_ppn, w) = program_relocating(
+        array,
+        alloc,
+        StreamId::Data,
+        PageKind::Data,
+        extent.lpn,
+        bytes,
+        arrive_ns,
+        ready,
+    )?;
     if array.tracks_content() {
         let stamps = stamps_override
             .unwrap_or_else(|| extent_stamps(spp, extent, version, base_stamps.as_deref()));
@@ -302,6 +326,17 @@ pub(crate) fn served_unwritten(first_sector: u64, count: u32, out: &mut Vec<Serv
         out.push(ServedSector {
             sector: first_sector + u64::from(i),
             version: 0,
+        });
+    }
+}
+
+/// Served-sector provenance for sectors whose page was lost after the
+/// read-retry ladder was exhausted: the device acknowledges the loss.
+pub(crate) fn served_lost(first_sector: u64, count: u32, out: &mut Vec<ServedSector>) {
+    for i in 0..count {
+        out.push(ServedSector {
+            sector: first_sector + u64::from(i),
+            version: LOST_VERSION,
         });
     }
 }

@@ -136,18 +136,25 @@ impl Allocator {
             if let Some(page) = array.next_free_page(addr) {
                 return Some(array.ppn_in_block(addr, page));
             }
-            plane.active[slot] = None; // block filled up
+            plane.active[slot] = None; // block filled up (or was retired)
         }
-        let block = plane.free_list.pop_front()?;
-        self.free_blocks -= 1;
-        let addr = BlockAddr { plane_idx, block };
-        debug_assert_eq!(
-            array.next_free_page(addr),
-            Some(0),
-            "free-list block must be erased"
-        );
-        self.planes[plane_idx as usize].active[slot] = Some(addr);
-        Some(array.ppn_in_block(addr, 0))
+        // Skip blocks the bad-block manager retired while they sat in the
+        // free list (e.g. a worn-out block that was already erased).
+        loop {
+            let block = self.planes[plane_idx as usize].free_list.pop_front()?;
+            self.free_blocks -= 1;
+            let addr = BlockAddr { plane_idx, block };
+            if array.is_retired(addr) {
+                continue;
+            }
+            debug_assert_eq!(
+                array.next_free_page(addr),
+                Some(0),
+                "free-list block must be erased"
+            );
+            self.planes[plane_idx as usize].active[slot] = Some(addr);
+            return Some(array.ppn_in_block(addr, 0));
+        }
     }
 }
 
@@ -249,6 +256,37 @@ mod tests {
         let p = alloc.alloc_page(&array, StreamId::Data).unwrap();
         let addr = array.block_addr_of(p);
         assert!(alloc.is_active(addr));
+    }
+
+    #[test]
+    fn retired_free_list_blocks_are_skipped() {
+        let (mut array, mut alloc) = setup();
+        let bad = BlockAddr {
+            plane_idx: 0,
+            block: 0,
+        };
+        array.retire_block(bad);
+        alloc.cursor = 0;
+        let p = alloc.alloc_page(&array, StreamId::Data).unwrap();
+        assert_ne!(
+            array.block_addr_of(p),
+            bad,
+            "allocator must not hand out a retired block"
+        );
+    }
+
+    #[test]
+    fn retired_active_block_is_evicted() {
+        let (mut array, mut alloc) = setup();
+        alloc.cursor = 0;
+        let p = alloc.alloc_page(&array, StreamId::Data).unwrap();
+        let addr = array.block_addr_of(p);
+        array.retire_block(addr);
+        // The active block no longer programs; the next allocation in the
+        // same plane claims a fresh block through the normal refill path.
+        alloc.cursor = 0;
+        let q = alloc.alloc_page(&array, StreamId::Data).unwrap();
+        assert_ne!(array.block_addr_of(q), addr);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::collections::HashMap;
 
 use crate::block::{Block, BlockAddr, BlockSummary};
 use crate::error::FlashError;
+use crate::faults::{FaultConfig, FaultInjector};
 use crate::geometry::{Geometry, PageAddr, Ppn};
 use crate::page::{PageInfo, PageKind, SectorStamp};
 use crate::stats::FlashStats;
@@ -54,6 +55,9 @@ pub struct FlashOpRecord {
     pub latency_ns: Nanos,
     /// Completion timestamp.
     pub complete_ns: Nanos,
+    /// Whether the operation failed (fault injection). Failed operations
+    /// still occupy the chip for their full duration.
+    pub failed: bool,
 }
 
 /// Per-plane state: the plane's blocks plus a free-block counter used by
@@ -78,6 +82,13 @@ pub struct FlashArray {
     /// Optional per-operation log for the observability layer. `None` keeps
     /// the hot path to a single branch per operation.
     op_log: Option<Vec<FlashOpRecord>>,
+    /// Seeded fault decision stream; a single-branch no-op when the fault
+    /// config is disabled (the default).
+    injector: FaultInjector,
+    /// Erase-endurance budget per block (`u64::MAX` = unlimited).
+    erase_endurance: u64,
+    /// Read-retry ladder depth the FTL's recovery helpers use.
+    read_retries: u32,
 }
 
 impl FlashArray {
@@ -101,7 +112,26 @@ impl FlashArray {
             stats: FlashStats::default(),
             content: None,
             op_log: None,
+            injector: FaultInjector::new(&FaultConfig::disabled()),
+            erase_endurance: u64::MAX,
+            read_retries: FaultConfig::disabled().read_retries,
         })
+    }
+
+    /// Install a fault configuration (injected failures + erase-endurance
+    /// budget). Call before issuing operations; re-configuring resets the
+    /// injector's decision stream to the config's seed.
+    pub fn configure_faults(&mut self, cfg: &FaultConfig) {
+        self.injector = FaultInjector::new(cfg);
+        self.erase_endurance = cfg.erase_endurance;
+        self.read_retries = cfg.read_retries;
+    }
+
+    /// Read-retry ladder depth from the installed fault config (how many
+    /// times recovery re-issues a failed read before declaring loss).
+    #[inline]
+    pub fn read_retries(&self) -> u32 {
+        self.read_retries
     }
 
     /// Enable sector-stamp content tracking (test/oracle use; costs memory
@@ -136,12 +166,25 @@ impl FlashArray {
 
     #[inline]
     fn log_op(&mut self, op: FlashOp, kind: PageKind, issued_ns: Nanos, out: OpOutcome) {
+        self.log_op_outcome(op, kind, issued_ns, out, false)
+    }
+
+    #[inline]
+    fn log_op_outcome(
+        &mut self,
+        op: FlashOp,
+        kind: PageKind,
+        issued_ns: Nanos,
+        out: OpOutcome,
+        failed: bool,
+    ) {
         if let Some(log) = &mut self.op_log {
             log.push(FlashOpRecord {
                 op,
                 kind,
                 latency_ns: out.latency_from(issued_ns),
                 complete_ns: out.complete_ns,
+                failed,
             });
         }
     }
@@ -264,6 +307,7 @@ impl FlashArray {
                 invalid: b.invalid_count(),
                 erases: b.erase_count(),
                 full: b.is_full(),
+                retired: b.is_retired(),
             }
         })
     }
@@ -278,12 +322,41 @@ impl FlashArray {
             invalid: b.invalid_count(),
             erases: b.erase_count(),
             full: b.is_full(),
+            retired: b.is_retired(),
         }
     }
 
-    /// Next programmable page of a block, if any.
+    /// Next programmable page of a block, if any (`None` for retired
+    /// blocks).
     pub fn next_free_page(&self, addr: BlockAddr) -> Option<u32> {
         self.planes[addr.plane_idx as usize].blocks[addr.block as usize].next_free_page()
+    }
+
+    // ---- bad-block management ---------------------------------------------
+
+    /// Whether a block has been retired by the bad-block manager.
+    pub fn is_retired(&self, addr: BlockAddr) -> bool {
+        self.planes[addr.plane_idx as usize].blocks[addr.block as usize].is_retired()
+    }
+
+    /// Retire a block: it stops accepting programs and never rejoins the
+    /// free pool. Idempotent; adjusts the plane's free-block count when a
+    /// still-erased block is retired.
+    pub fn retire_block(&mut self, addr: BlockAddr) {
+        self.retire_at(addr.plane_idx as usize, addr.block as usize)
+    }
+
+    fn retire_at(&mut self, plane: usize, block: usize) {
+        let blk = &mut self.planes[plane].blocks[block];
+        if blk.is_retired() {
+            return;
+        }
+        let was_free = blk.is_free();
+        blk.retire();
+        if was_free {
+            self.planes[plane].free_blocks -= 1;
+        }
+        self.stats.retired_blocks += 1;
     }
 
     /// Valid pages of a block with their OOB info (GC migration source).
@@ -369,6 +442,14 @@ impl FlashArray {
             self.timing.read_ns,
             xfer,
         );
+        if self.injector.fail_read() {
+            // The failed attempt occupied the chip for its full duration;
+            // a retry re-queues behind it, which is exactly the retry
+            // ladder's timing penalty.
+            self.stats.read_faults += 1;
+            self.log_op_outcome(FlashOp::Read, info.kind, arrive_ns, out, true);
+            return Err(FlashError::ReadFailed(ppn));
+        }
         self.stats.reads.bump(info.kind);
         self.log_op(FlashOp::Read, info.kind, arrive_ns, out);
         Ok(out)
@@ -391,6 +472,9 @@ impl FlashArray {
         let (plane, block, page) = self.split(ppn)?;
         {
             let blk = &mut self.planes[plane].blocks[block];
+            if blk.is_retired() {
+                return Err(FlashError::ProgramNonFree(ppn));
+            }
             if !blk.page(page).is_free() {
                 return Err(FlashError::ProgramNonFree(ppn));
             }
@@ -416,26 +500,86 @@ impl FlashArray {
             self.timing.program_ns,
             xfer,
         );
+        if self.injector.fail_program() {
+            // The page is consumed by the failed attempt (write_ptr has
+            // already advanced, keeping in-block sequencing consistent) and
+            // the whole block is retired — NAND program failures are a
+            // block-level symptom. The FTL re-programs elsewhere.
+            let blk = &mut self.planes[plane].blocks[block];
+            blk.invalidate(page);
+            self.retire_at(plane, block);
+            self.stats.program_faults += 1;
+            self.log_op_outcome(FlashOp::Program, kind, arrive_ns, out, true);
+            return Err(FlashError::ProgramFailed(ppn));
+        }
         self.stats.programs.bump(kind);
         self.log_op(FlashOp::Program, kind, arrive_ns, out);
         Ok(out)
     }
 
     /// Erase a block. All its pages must already be invalid (or free).
+    ///
+    /// Fault paths: a block whose erase count has reached the endurance
+    /// budget is retired and the call returns [`FlashError::WornOut`]; an
+    /// injected erase failure retires the block (its pages stay in place,
+    /// the chip is still occupied for the erase duration) and returns
+    /// [`FlashError::EraseFailed`]. Either way the block does not rejoin
+    /// the free pool — callers must not `release_block` it.
     pub fn erase(&mut self, addr: BlockAddr, at_ns: Nanos) -> Result<OpOutcome> {
         let first = self.first_ppn_of(addr);
         let chip = self.geometry.chip_index_of(first) as usize;
-        let blk = &mut self.planes[addr.plane_idx as usize].blocks[addr.block as usize];
-        if blk.valid_count() > 0 {
-            return Err(FlashError::EraseWithValidPages {
+        let (plane, block) = (addr.plane_idx as usize, addr.block as usize);
+        let (retired, valid, erases, was_free) = {
+            let blk = &self.planes[plane].blocks[block];
+            (
+                blk.is_retired(),
+                blk.valid_count(),
+                blk.erase_count(),
+                blk.is_free(),
+            )
+        };
+        if retired {
+            return Err(FlashError::EraseFailed {
                 block_first_ppn: first,
-                valid: blk.valid_count(),
             });
         }
-        let was_free = blk.is_free();
-        blk.erase();
+        if valid > 0 {
+            return Err(FlashError::EraseWithValidPages {
+                block_first_ppn: first,
+                valid,
+            });
+        }
+        if erases >= self.erase_endurance {
+            // Worn out: the budget is device-resident knowledge, so the
+            // cycle is not attempted and no timing is charged.
+            self.stats.worn_out_blocks += 1;
+            self.retire_at(plane, block);
+            return Err(FlashError::WornOut {
+                block_first_ppn: first,
+                erases,
+            });
+        }
+        if self.injector.fail_erase() {
+            // A failed erase still occupies the chip; the block is retired
+            // with its (all-invalid) pages in place.
+            self.stats.erase_faults += 1;
+            self.retire_at(plane, block);
+            let start = at_ns.max(self.chip_busy[chip]);
+            let complete = start + self.timing.erase_ns;
+            self.stats.chip_busy_ns += complete - start;
+            self.chip_busy[chip] = complete;
+            let out = OpOutcome {
+                start_ns: start,
+                complete_ns: complete,
+            };
+            self.log_op_outcome(FlashOp::Erase, PageKind::Data, at_ns, out, true);
+            return Err(FlashError::EraseFailed {
+                block_first_ppn: first,
+            });
+        }
+        self.planes[plane].blocks[block].erase();
         if !was_free {
-            self.planes[addr.plane_idx as usize].free_blocks += 1;
+            self.planes[plane].free_blocks += 1;
         }
         if let Some(content) = &mut self.content {
             for p in 0..self.geometry.pages_per_block {
@@ -664,6 +808,143 @@ mod tests {
         let mut again = Vec::new();
         a.drain_op_log(&mut again);
         assert!(again.is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn worn_out_block_is_retired_at_endurance() {
+        let mut a = tiny_array();
+        a.configure_faults(&FaultConfig {
+            erase_endurance: 2,
+            ..FaultConfig::disabled()
+        });
+        let blk = a.block_addr_of(Ppn(0));
+        for _ in 0..2 {
+            a.program(Ppn(0), PageKind::Data, 1, 512, 0, 0).unwrap();
+            a.invalidate(Ppn(0)).unwrap();
+            a.erase(blk, 0).unwrap();
+        }
+        // The budget is spent; the next cycle wears the block out.
+        a.program(Ppn(0), PageKind::Data, 1, 512, 0, 0).unwrap();
+        a.invalidate(Ppn(0)).unwrap();
+        assert_eq!(
+            a.erase(blk, 0),
+            Err(FlashError::WornOut {
+                block_first_ppn: Ppn(0),
+                erases: 2,
+            })
+        );
+        assert!(a.is_retired(blk));
+        assert_eq!(a.stats().worn_out_blocks, 1);
+        assert_eq!(a.stats().retired_blocks, 1);
+        assert_eq!(a.next_free_page(blk), None);
+        // Retired blocks reject further erases without re-counting.
+        assert!(matches!(
+            a.erase(blk, 0),
+            Err(FlashError::EraseFailed { .. })
+        ));
+        assert_eq!(a.stats().retired_blocks, 1);
+    }
+
+    #[test]
+    fn default_endurance_never_wears_out() {
+        let mut a = tiny_array();
+        let blk = a.block_addr_of(Ppn(0));
+        for _ in 0..50 {
+            a.program(Ppn(0), PageKind::Data, 1, 512, 0, 0).unwrap();
+            a.invalidate(Ppn(0)).unwrap();
+            a.erase(blk, 0).unwrap();
+        }
+        assert!(!a.is_retired(blk));
+        assert_eq!(a.stats().worn_out_blocks, 0);
+    }
+
+    #[test]
+    fn injected_read_failure_keeps_page_and_counts() {
+        let mut a = tiny_array();
+        a.program(Ppn(0), PageKind::Data, 1, 4096, 0, 0).unwrap();
+        a.configure_faults(&FaultConfig {
+            seed: 1,
+            read_fail_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        a.enable_op_log();
+        assert_eq!(
+            a.read(Ppn(0), 4096, 0, 0),
+            Err(FlashError::ReadFailed(Ppn(0)))
+        );
+        assert_eq!(a.stats().read_faults, 1);
+        assert_eq!(a.stats().reads.total(), 0, "failed reads not in KindCounts");
+        assert!(a.page_info(Ppn(0)).unwrap().is_valid(), "data survives");
+        let mut ops = Vec::new();
+        a.drain_op_log(&mut ops);
+        assert_eq!(ops.len(), 1);
+        assert!(ops[0].failed);
+        assert!(ops[0].latency_ns > 0, "failed read occupies the chip");
+    }
+
+    #[test]
+    fn injected_program_failure_retires_block_and_consumes_page() {
+        let mut a = tiny_array();
+        a.configure_faults(&FaultConfig {
+            seed: 1,
+            program_fail_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        assert_eq!(
+            a.program(Ppn(0), PageKind::Data, 1, 512, 0, 0),
+            Err(FlashError::ProgramFailed(Ppn(0)))
+        );
+        let blk = a.block_addr_of(Ppn(0));
+        assert!(a.is_retired(blk));
+        assert_eq!(a.stats().program_faults, 1);
+        assert_eq!(a.stats().retired_blocks, 1);
+        assert!(a.page_info(Ppn(0)).unwrap().is_invalid(), "page consumed");
+        // The retired block accepts no further programs.
+        assert!(matches!(
+            a.program(Ppn(1), PageKind::Data, 2, 512, 0, 0),
+            Err(FlashError::ProgramNonFree(_))
+        ));
+    }
+
+    #[test]
+    fn injected_erase_failure_retires_block() {
+        let mut a = tiny_array();
+        a.program(Ppn(0), PageKind::Data, 1, 512, 0, 0).unwrap();
+        a.invalidate(Ppn(0)).unwrap();
+        a.configure_faults(&FaultConfig {
+            seed: 1,
+            erase_fail_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        let blk = a.block_addr_of(Ppn(0));
+        assert!(matches!(
+            a.erase(blk, 0),
+            Err(FlashError::EraseFailed { .. })
+        ));
+        assert!(a.is_retired(blk));
+        assert_eq!(a.stats().erase_faults, 1);
+        assert!(
+            a.free_block_fraction() < 1.0,
+            "retired block never returns to the free pool"
+        );
+    }
+
+    #[test]
+    fn retiring_a_free_block_adjusts_free_count() {
+        let mut a = tiny_array();
+        let before = a.free_blocks_in_plane(0);
+        a.retire_block(BlockAddr {
+            plane_idx: 0,
+            block: 0,
+        });
+        assert_eq!(a.free_blocks_in_plane(0), before - 1);
+        // Idempotent.
+        a.retire_block(BlockAddr {
+            plane_idx: 0,
+            block: 0,
+        });
+        assert_eq!(a.free_blocks_in_plane(0), before - 1);
+        assert_eq!(a.stats().retired_blocks, 1);
     }
 
     #[test]

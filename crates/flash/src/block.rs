@@ -22,6 +22,10 @@ pub struct Block {
     valid_count: u32,
     invalid_count: u32,
     erase_count: u64,
+    /// Bad-block flag: a retired block never accepts programs again and
+    /// never returns to the allocator's free pool.
+    #[serde(default)]
+    retired: bool,
 }
 
 impl Block {
@@ -32,6 +36,7 @@ impl Block {
             valid_count: 0,
             invalid_count: 0,
             erase_count: 0,
+            retired: false,
         }
     }
 
@@ -45,10 +50,12 @@ impl Block {
         &self.pages[idx as usize]
     }
 
-    /// Next page index the block can program, or `None` when full.
+    /// Next page index the block can program, or `None` when full or
+    /// retired (a retired active block thereby drains out of the
+    /// allocator's rotation through the normal "block filled up" path).
     #[inline]
     pub fn next_free_page(&self) -> Option<u32> {
-        (self.write_ptr < self.pages_per_block()).then_some(self.write_ptr)
+        (!self.retired && self.write_ptr < self.pages_per_block()).then_some(self.write_ptr)
     }
 
     /// Whether every page has been programmed.
@@ -76,6 +83,17 @@ impl Block {
     #[inline]
     pub fn erase_count(&self) -> u64 {
         self.erase_count
+    }
+
+    /// Whether the block has been retired by the bad-block manager.
+    #[inline]
+    pub fn is_retired(&self) -> bool {
+        self.retired
+    }
+
+    /// Retire the block (program/erase failure or worn out). Idempotent.
+    pub(crate) fn retire(&mut self) {
+        self.retired = true;
     }
 
     /// Mark page `idx` programmed with the given kind/tag. Enforces the
@@ -141,6 +159,7 @@ pub struct BlockSummary {
     pub invalid: u32,
     pub erases: u64,
     pub full: bool,
+    pub retired: bool,
 }
 
 #[cfg(test)]
@@ -173,6 +192,18 @@ mod tests {
         assert!(b.is_free());
         assert_eq!(b.erase_count(), 1);
         assert_eq!(b.next_free_page(), Some(0));
+    }
+
+    #[test]
+    fn retired_block_stops_accepting_programs() {
+        let mut b = Block::new(4);
+        b.program(0, PageKind::Data, 1).unwrap();
+        assert!(!b.is_retired());
+        b.retire();
+        assert!(b.is_retired());
+        assert_eq!(b.next_free_page(), None, "retired block must not program");
+        b.retire(); // idempotent
+        assert!(b.is_retired());
     }
 
     #[test]

@@ -4,10 +4,14 @@ use crate::geometry::Ppn;
 
 /// Errors surfaced by the NAND substrate.
 ///
-/// In a correct FTL most of these indicate a protocol violation (programming
-/// a non-free page, reading a free page, …) rather than a runtime condition,
-/// so the simulator treats them as bugs and the tests assert they never
-/// appear.
+/// Two families live here. The protocol violations (programming a non-free
+/// page, reading a free page, …) indicate FTL bugs; the simulator treats
+/// them as such and the tests assert they never appear. The fault-injection
+/// variants (`ReadFailed`, `ProgramFailed`, `EraseFailed`, `WornOut`,
+/// `ReadOnlyMode`) are *runtime conditions* a robust FTL must recover from:
+/// they appear whenever a [`crate::FaultConfig`] enables them, and the
+/// recovery paths in `aftl-core` handle them (retry, re-program elsewhere,
+/// retire the block).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlashError {
     /// The geometry description is inconsistent.
@@ -29,8 +33,23 @@ pub enum FlashError {
     /// The device ran out of free blocks in every plane (GC failed to keep
     /// up or over-provisioning is exhausted).
     NoFreeBlocks,
-    /// A block exceeded its erase endurance budget.
+    /// A block exceeded its erase endurance budget. The block has been
+    /// retired; its pages were reclaimed but it will never rejoin the free
+    /// pool.
     WornOut { block_first_ppn: Ppn, erases: u64 },
+    /// An injected transient read failure: the page still holds its data
+    /// and a retry may succeed.
+    ReadFailed(Ppn),
+    /// An injected program failure: the target page is unusable and its
+    /// block has been retired; the FTL must re-program elsewhere.
+    ProgramFailed(Ppn),
+    /// An injected erase failure: the block has been retired and does not
+    /// return to the free pool.
+    EraseFailed { block_first_ppn: Ppn },
+    /// The device is in read-only (graceful-degradation) mode: spare
+    /// blocks fell below the configured threshold, so host writes are
+    /// rejected while reads keep being served.
+    ReadOnlyMode,
 }
 
 impl std::fmt::Display for FlashError {
@@ -64,6 +83,14 @@ impl std::fmt::Display for FlashError {
                 f,
                 "block at {block_first_ppn} exceeded erase endurance ({erases} erases)"
             ),
+            FlashError::ReadFailed(ppn) => write!(f, "transient read failure at {ppn}"),
+            FlashError::ProgramFailed(ppn) => write!(f, "program failure at {ppn}, block retired"),
+            FlashError::EraseFailed { block_first_ppn } => {
+                write!(f, "erase failure at block {block_first_ppn}, block retired")
+            }
+            FlashError::ReadOnlyMode => {
+                write!(f, "device is in read-only mode (spare blocks exhausted)")
+            }
         }
     }
 }

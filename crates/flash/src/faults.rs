@@ -1,0 +1,266 @@
+//! Deterministic, seeded fault injection for the NAND substrate.
+//!
+//! Real NAND misbehaves: reads fail transiently (and succeed on retry),
+//! programs fail (the block must be retired and the page re-programmed
+//! elsewhere), erases fail, and blocks wear out after a bounded number of
+//! program/erase cycles. [`FaultConfig`] describes those behaviours as
+//! per-operation probabilities plus an erase-endurance budget; the
+//! [`FaultInjector`] turns them into a *deterministic* decision stream —
+//! identical seed and operation sequence produce byte-identical fault
+//! decisions, so any failing run can be replayed exactly.
+//!
+//! The default configuration ([`FaultConfig::disabled`]) injects nothing
+//! and charges nothing: the injector short-circuits on a single boolean, so
+//! fault machinery is zero-cost for the existing experiments.
+
+use serde::{Deserialize, Serialize};
+
+fn default_endurance() -> u64 {
+    u64::MAX
+}
+
+fn default_read_retries() -> u32 {
+    8
+}
+
+/// Fault-injection knobs for a simulated device. All probabilities are per
+/// flash operation and independent; `0.0` disables that fault class and
+/// `>= 1.0` makes every operation of that class fail (useful in tests that
+/// exercise the unrecoverable paths deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for the injector's RNG. Identical seed + identical operation
+    /// sequence ⇒ identical fault decisions.
+    #[serde(default)]
+    pub seed: u64,
+    /// Probability that a page read fails transiently (succeeds on retry).
+    #[serde(default)]
+    pub read_fail_rate: f64,
+    /// Probability that a page program fails; the block is retired and the
+    /// FTL must re-program the page elsewhere.
+    #[serde(default)]
+    pub program_fail_rate: f64,
+    /// Probability that a block erase fails; the block is retired.
+    #[serde(default)]
+    pub erase_fail_rate: f64,
+    /// Erase-endurance budget: a block reaching this many erases is worn
+    /// out and retired ([`crate::FlashError::WornOut`]). The default
+    /// `u64::MAX` never triggers, so existing runs are unaffected.
+    #[serde(default = "default_endurance")]
+    pub erase_endurance: u64,
+    /// Read-retry ladder depth: how many times the FTL re-issues a failed
+    /// read (each retry re-occupies the chip, adding its timing penalty)
+    /// before declaring the page lost.
+    #[serde(default = "default_read_retries")]
+    pub read_retries: u32,
+    /// Graceful-degradation threshold: when the device's free-block count
+    /// falls below this, it enters read-only mode instead of
+    /// panicking. `0` (the default) never triggers.
+    #[serde(default)]
+    pub min_spare_blocks: u32,
+}
+
+impl FaultConfig {
+    /// The default: no injected faults, unlimited endurance, no read-only
+    /// threshold. Fault machinery is zero-cost in this configuration.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            seed: 0,
+            read_fail_rate: 0.0,
+            program_fail_rate: 0.0,
+            erase_fail_rate: 0.0,
+            erase_endurance: u64::MAX,
+            read_retries: default_read_retries(),
+            min_spare_blocks: 0,
+        }
+    }
+
+    /// Whether any fault class can be injected (the injector draws from its
+    /// RNG only when this is true, preserving determinism and zero cost).
+    pub fn injects(&self) -> bool {
+        self.read_fail_rate > 0.0 || self.program_fail_rate > 0.0 || self.erase_fail_rate > 0.0
+    }
+
+    /// Whether the endurance budget can retire blocks (wear-out is a
+    /// degradation source even with no probabilistic faults).
+    pub fn wears(&self) -> bool {
+        self.erase_endurance != u64::MAX
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Map a probability to a `u64` comparison threshold: a draw `< threshold`
+/// fails. `u64::MAX` is treated as "always" by the decision function so
+/// `rate >= 1.0` fails every operation.
+fn threshold(rate: f64) -> u64 {
+    if rate <= 0.0 {
+        0
+    } else if rate >= 1.0 {
+        u64::MAX
+    } else {
+        (rate * (u64::MAX as f64 + 1.0)) as u64
+    }
+}
+
+/// The seeded decision stream behind [`FaultConfig`]. One instance lives in
+/// each [`crate::FlashArray`]; `read`/`program`/`erase` consult it before
+/// touching the page state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultInjector {
+    state: u64,
+    read_threshold: u64,
+    program_threshold: u64,
+    erase_threshold: u64,
+    enabled: bool,
+}
+
+impl FaultInjector {
+    /// Build an injector from a config. Disabled configs produce an
+    /// injector whose decision functions are a single branch.
+    pub fn new(cfg: &FaultConfig) -> Self {
+        FaultInjector {
+            state: cfg.seed,
+            read_threshold: threshold(cfg.read_fail_rate),
+            program_threshold: threshold(cfg.program_fail_rate),
+            erase_threshold: threshold(cfg.erase_fail_rate),
+            enabled: cfg.injects(),
+        }
+    }
+
+    /// splitmix64: tiny, seedable, and good enough for Bernoulli decisions.
+    /// Kept local so fault determinism never depends on an external RNG
+    /// crate's stream stability.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// One draw is consumed per consult whenever injection is enabled —
+    /// even for a zero-rate class — so the decision stream depends only on
+    /// the seed and the operation sequence, not on which rates are set.
+    fn decide(&mut self, thresh: u64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let draw = self.next_u64();
+        thresh == u64::MAX || draw < thresh
+    }
+
+    /// Should this read fail transiently?
+    #[inline]
+    pub fn fail_read(&mut self) -> bool {
+        self.decide(self.read_threshold)
+    }
+
+    /// Should this program fail?
+    #[inline]
+    pub fn fail_program(&mut self) -> bool {
+        self.decide(self.program_threshold)
+    }
+
+    /// Should this erase fail?
+    #[inline]
+    pub fn fail_erase(&mut self) -> bool {
+        self.decide(self.erase_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fails_and_never_draws() {
+        let mut inj = FaultInjector::new(&FaultConfig::disabled());
+        let state_before = inj.state;
+        for _ in 0..1000 {
+            assert!(!inj.fail_read());
+            assert!(!inj.fail_program());
+            assert!(!inj.fail_erase());
+        }
+        assert_eq!(inj.state, state_before, "disabled injector must not draw");
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let cfg = FaultConfig {
+            seed: 0xDEAD_BEEF,
+            read_fail_rate: 0.3,
+            program_fail_rate: 0.1,
+            erase_fail_rate: 0.05,
+            ..FaultConfig::disabled()
+        };
+        let mut a = FaultInjector::new(&cfg);
+        let mut b = FaultInjector::new(&cfg);
+        for i in 0..10_000 {
+            match i % 3 {
+                0 => assert_eq!(a.fail_read(), b.fail_read()),
+                1 => assert_eq!(a.fail_program(), b.fail_program()),
+                _ => assert_eq!(a.fail_erase(), b.fail_erase()),
+            }
+        }
+        assert_eq!(a.state, b.state);
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let base = FaultConfig {
+            read_fail_rate: 0.5,
+            ..FaultConfig::disabled()
+        };
+        let mut a = FaultInjector::new(&FaultConfig { seed: 1, ..base });
+        let mut b = FaultInjector::new(&FaultConfig { seed: 2, ..base });
+        let decisions_a: Vec<bool> = (0..64).map(|_| a.fail_read()).collect();
+        let decisions_b: Vec<bool> = (0..64).map(|_| b.fail_read()).collect();
+        assert_ne!(decisions_a, decisions_b);
+    }
+
+    #[test]
+    fn rate_one_always_fails_rate_zero_never() {
+        let cfg = FaultConfig {
+            seed: 7,
+            read_fail_rate: 1.0,
+            program_fail_rate: 0.0,
+            ..FaultConfig::disabled()
+        };
+        let mut inj = FaultInjector::new(&cfg);
+        for _ in 0..100 {
+            assert!(inj.fail_read());
+            assert!(!inj.fail_program());
+        }
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let cfg = FaultConfig {
+            seed: 42,
+            read_fail_rate: 0.25,
+            ..FaultConfig::disabled()
+        };
+        let mut inj = FaultInjector::new(&cfg);
+        let fails = (0..100_000).filter(|_| inj.fail_read()).count();
+        let observed = fails as f64 / 100_000.0;
+        assert!(
+            (observed - 0.25).abs() < 0.01,
+            "observed fail rate {observed} far from 0.25"
+        );
+    }
+
+    #[test]
+    fn config_serde_defaults_to_disabled() {
+        let cfg: FaultConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(cfg, FaultConfig::disabled());
+        assert!(!cfg.injects());
+        let json = serde_json::to_string(&FaultConfig::disabled()).unwrap();
+        let back: FaultConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, FaultConfig::disabled());
+    }
+}

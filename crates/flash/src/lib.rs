@@ -25,6 +25,7 @@ pub mod allocator;
 pub mod array;
 pub mod block;
 pub mod error;
+pub mod faults;
 pub mod geometry;
 pub mod page;
 pub mod stats;
@@ -34,6 +35,7 @@ pub use allocator::{Allocator, StreamId};
 pub use array::{FlashArray, FlashOp, FlashOpRecord, OpOutcome};
 pub use block::{Block, BlockAddr};
 pub use error::FlashError;
+pub use faults::{FaultConfig, FaultInjector};
 pub use geometry::{Geometry, GeometryBuilder, PageAddr, Ppn};
 pub use page::{PageInfo, PageKind, PageState, SectorStamp};
 pub use stats::FlashStats;

@@ -63,6 +63,23 @@ pub struct FlashStats {
     pub chip_busy_ns: Nanos,
     /// Total nanoseconds channels spent transferring.
     pub channel_busy_ns: Nanos,
+    /// Injected transient read failures (each occupied the chip but
+    /// returned no data; successful retries count under `reads`).
+    #[serde(default)]
+    pub read_faults: u64,
+    /// Injected program failures (page consumed, block retired).
+    #[serde(default)]
+    pub program_faults: u64,
+    /// Injected erase failures (block retired).
+    #[serde(default)]
+    pub erase_faults: u64,
+    /// Blocks retired because their erase-endurance budget was exhausted
+    /// (subset of `retired_blocks`).
+    #[serde(default)]
+    pub worn_out_blocks: u64,
+    /// Blocks retired by the bad-block manager, for any reason.
+    #[serde(default)]
+    pub retired_blocks: u64,
 }
 
 impl FlashStats {
@@ -85,6 +102,11 @@ impl FlashStats {
         self.gc_migrations += other.gc_migrations;
         self.chip_busy_ns += other.chip_busy_ns;
         self.channel_busy_ns += other.channel_busy_ns;
+        self.read_faults += other.read_faults;
+        self.program_faults += other.program_faults;
+        self.erase_faults += other.erase_faults;
+        self.worn_out_blocks += other.worn_out_blocks;
+        self.retired_blocks += other.retired_blocks;
     }
 }
 

@@ -10,6 +10,11 @@ use rand::{Rng, SeedableRng};
 
 /// A small aged device for stress tests: 32 MiB, unit timing, oracle on.
 pub fn small_ssd(scheme: SchemeKind) -> Ssd {
+    small_ssd_with_faults(scheme, aftl_flash::FaultConfig::disabled())
+}
+
+/// [`small_ssd`] with a fault-injection configuration.
+pub fn small_ssd_with_faults(scheme: SchemeKind, fault: aftl_flash::FaultConfig) -> Ssd {
     let geometry = aftl_flash::GeometryBuilder::new()
         .channels(2)
         .chips_per_channel(2)
@@ -36,6 +41,7 @@ pub fn small_ssd(scheme: SchemeKind) -> Ssd {
         },
         track_content: true,
         observe: aftl_sim::ObserveConfig::standard(),
+        fault,
     };
     Ssd::new(config).expect("device")
 }

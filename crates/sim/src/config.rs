@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use aftl_core::scheme::{SchemeConfig, SchemeKind};
-use aftl_flash::{Geometry, GeometryBuilder, TimingSpec};
+use aftl_flash::{FaultConfig, Geometry, GeometryBuilder, TimingSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::observe::TraceConfig;
@@ -83,6 +83,11 @@ pub struct SimConfig {
     pub track_content: bool,
     /// Observability sinks: latency histograms and event tracing.
     pub observe: ObserveConfig,
+    /// Fault injection and endurance model. Disabled by default: no RNG
+    /// draws, no endurance checks, bit-identical results to a build
+    /// without the fault layer.
+    #[serde(default = "FaultConfig::disabled")]
+    pub fault: FaultConfig,
 }
 
 impl SimConfig {
@@ -100,6 +105,7 @@ impl SimConfig {
             warmup: WarmupConfig::default(),
             track_content: false,
             observe: ObserveConfig::standard(),
+            fault: FaultConfig::disabled(),
         }
     }
 
@@ -144,6 +150,7 @@ impl SimConfig {
             },
             track_content: true,
             observe: ObserveConfig::standard(),
+            fault: FaultConfig::disabled(),
         }
     }
 }

@@ -3,7 +3,7 @@
 use aftl_core::gc::GcReport;
 use aftl_core::request::ReqKind;
 use aftl_core::scheme::SchemeKind;
-use aftl_flash::Result;
+use aftl_flash::{FlashError, Result};
 use aftl_trace::Trace;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -38,7 +38,14 @@ pub fn run_on_device_keep(mut ssd: Ssd, trace: &Trace) -> Result<(RunReport, Ssd
     let mut gc = GcReport::default();
     let mut last_complete: u128 = 0;
     for rec in &trace.records {
-        let c = ssd.submit_record(rec)?;
+        let c = match ssd.submit_record(rec) {
+            Ok(c) => c,
+            // Degraded device: the rejection is already counted in the
+            // device's write_rejections (surfaced via the counter delta);
+            // reads keep flowing, so the replay continues.
+            Err(FlashError::ReadOnlyMode) => continue,
+            Err(e) => return Err(e),
+        };
         classes
             .class_mut(c.kind == ReqKind::Write, c.across)
             .record(c.sectors, c.latency_ns, c.flash_reads, c.flash_programs);

@@ -140,6 +140,11 @@ pub fn flash_delta(a: &FlashStats, b: &FlashStats) -> FlashStats {
         gc_migrations: a.gc_migrations - b.gc_migrations,
         chip_busy_ns: a.chip_busy_ns - b.chip_busy_ns,
         channel_busy_ns: a.channel_busy_ns - b.channel_busy_ns,
+        read_faults: a.read_faults - b.read_faults,
+        program_faults: a.program_faults - b.program_faults,
+        erase_faults: a.erase_faults - b.erase_faults,
+        worn_out_blocks: a.worn_out_blocks - b.worn_out_blocks,
+        retired_blocks: a.retired_blocks - b.retired_blocks,
     }
 }
 
@@ -162,6 +167,9 @@ pub fn counters_delta(a: &SchemeCounters, b: &SchemeCounters) -> SchemeCounters 
         // Gauges: report the current value, not a delta.
         live_across_areas: a.live_across_areas,
         total_across_areas: a.total_across_areas - b.total_across_areas,
+        lost_pages: a.lost_pages - b.lost_pages,
+        host_unrecoverable_reads: a.host_unrecoverable_reads - b.host_unrecoverable_reads,
+        write_rejections: a.write_rejections - b.write_rejections,
     }
 }
 

@@ -56,11 +56,17 @@ pub enum OpKind {
     AMerge,
     /// An Across-FTL ARollback (composite: spans several flash ops).
     ARollback,
+    /// A failed page read (fault injection): the chip time burned before
+    /// the retry ladder re-issues or gives up.
+    ReadRetry,
+    /// A failed page program (fault injection): the attempt that forced a
+    /// relocation to a fresh block.
+    Reprogram,
 }
 
 impl OpKind {
     /// All kinds, in [`LatencyBreakdown`] field order.
-    pub const ALL: [OpKind; 9] = [
+    pub const ALL: [OpKind; 11] = [
         OpKind::HostRead,
         OpKind::HostWrite,
         OpKind::RmwRead,
@@ -70,6 +76,8 @@ impl OpKind {
         OpKind::Erase,
         OpKind::AMerge,
         OpKind::ARollback,
+        OpKind::ReadRetry,
+        OpKind::Reprogram,
     ];
 
     /// Dense index for per-kind arrays.
@@ -90,6 +98,8 @@ impl OpKind {
             OpKind::Erase => "Erase",
             OpKind::AMerge => "AMerge",
             OpKind::ARollback => "ARollback",
+            OpKind::ReadRetry => "ReadRetry",
+            OpKind::Reprogram => "Reprogram",
         }
     }
 }
@@ -109,7 +119,18 @@ pub enum Phase {
 /// Classify one raw flash op record by the phase that produced it.
 /// `None` means the op is subsumed by a whole-request latency (the data
 /// reads of a host read, the data programs of a host write).
-fn classify(phase: Phase, op: FlashOp, kind: PageKind) -> Option<OpKind> {
+fn classify(phase: Phase, op: FlashOp, kind: PageKind, failed: bool) -> Option<OpKind> {
+    if failed {
+        // Fault-injected failures get their own buckets regardless of
+        // phase: the read bucket measures retry-ladder time, the program
+        // bucket measures wasted attempts before relocation. A failed
+        // erase still charged erase timing, so it stays under Erase.
+        return match op {
+            FlashOp::Read => Some(OpKind::ReadRetry),
+            FlashOp::Program => Some(OpKind::Reprogram),
+            FlashOp::Erase => Some(OpKind::Erase),
+        };
+    }
     if matches!(op, FlashOp::Erase) {
         return Some(OpKind::Erase);
     }
@@ -145,6 +166,12 @@ pub struct LatencyBreakdown {
     pub amerge: HistogramSummary,
     /// Across-FTL ARollback operations.
     pub arollback: HistogramSummary,
+    /// Failed page reads (fault injection; absent in pre-v3 manifests).
+    #[serde(default)]
+    pub read_retry: HistogramSummary,
+    /// Failed page programs (fault injection; absent in pre-v3 manifests).
+    #[serde(default)]
+    pub reprogram: HistogramSummary,
 }
 
 impl LatencyBreakdown {
@@ -160,6 +187,8 @@ impl LatencyBreakdown {
             OpKind::Erase => &self.erase,
             OpKind::AMerge => &self.amerge,
             OpKind::ARollback => &self.arollback,
+            OpKind::ReadRetry => &self.read_retry,
+            OpKind::Reprogram => &self.reprogram,
         }
     }
 }
@@ -242,7 +271,7 @@ impl Observer {
         let mut ops = std::mem::take(&mut self.scratch_ops);
         array.drain_op_log(&mut ops);
         for rec in ops.drain(..) {
-            if let Some(kind) = classify(phase, rec.op, rec.kind) {
+            if let Some(kind) = classify(phase, rec.op, rec.kind, rec.failed) {
                 self.record(kind, rec.latency_ns, rec.complete_ns);
             }
         }
@@ -289,6 +318,8 @@ impl Observer {
             erase: hists[OpKind::Erase.index()].summary(),
             amerge: hists[OpKind::AMerge.index()].summary(),
             arollback: hists[OpKind::ARollback.index()].summary(),
+            read_retry: hists[OpKind::ReadRetry.index()].summary(),
+            reprogram: hists[OpKind::Reprogram.index()].summary(),
         }
     }
 
@@ -325,36 +356,61 @@ mod tests {
         // Data reads: RMW under a host write, subsumed under a host read,
         // migration under GC.
         assert_eq!(
-            classify(Phase::HostWrite, FlashOp::Read, PageKind::Data),
+            classify(Phase::HostWrite, FlashOp::Read, PageKind::Data, false),
             Some(OpKind::RmwRead)
         );
         assert_eq!(
-            classify(Phase::HostRead, FlashOp::Read, PageKind::Data),
+            classify(Phase::HostRead, FlashOp::Read, PageKind::Data, false),
             None
         );
         assert_eq!(
-            classify(Phase::Gc, FlashOp::Read, PageKind::AcrossData),
+            classify(Phase::Gc, FlashOp::Read, PageKind::AcrossData, false),
             Some(OpKind::GcMigration)
         );
         // Map traffic is map traffic in any host phase.
         assert_eq!(
-            classify(Phase::HostRead, FlashOp::Program, PageKind::Map),
+            classify(Phase::HostRead, FlashOp::Program, PageKind::Map, false),
             Some(OpKind::MapWrite)
         );
         assert_eq!(
-            classify(Phase::HostWrite, FlashOp::Read, PageKind::Map),
+            classify(Phase::HostWrite, FlashOp::Read, PageKind::Map, false),
             Some(OpKind::MapRead)
         );
         // Data programs are part of the host-write latency.
         assert_eq!(
-            classify(Phase::HostWrite, FlashOp::Program, PageKind::AcrossData),
+            classify(
+                Phase::HostWrite,
+                FlashOp::Program,
+                PageKind::AcrossData,
+                false
+            ),
             None
         );
         // Erases are erases wherever they happen.
         assert_eq!(
-            classify(Phase::Gc, FlashOp::Erase, PageKind::Data),
+            classify(Phase::Gc, FlashOp::Erase, PageKind::Data, false),
             Some(OpKind::Erase)
         );
+    }
+
+    #[test]
+    fn failed_ops_get_fault_buckets() {
+        // Failed reads/programs classify by failure, regardless of phase
+        // or page kind; failed erases stay under Erase.
+        for phase in [Phase::HostRead, Phase::HostWrite, Phase::Gc] {
+            assert_eq!(
+                classify(phase, FlashOp::Read, PageKind::Data, true),
+                Some(OpKind::ReadRetry)
+            );
+            assert_eq!(
+                classify(phase, FlashOp::Program, PageKind::Map, true),
+                Some(OpKind::Reprogram)
+            );
+            assert_eq!(
+                classify(phase, FlashOp::Erase, PageKind::Data, true),
+                Some(OpKind::Erase)
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use aftl_core::gc::GcReport;
 use aftl_core::request::{HostRequest, ReqKind};
 use aftl_core::scheme::{FtlEnv, FtlScheme, SchemeKind, ServedSector};
 use aftl_core::{AcrossFtl, BaselineFtl, MrsmFtl};
-use aftl_flash::{Allocator, FlashArray, Nanos, Result};
+use aftl_flash::{Allocator, FlashArray, FlashError, Nanos, Result};
 use aftl_trace::{IoOp, IoRecord};
 
 use crate::config::SimConfig;
@@ -40,6 +40,8 @@ pub struct Ssd {
     alloc: Allocator,
     scheme: Box<dyn FtlScheme + Send>,
     observer: Observer,
+    read_only: bool,
+    write_rejections: u64,
 }
 
 impl Ssd {
@@ -60,6 +62,7 @@ impl Ssd {
         if config.track_content {
             array.enable_content_tracking();
         }
+        array.configure_faults(&config.fault);
         let observer = Observer::new(&config.observe);
         if observer.enabled() {
             array.enable_op_log();
@@ -72,7 +75,24 @@ impl Ssd {
             alloc,
             scheme,
             observer,
+            read_only: false,
+            write_rejections: 0,
         })
+    }
+
+    /// Whether the device has degraded to read-only mode (spare blocks
+    /// exhausted below [`aftl_flash::FaultConfig::min_spare_blocks`], or the
+    /// allocator ran dry under fault injection). Reads are still served;
+    /// writes fail with [`FlashError::ReadOnlyMode`].
+    #[inline]
+    pub fn read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Host writes rejected because the device was read-only.
+    #[inline]
+    pub fn write_rejections(&self) -> u64 {
+        self.write_rejections
     }
 
     /// The configuration the device was built from.
@@ -114,9 +134,13 @@ impl Ssd {
     /// Snapshot cumulative statistics (pair with deltas to bracket the
     /// measured window).
     pub fn snapshot(&self) -> StatsSnapshot {
+        let mut counters = *self.scheme.counters();
+        // Write rejections happen at the device layer, before the scheme
+        // sees the request; fold them into the counter block here.
+        counters.write_rejections = self.write_rejections;
         StatsSnapshot {
             flash: self.array.stats().clone(),
-            counters: *self.scheme.counters(),
+            counters,
             cache: self.scheme.cache_stats(),
         }
     }
@@ -148,6 +172,10 @@ impl Ssd {
             req.sector + u64::from(req.sectors) <= self.logical_sectors(),
             "request outside logical space (call clamp first)"
         );
+        if self.read_only && req.kind == ReqKind::Write {
+            self.write_rejections += 1;
+            return Err(FlashError::ReadOnlyMode);
+        }
         let spp = self.spp();
         let before_reads = self.array.stats().reads.total();
         let before_programs = self.array.stats().programs.total();
@@ -158,8 +186,22 @@ impl Ssd {
             now_ns: req.at_ns,
         };
         let outcome = match req.kind {
-            ReqKind::Write => self.scheme.write(&mut env, req)?,
-            ReqKind::Read => self.scheme.read(&mut env, req)?,
+            ReqKind::Write => self.scheme.write(&mut env, req),
+            ReqKind::Read => self.scheme.read(&mut env, req),
+        };
+        let outcome = match outcome {
+            Ok(o) => o,
+            // Under fault injection, running out of free blocks is a
+            // degradation event (blocks were retired), not a sizing bug:
+            // the device drops to read-only instead of aborting the run.
+            Err(FlashError::NoFreeBlocks)
+                if self.config.fault.injects() || self.config.fault.wears() =>
+            {
+                self.read_only = true;
+                self.write_rejections += 1;
+                return Err(FlashError::ReadOnlyMode);
+            }
+            Err(e) => return Err(e),
         };
         let flash_reads = self.array.stats().reads.total() - before_reads;
         let flash_programs = self.array.stats().programs.total() - before_programs;
@@ -183,8 +225,22 @@ impl Ssd {
             alloc: &mut self.alloc,
             now_ns: req.at_ns,
         };
-        let gc = self.scheme.maybe_gc(&mut env)?;
+        let gc = match self.scheme.maybe_gc(&mut env) {
+            Ok(gc) => gc,
+            Err(FlashError::NoFreeBlocks)
+                if self.config.fault.injects() || self.config.fault.wears() =>
+            {
+                self.read_only = true;
+                GcReport::default()
+            }
+            Err(e) => return Err(e),
+        };
         self.observer.absorb_ops(&mut self.array, Phase::Gc);
+        if self.config.fault.min_spare_blocks > 0
+            && self.alloc.free_blocks() < u64::from(self.config.fault.min_spare_blocks)
+        {
+            self.read_only = true;
+        }
 
         Ok(Completed {
             kind: req.kind,

@@ -6,7 +6,7 @@
 //! population GC will reclaim during the measured run).
 
 use aftl_core::request::HostRequest;
-use aftl_flash::Result;
+use aftl_flash::{FlashError, Result};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -40,18 +40,26 @@ pub fn age(ssd: &mut Ssd, cfg: &WarmupConfig) -> Result<WarmupStats> {
 
     if cfg.used_fraction > 0.0 && footprint_pages > 0 {
         // Pass 1: sequential fill of the footprint (all full-page writes).
-        for lpn in 0..footprint_pages {
+        'aging: for lpn in 0..footprint_pages {
             let req = HostRequest::write(0, lpn * spp, spp as u32);
-            ssd.submit(&req)?;
-            writes += 1;
+            match ssd.submit(&req) {
+                Ok(_) => writes += 1,
+                // A fault-injected device may degrade mid-aging; stop
+                // aging and let the measured run see the read-only state.
+                Err(FlashError::ReadOnlyMode) => break 'aging,
+                Err(e) => return Err(e),
+            }
         }
         // Pass 2: uniform overwrites until the used-capacity target.
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        while ssd.array().free_block_fraction() > free_target {
+        while !ssd.read_only() && ssd.array().free_block_fraction() > free_target {
             let lpn = rng.random_range(0..footprint_pages);
             let req = HostRequest::write(0, lpn * spp, spp as u32);
-            ssd.submit(&req)?;
-            writes += 1;
+            match ssd.submit(&req) {
+                Ok(_) => writes += 1,
+                Err(FlashError::ReadOnlyMode) => break,
+                Err(e) => return Err(e),
+            }
         }
     }
     let stats = WarmupStats {

@@ -12,8 +12,10 @@
 //!
 //! `serde_json` (also shimmed) renders/parses [`Value`] as real JSON, so
 //! downstream code and report files look exactly as they would with the
-//! real crates. Unsupported serde features (attributes, borrowed data,
-//! non-unit enum variants) fail at compile time in the derive.
+//! real crates. The `#[serde(default)]` / `#[serde(default = "path")]`
+//! field attributes are supported (used for manifest schema evolution);
+//! other serde features (further attributes, borrowed data, non-unit enum
+//! variants) fail at compile time in the derive.
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -9,16 +9,28 @@
 //! * structs with named fields (no generics),
 //! * enums whose variants are all unit variants.
 //!
-//! Anything else produces a `compile_error!` naming the unsupported
-//! construct, so misuse fails loudly at build time rather than silently
-//! serializing wrong data.
+//! One field attribute is honoured: `#[serde(default)]` and
+//! `#[serde(default = "path")]` make a struct field optional on
+//! deserialization (missing fields fall back to `Default::default()` or
+//! `path()`), matching real serde — this is what keeps older manifest
+//! schema versions readable. Anything else produces a `compile_error!`
+//! naming the unsupported construct, so misuse fails loudly at build time
+//! rather than silently serializing wrong data.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A named struct field plus its `#[serde(default…)]` spec:
+/// `None` = required, `Some(None)` = `Default::default()`,
+/// `Some(Some(path))` = call `path()`.
+struct Field {
+    name: String,
+    default: Option<Option<String>>,
+}
 
 enum Item {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     /// Single-field tuple struct (`struct Ppn(pub u64);`), serialized
     /// transparently as its inner value — matching real serde's newtype
@@ -85,6 +97,61 @@ fn strip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
     &chunk[i..]
 }
 
+/// Extract a field's `#[serde(default…)]` spec from its leading
+/// attributes. Unsupported `#[serde(...)]` arguments are an error so the
+/// shim keeps its fail-loudly contract.
+fn field_serde_default(chunk: &[TokenTree]) -> Result<Option<Option<String>>, String> {
+    let mut i = 0;
+    while i + 1 < chunk.len() {
+        let is_attr = matches!(
+            (&chunk[i], &chunk[i + 1]),
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket
+        );
+        if !is_attr {
+            break;
+        }
+        if let TokenTree::Group(g) = &chunk[i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+            if is_serde {
+                let args: Vec<TokenTree> = match inner.get(1) {
+                    Some(TokenTree::Group(a)) if a.delimiter() == Delimiter::Parenthesis => {
+                        a.stream().into_iter().collect()
+                    }
+                    _ => return Err("malformed `#[serde(...)]` attribute".into()),
+                };
+                match args.first() {
+                    Some(TokenTree::Ident(d)) if d.to_string() == "default" => {
+                        if args.len() == 1 {
+                            return Ok(Some(None));
+                        }
+                        // `default = "path"`
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (args.get(1), args.get(2))
+                        {
+                            if eq.as_char() == '=' && args.len() == 3 {
+                                let path = lit.to_string().trim_matches('"').to_string();
+                                return Ok(Some(Some(path)));
+                            }
+                        }
+                        return Err("unsupported `#[serde(default ...)]` form".into());
+                    }
+                    _ => {
+                        return Err(
+                            "serde shim supports only the `#[serde(default)]` field attribute"
+                                .into(),
+                        )
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    Ok(None)
+}
+
 fn parse_item(input: TokenStream) -> Result<Item, String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
@@ -145,11 +212,15 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     if kind == "struct" {
         let mut fields = Vec::new();
         for chunk in &chunks {
+            let default = field_serde_default(chunk).map_err(|e| format!("`{name}`: {e}"))?;
             let chunk = strip_attrs_and_vis(chunk);
             match chunk.first() {
                 Some(TokenTree::Ident(id)) if matches!(chunk.get(1), Some(TokenTree::Punct(p)) if p.as_char() == ':') =>
                 {
-                    fields.push(id.to_string());
+                    fields.push(Field {
+                        name: id.to_string(),
+                        default,
+                    });
                 }
                 _ => return Err(format!("`{name}`: only named struct fields are supported")),
             }
@@ -178,7 +249,7 @@ fn compile_error(msg: &str) -> TokenStream {
 
 /// Derive the shimmed `serde::Serialize` for named-field structs and
 /// unit-variant enums.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(it) => it,
@@ -189,6 +260,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
                     )
@@ -232,7 +304,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
 /// Derive the shimmed `serde::Deserialize` for named-field structs and
 /// unit-variant enums.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = match parse_item(input) {
         Ok(it) => it,
@@ -243,7 +315,24 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: String = fields
                 .iter()
                 .map(|f| {
-                    format!("{f}: ::serde::Deserialize::from_value(v.field({f:?})?)?,")
+                    let n = &f.name;
+                    match &f.default {
+                        None => format!(
+                            "{n}: ::serde::Deserialize::from_value(v.field({n:?})?)?,"
+                        ),
+                        Some(None) => format!(
+                            "{n}: match v.get({n:?}) {{\n\
+                                 ::std::option::Option::Some(val) => ::serde::Deserialize::from_value(val)?,\n\
+                                 ::std::option::Option::None => ::std::default::Default::default(),\n\
+                             }},"
+                        ),
+                        Some(Some(path)) => format!(
+                            "{n}: match v.get({n:?}) {{\n\
+                                 ::std::option::Option::Some(val) => ::serde::Deserialize::from_value(val)?,\n\
+                                 ::std::option::Option::None => {path}(),\n\
+                             }},"
+                        ),
+                    }
                 })
                 .collect();
             format!(

@@ -1,0 +1,209 @@
+//! Fault-injection integrity: with seeded transient read/program/erase
+//! faults enabled, every acknowledged write must stay readable with its
+//! last-written content — or be explicitly accounted for as an
+//! acknowledged loss ([`LOST_VERSION`]) or a rejected write on a
+//! read-only device. Never silent corruption, on any scheme.
+
+use std::collections::HashMap;
+
+use aftl_core::request::{HostRequest, ReqKind};
+use aftl_core::scheme::SchemeKind;
+use aftl_core::LOST_VERSION;
+use aftl_flash::{FaultConfig, FlashError};
+use aftl_integration::small_ssd_with_faults;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn faulty_config(fault_seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed: fault_seed,
+        read_fail_rate: 0.02,
+        program_fail_rate: 0.01,
+        erase_fail_rate: 0.01,
+        ..FaultConfig::disabled()
+    }
+}
+
+/// Drive `n` seeded random requests through a fault-injected device,
+/// shadowing content versions on the side. A served sector must carry its
+/// last *acknowledged* version — or the version of a write the device
+/// rejected mid-flight (the one transition write may be partially
+/// applied), or the explicit [`LOST_VERSION`] marker. Anything else is
+/// silent corruption and fails the test.
+fn faulty_workload(
+    scheme: SchemeKind,
+    fault_seed: u64,
+    workload_seed: u64,
+    n: usize,
+) -> Result<(), TestCaseError> {
+    let mut ssd = small_ssd_with_faults(scheme, faulty_config(fault_seed));
+    let mut rng = SmallRng::seed_from_u64(workload_seed);
+    let spp = u64::from(ssd.spp());
+    let span_sectors = ssd.logical_sectors() * 6 / 10;
+
+    let mut committed: HashMap<u64, u64> = HashMap::new();
+    let mut tentative: HashMap<u64, u64> = HashMap::new();
+    let mut next_version = 0u64;
+    for i in 0..n {
+        let sectors = *[1u32, 2, 4, 6, 8, 10, 12, 16]
+            .iter()
+            .filter(|&&z| u64::from(z) <= 2 * spp)
+            .nth(rng.random_range(0..6))
+            .unwrap();
+        let sector = rng.random_range(0..span_sectors - u64::from(sectors));
+        if rng.random_bool(0.6) {
+            let mut req = HostRequest::write(i as u64, sector, sectors);
+            next_version += 1;
+            req.version = next_version;
+            match ssd.submit(&req) {
+                Ok(_) => {
+                    for s in req.sector..req.end_sector() {
+                        committed.insert(s, next_version);
+                        tentative.remove(&s);
+                    }
+                }
+                // The write that trips read-only mode may have reached
+                // flash for some of its sectors before the allocator ran
+                // dry: those sectors legitimately serve this version.
+                Err(FlashError::ReadOnlyMode) => {
+                    for s in req.sector..req.end_sector() {
+                        tentative.insert(s, next_version);
+                    }
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("write failed: {e}"))),
+            }
+        } else {
+            let req = HostRequest::read(i as u64, sector, sectors);
+            let done = ssd
+                .submit(&req)
+                .map_err(|e| TestCaseError::fail(format!("read failed: {e}")))?;
+            prop_assert_eq!(done.served.len(), sectors as usize);
+            for s in &done.served {
+                let want = committed.get(&s.sector).copied().unwrap_or(0);
+                let tent = tentative.get(&s.sector).copied();
+                prop_assert!(
+                    s.version == want || Some(s.version) == tent || s.version == LOST_VERSION,
+                    "{}: sector {} served version {} (committed {}, tentative {:?})",
+                    scheme.name(),
+                    s.sector,
+                    s.version,
+                    want,
+                    tent
+                );
+            }
+        }
+    }
+    // The run must actually have exercised the fault machinery.
+    let stats = ssd.array().stats();
+    prop_assert!(
+        stats.read_faults + stats.program_faults + stats.erase_faults > 0,
+        "no faults injected: {:?}",
+        stats
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn baseline_integrity_under_faults(seeds in (1u64..1 << 48, any::<u64>())) {
+        faulty_workload(SchemeKind::Baseline, seeds.0, seeds.1, 1500)?;
+    }
+
+    #[test]
+    fn mrsm_integrity_under_faults(seeds in (1u64..1 << 48, any::<u64>())) {
+        faulty_workload(SchemeKind::Mrsm, seeds.0, seeds.1, 1500)?;
+    }
+
+    #[test]
+    fn across_ftl_integrity_under_faults(seeds in (1u64..1 << 48, any::<u64>())) {
+        faulty_workload(SchemeKind::Across, seeds.0, seeds.1, 1500)?;
+    }
+}
+
+/// Spare-block exhaustion degrades to read-only instead of panicking:
+/// writes are rejected with a typed error, reads keep serving the data
+/// written before the transition.
+#[test]
+fn spare_threshold_degrades_to_read_only() {
+    let fault = FaultConfig {
+        min_spare_blocks: 64, // half of the 128-block device
+        ..FaultConfig::disabled()
+    };
+    let mut ssd = small_ssd_with_faults(SchemeKind::Across, fault);
+    let spp = u64::from(ssd.spp());
+    let mut last_ok: Option<(u64, u64)> = None; // (sector, version)
+    let mut rejected = false;
+    for i in 0..20_000u64 {
+        let mut req = HostRequest::write(i, (i * spp) % (spp * 512), spp as u32);
+        req.version = i + 1;
+        match ssd.submit(&req) {
+            Ok(_) => last_ok = Some((req.sector, req.version)),
+            Err(FlashError::ReadOnlyMode) => {
+                rejected = true;
+                break;
+            }
+            Err(e) => panic!("unexpected write error: {e}"),
+        }
+    }
+    assert!(rejected, "device never entered read-only mode");
+    assert!(ssd.read_only());
+    assert!(ssd.write_rejections() > 0);
+
+    // Reads still work and serve the acknowledged content.
+    let (sector, version) = last_ok.expect("some write succeeded");
+    let read = HostRequest::read(0, sector, spp as u32);
+    let done = ssd.submit(&read).expect("reads survive read-only mode");
+    assert_eq!(done.kind, ReqKind::Read);
+    assert!(
+        done.served.iter().all(|s| s.version == version),
+        "read-only device must still serve acknowledged data: {:?}",
+        done.served
+    );
+
+    // Writes keep failing with the typed error, and each is counted.
+    let before = ssd.write_rejections();
+    let mut w = HostRequest::write(0, 0, spp as u32);
+    w.version = u64::MAX - 2;
+    assert!(matches!(ssd.submit(&w), Err(FlashError::ReadOnlyMode)));
+    assert_eq!(ssd.write_rejections(), before + 1);
+}
+
+/// A finite erase-endurance budget wears blocks out for real: sustained
+/// overwrites retire them via [`FlashError::WornOut`] and the device ends
+/// up read-only rather than panicking.
+#[test]
+fn endurance_exhaustion_wears_out_blocks() {
+    let fault = FaultConfig {
+        erase_endurance: 4,
+        ..FaultConfig::disabled()
+    };
+    let mut ssd = small_ssd_with_faults(SchemeKind::Baseline, fault);
+    let spp = u64::from(ssd.spp());
+    let footprint = 256u64; // pages, repeatedly overwritten to force GC
+    let mut version = 0u64;
+    'outer: for round in 0..200u64 {
+        for p in 0..footprint {
+            let mut req = HostRequest::write(round, p * spp, spp as u32);
+            version += 1;
+            req.version = version;
+            match ssd.submit(&req) {
+                Ok(_) => {}
+                Err(FlashError::ReadOnlyMode) => break 'outer,
+                Err(e) => panic!("unexpected write error: {e}"),
+            }
+        }
+    }
+    let stats = ssd.array().stats();
+    assert!(
+        stats.worn_out_blocks > 0,
+        "endurance budget never triggered: {stats:?}"
+    );
+    assert_eq!(stats.worn_out_blocks, stats.retired_blocks);
+    assert!(ssd.read_only(), "worn-out device must degrade to read-only");
+    // Reads still succeed on the worn-out device.
+    let read = HostRequest::read(0, 0, spp as u32);
+    ssd.submit(&read).expect("reads survive wear-out");
+}
