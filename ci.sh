@@ -54,4 +54,19 @@ if grep -q '"read_faults": 0$\|"read_faults": 0,' "$smoke"; then
 fi
 grep -q '"host_unrecoverable_reads": 0' "$smoke" || { echo "smoke run lost host data"; exit 1; }
 
+say "bench smoke (replay manifest)"
+# The tracked replay bench must run end to end at smoke scale and emit a
+# schema-valid BENCH_replay manifest (the binary refuses to write an
+# invalid one; here we assert the file landed and looks like schema v1
+# with every scheme present).
+bench_smoke=$PWD/target/ci_bench_smoke.json
+rm -f "$bench_smoke"
+cargo bench -q -p aftl-bench --bench sim_throughput -- \
+    --test --json "$bench_smoke" >/dev/null
+[ -s "$bench_smoke" ] || { echo "bench smoke wrote no manifest"; exit 1; }
+grep -q '"schema_version": 1' "$bench_smoke" || { echo "bench manifest has wrong schema_version"; exit 1; }
+for scheme in '"FTL"' '"MRSM"' '"Across-FTL"'; do
+    grep -q "$scheme" "$bench_smoke" || { echo "bench manifest missing scheme $scheme"; exit 1; }
+done
+
 say "CI gate passed"

@@ -1,39 +1,144 @@
 //! Simulator throughput: how many trace requests per second of host time
-//! the full stack replays (useful when sizing experiment scales).
+//! the full stack replays — the **tracked** replay benchmark.
+//!
+//! Unlike the micro-benches this one has a custom main (the `[[bench]]`
+//! entry sets `harness = false`) so it can emit the machine-readable
+//! `BENCH_replay.json` manifest that records the repo's performance
+//! trajectory. Modes:
+//!
+//! ```text
+//! cargo bench -p aftl-bench --bench sim_throughput            # measure + print
+//!   -- --json BENCH_replay.json                               # also emit manifest
+//!      --baseline old.json --baseline-label "seed @1c16167"   # carry BEFORE numbers
+//!      --scale 0.01 --samples 5                               # workload/averaging knobs
+//!      --test                                                 # CI smoke: tiny scale, 1 sample
+//! ```
+//!
+//! The workload (fig8-small) and all JSON types live in
+//! [`aftl_bench::replay`] so the parity test replays exactly what the
+//! bench times.
 
+use aftl_bench::replay::{
+    self, BenchReplayManifest, ReplayDigest, SchemeTiming, BENCH_SCHEMA_VERSION, FIG8_SMALL_SCALE,
+};
 use aftl_core::scheme::SchemeKind;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
-fn bench_replay(c: &mut Criterion) {
-    let mut spec = aftl_trace::LunPreset::Lun1.spec(0.002);
-    spec.lun_bytes = 64 << 20;
-    let trace = aftl_trace::VdiWorkload::new(spec).generate();
-    let geometry = aftl_flash::GeometryBuilder::new()
-        .channels(4)
-        .chips_per_channel(2)
-        .dies_per_chip(1)
-        .planes_per_die(2)
-        .blocks_per_plane(64)
-        .pages_per_block(64)
-        .page_bytes(8192)
-        .build()
-        .unwrap();
-    let mut group = c.benchmark_group("trace_replay");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    for scheme in SchemeKind::ALL {
-        group.bench_function(scheme.name(), |b| {
-            b.iter(|| {
-                let mut config = aftl_sim::SimConfig::experiment(scheme, 8192);
-                config.geometry = geometry;
-                config.scheme_cfg = aftl_core::scheme::SchemeConfig::for_geometry(&geometry);
-                config.warmup.used_fraction = 0.3;
-                aftl_sim::experiment::run_single_with(config, &trace).unwrap()
-            })
-        });
-    }
-    group.finish();
+struct Opts {
+    smoke: bool,
+    json: Option<String>,
+    baseline: Option<String>,
+    baseline_label: String,
+    scale: f64,
+    samples: u32,
 }
 
-criterion_group!(benches, bench_replay);
-criterion_main!(benches);
+/// Parse bench arguments, ignoring the flags cargo's bench runner passes
+/// through (`--bench`, filter strings, …).
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        json: None,
+        baseline: None,
+        baseline_label: "self".to_string(),
+        scale: FIG8_SMALL_SCALE,
+        samples: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--test" => opts.smoke = true,
+            "--json" => opts.json = it.next(),
+            "--baseline" => opts.baseline = it.next(),
+            "--baseline-label" => {
+                if let Some(l) = it.next() {
+                    opts.baseline_label = l;
+                }
+            }
+            "--scale" => {
+                if let Some(s) = it.next().and_then(|v| v.parse().ok()) {
+                    opts.scale = s;
+                }
+            }
+            "--samples" => {
+                if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                    opts.samples = n;
+                }
+            }
+            _ => {} // cargo bench pass-through (e.g. --bench, filters)
+        }
+    }
+    opts
+}
+
+fn main() {
+    let mut opts = parse_opts();
+    if opts.smoke {
+        // CI smoke: prove the full pipeline (trace gen → aged replay →
+        // manifest) works, in seconds.
+        opts.scale = opts.scale.min(0.002);
+        opts.samples = 1;
+    }
+
+    let trace = replay::fig8_small_trace(opts.scale);
+    eprintln!(
+        "fig8-small: {} requests (scale {}), {} timed sample(s) per scheme",
+        trace.len(),
+        opts.scale,
+        opts.samples
+    );
+
+    let mut results: Vec<SchemeTiming> = Vec::new();
+    for scheme in SchemeKind::ALL {
+        let t = replay::time_fig8_small(scheme, &trace, opts.samples);
+        let digest = ReplayDigest::of(&replay::run_fig8_small(scheme, &trace));
+        eprintln!(
+            "{:<11} {:>9.0} req/s  {:>8} ns/req  [{} reqs + {} warm-up writes; {} erases, {} GC migrations]",
+            t.scheme, t.req_per_sec, t.ns_per_req, t.requests, t.warmup_writes,
+            digest.erases, digest.gc_migrated_pages,
+        );
+        results.push(t);
+    }
+
+    // Baseline: carried forward from --baseline's current numbers, so the
+    // manifest always shows where the numbers came from and where they are.
+    let (baseline, baseline_label) = match opts.baseline.as_deref() {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+            let old: BenchReplayManifest = serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("parse baseline {path}: {e}"));
+            (old.results, opts.baseline_label)
+        }
+        None => (results.clone(), opts.baseline_label),
+    };
+
+    let manifest = BenchReplayManifest {
+        schema_version: BENCH_SCHEMA_VERSION,
+        workload: "fig8-small".to_string(),
+        scale: opts.scale,
+        results,
+        baseline_label,
+        baseline,
+    };
+    replay::validate_manifest(&manifest).expect("manifest is schema-valid");
+
+    for scheme in SchemeKind::ALL {
+        if let Some(s) = manifest.speedup(scheme.name()) {
+            eprintln!("{:<11} speedup vs baseline: {s:.2}x", scheme.name());
+        }
+    }
+
+    if let Some(path) = &opts.json {
+        let json = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+        // cargo bench runs with the package as cwd; create intermediate
+        // directories so workspace-relative paths like target/… work.
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+            }
+        }
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

@@ -18,6 +18,8 @@ use aftl_trace::{LunPreset, Trace};
 use rayon::prelude::*;
 use std::path::PathBuf;
 
+pub mod replay;
+
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone, Copy)]
 pub struct Args {

@@ -17,8 +17,6 @@
 //! Reads inside a single area are **direct** (one flash read instead of
 //! two); reads exceeding an area are **merged** (area + normal pages).
 
-use std::collections::HashSet;
-
 use aftl_flash::{Nanos, PageKind, Ppn, Result, SectorStamp, StreamId};
 
 use crate::counters::SchemeCounters;
@@ -26,6 +24,7 @@ use crate::gc::{self, GcConfig, GcReport};
 use crate::mapping::amt::{AcrossMapTable, AmtEntry};
 use crate::mapping::cache::{CacheStats, MapCache};
 use crate::mapping::pmt::{PageMapTable, NO_AIDX};
+use crate::mapping::touched::TouchedSet;
 use crate::obs::{SchemeEvent, SchemeEventKind};
 use crate::recover::{program_relocating, read_with_retry, PageRead, LOST_VERSION};
 use crate::request::{split_extents, HostRequest, ReqKind};
@@ -69,10 +68,15 @@ pub struct AcrossFtl {
     counters: SchemeCounters,
     /// Composite-operation log for the observability layer (`None` = off).
     event_log: Option<Vec<SchemeEvent>>,
-    touched_tpages: HashSet<u64>,
+    touched_tpages: TouchedSet,
     pmt_entries_per_tpage: u64,
     amt_entries_per_tpage: u64,
     page_bytes: u32,
+    // Reusable read-path scratch (gap subtraction runs per extent; its
+    // capacity persists across requests so steady-state reads do not
+    // allocate).
+    scratch_gaps: Vec<(u64, u64)>,
+    scratch_gaps_next: Vec<(u64, u64)>,
 }
 
 impl AcrossFtl {
@@ -101,10 +105,12 @@ impl AcrossFtl {
             cache,
             counters: SchemeCounters::default(),
             event_log: None,
-            touched_tpages: HashSet::new(),
+            touched_tpages: TouchedSet::new(),
             pmt_entries_per_tpage: u64::from(page_bytes) / PMT_ENTRY_BYTES,
             amt_entries_per_tpage: u64::from(page_bytes) / AMT_ENTRY_BYTES,
             page_bytes,
+            scratch_gaps: Vec::new(),
+            scratch_gaps_next: Vec::new(),
         }
     }
 
@@ -125,8 +131,9 @@ impl AcrossFtl {
     }
 
     fn amt_access(&mut self, env: &mut FtlEnv<'_>, aidx: u32, dirty: bool) -> Result<Nanos> {
+        // AMT pages live in their own tpid namespace; their footprint is
+        // reported from the AMT's slot storage, not the touched set.
         let tpid = AMT_TPID_BASE + u64::from(aidx) / self.amt_entries_per_tpage;
-        self.touched_tpages.insert(tpid);
         self.counters.dram_accesses += 1;
         self.cache
             .access(env.array, env.alloc, env.now_ns, tpid, dirty)
@@ -659,14 +666,17 @@ impl FtlScheme for AcrossFtl {
         }
 
         // Serve the rest from normally mapped pages, one read per LPN.
+        let mut gaps = std::mem::take(&mut self.scratch_gaps);
+        let mut next = std::mem::take(&mut self.scratch_gaps_next);
         for extent in req.extents(spp) {
             // Subtract area coverage from this extent.
             let ext_s = extent.start_sector(spp);
             let ext_e = extent.end_sector(spp);
-            let mut gaps: Vec<(u64, u64)> = vec![(ext_s, ext_e)];
+            gaps.clear();
+            gaps.push((ext_s, ext_e));
             for (_, a) in &areas {
-                let mut next = Vec::with_capacity(gaps.len() + 1);
-                for (gs, ge) in gaps {
+                next.clear();
+                for &(gs, ge) in &gaps {
                     if a.end_sector() <= gs || ge <= a.start_sector {
                         next.push((gs, ge));
                         continue;
@@ -678,7 +688,7 @@ impl FtlScheme for AcrossFtl {
                         next.push((a.end_sector(), ge));
                     }
                 }
-                gaps = next;
+                std::mem::swap(&mut gaps, &mut next);
             }
             if gaps.is_empty() {
                 continue;
@@ -726,6 +736,8 @@ impl FtlScheme for AcrossFtl {
                 }
             }
         }
+        self.scratch_gaps = gaps;
+        self.scratch_gaps_next = next;
 
         if any_lost {
             self.counters.host_unrecoverable_reads += 1;
@@ -791,12 +803,7 @@ impl FtlScheme for AcrossFtl {
         let amt_bytes = (self.amt.capacity_slots() as u64 * AMT_ENTRY_BYTES)
             .div_ceil(u64::from(self.page_bytes))
             * u64::from(self.page_bytes);
-        self.touched_tpages
-            .iter()
-            .filter(|&&t| t < AMT_TPID_BASE)
-            .count() as u64
-            * u64::from(self.page_bytes)
-            + amt_bytes
+        self.touched_tpages.len() * u64::from(self.page_bytes) + amt_bytes
     }
 
     fn logical_pages(&self) -> u64 {

@@ -6,14 +6,13 @@
 //! programs (plus up to two RMW reads) — the overhead Figure 4 quantifies
 //! and Across-FTL removes.
 
-use std::collections::HashSet;
-
 use aftl_flash::{PageKind, Result};
 
 use crate::counters::SchemeCounters;
 use crate::gc::{self, GcConfig, GcReport};
 use crate::mapping::cache::{CacheStats, MapCache};
 use crate::mapping::pmt::PageMapTable;
+use crate::mapping::touched::TouchedSet;
 use crate::recover::{read_with_retry, PageRead};
 use crate::request::{HostRequest, ReqKind};
 use crate::scheme::{
@@ -33,7 +32,7 @@ pub struct BaselineFtl {
     counters: SchemeCounters,
     /// Translation pages ever touched — the dynamically allocated table
     /// footprint reported in Figure 12(a).
-    touched_tpages: HashSet<u64>,
+    touched_tpages: TouchedSet,
     entries_per_tpage: u64,
     page_bytes: u32,
 }
@@ -53,7 +52,7 @@ impl BaselineFtl {
             pmt: PageMapTable::new(0),
             cache,
             counters: SchemeCounters::default(),
-            touched_tpages: HashSet::new(),
+            touched_tpages: TouchedSet::new(),
             entries_per_tpage,
             page_bytes,
         }
@@ -192,7 +191,7 @@ impl FtlScheme for BaselineFtl {
     }
 
     fn mapping_table_bytes(&self) -> u64 {
-        self.touched_tpages.len() as u64 * u64::from(self.page_bytes)
+        self.touched_tpages.len() * u64::from(self.page_bytes)
     }
 
     fn logical_pages(&self) -> u64 {

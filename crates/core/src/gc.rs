@@ -177,26 +177,52 @@ pub fn maybe_collect_with(
     report.triggered = true;
     let stop_at = cfg.threshold + cfg.hysteresis;
 
-    // One scan builds the victim list for the whole episode: full blocks
-    // with reclaimable (invalid) pages, most-invalid first. Active blocks
-    // are excluded (they are still being programmed), as are retired
-    // blocks (they can never be erased, so there is nothing to reclaim).
-    let mut candidates: Vec<(u32, u64, u32)> = Vec::new(); // (invalid, plane, block)
-    for plane in 0..array.geometry().total_planes() {
-        for s in array.block_summaries(plane) {
-            if s.full && s.invalid > 0 && !s.retired && !alloc.is_active(s.addr) {
-                candidates.push((s.invalid, s.addr.plane_idx, s.addr.block));
+    // The victim list for the whole episode comes from the incrementally
+    // maintained index (full blocks with reclaimable pages, retired blocks
+    // already excluded), so episode startup is O(candidates), not
+    // O(total blocks). Active blocks are excluded here (they are still
+    // being programmed).
+    //
+    // Ordering: the index enumerates buckets, but victim order must stay
+    // bit-identical to the historic full scan — first reconstruct that
+    // scan's plane-major/block-ascending order, then apply the *same*
+    // unstable most-invalid-first sort, which permutes identical input
+    // identically.
+    let mut candidates: Vec<(u32, u64, u32)> = Vec::with_capacity(array.victim_index().len());
+    array.victim_index().for_each(|invalid, addr| {
+        if !alloc.is_active(addr) {
+            candidates.push((invalid, addr.plane_idx, addr.block));
+        }
+    });
+    candidates.sort_unstable_by_key(|c| (c.1, c.2));
+
+    // Debug oracle: the retired full scan must agree with the index.
+    #[cfg(debug_assertions)]
+    {
+        array
+            .check_victim_index()
+            .expect("victim index consistent with block summaries");
+        let mut scan: Vec<(u32, u64, u32)> = Vec::new();
+        for plane in 0..array.geometry().total_planes() {
+            for s in array.block_summaries(plane) {
+                if s.full && s.invalid > 0 && !s.retired && !alloc.is_active(s.addr) {
+                    scan.push((s.invalid, s.addr.plane_idx, s.addr.block));
+                }
             }
         }
+        assert_eq!(candidates, scan, "victim index diverged from full scan");
     }
+
     candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
 
+    let mut pages: Vec<(Ppn, PageInfo)> = Vec::new(); // per-victim scratch
     for (_, plane_idx, block) in candidates {
         if alloc.free_fraction() >= stop_at {
             break;
         }
         let victim = aftl_flash::BlockAddr { plane_idx, block };
-        for (old_ppn, info) in array.valid_pages_of(victim) {
+        array.valid_pages_into(victim, &mut pages);
+        for &(old_ppn, info) in &pages {
             let programs = migrator.migrate(array, alloc, now, old_ppn, &info, &mut report)?;
             report.migrated_pages += programs;
             array.note_gc_migration();

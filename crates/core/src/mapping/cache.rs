@@ -8,10 +8,10 @@
 //! matching the paper's presentation; MRSM's 2.4× table thrashes (the paper
 //! reports only 42.1 % resident) and Across-FTL's 1.4× table spills mildly.
 
-use std::collections::{BTreeMap, HashMap};
-
 use aftl_flash::{Allocator, FlashArray, Nanos, PageKind, Ppn, Result, StreamId};
 use serde::{Deserialize, Serialize};
+
+use super::openmap::OpenMap;
 
 /// Cache event counters.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -39,35 +39,58 @@ impl CacheStats {
     }
 }
 
+/// Sentinel for "no slab slot" in the intrusive list links.
+const NIL: u32 = u32::MAX;
+
+/// One resident translation page: a slab entry doubly linked into the LRU
+/// list (head = most recent, tail = eviction victim).
 #[derive(Debug, Clone, Copy)]
-struct Slot {
+struct Entry {
+    tpid: u64,
     dirty: bool,
-    stamp: u64,
+    prev: u32,
+    next: u32,
 }
 
 /// A bounded LRU cache of translation pages, spilling to flash.
 ///
 /// Translation-page ids (`tpid`) are scheme-defined: a scheme with several
 /// tables (e.g. Across-FTL's PMT + AMT) assigns them disjoint id ranges.
+///
+/// Internals: resident pages live in a slab (`entries` + `free`) threaded
+/// into an intrusive doubly-linked LRU list, with an open-addressed
+/// [`OpenMap`] from tpid to slab slot. A hit is one hash probe and four
+/// link writes; eviction pops the list tail — no ordered map, no per-access
+/// allocation. The flash locations of spilled pages use a second
+/// [`OpenMap`]. Eviction order is exactly the old stamp-ordered
+/// (`BTreeMap`) implementation's: least recently touched first.
 #[derive(Debug)]
 pub struct MapCache {
     capacity_tpages: usize,
-    clock: u64,
-    resident: HashMap<u64, Slot>,
-    lru: BTreeMap<u64, u64>, // stamp → tpid
-    flash_loc: HashMap<u64, Ppn>,
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    /// tpid → slab slot of resident pages.
+    resident: OpenMap,
+    /// tpid → PPN of the page's current flash copy.
+    flash_loc: OpenMap,
     stats: CacheStats,
 }
 
 impl MapCache {
     /// A cache holding at most `capacity_tpages` translation pages.
+    /// Memory is grown on demand, so an effectively unbounded capacity
+    /// costs nothing up front.
     pub fn new(capacity_tpages: usize) -> Self {
         MapCache {
             capacity_tpages: capacity_tpages.max(1),
-            clock: 0,
-            resident: HashMap::new(),
-            lru: BTreeMap::new(),
-            flash_loc: HashMap::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            resident: OpenMap::new(),
+            flash_loc: OpenMap::new(),
             stats: CacheStats::default(),
         }
     }
@@ -112,15 +135,12 @@ impl MapCache {
     ) -> Result<Nanos> {
         self.stats.lookups += 1;
         let cache_ns = array.timing().cache_access_ns;
-        self.clock += 1;
-        let stamp = self.clock;
 
-        if let Some(slot) = self.resident.get_mut(&tpid) {
+        if let Some(slot) = self.resident.get(tpid) {
+            let slot = slot as u32;
             self.stats.hits += 1;
-            self.lru.remove(&slot.stamp);
-            slot.stamp = stamp;
-            slot.dirty |= make_dirty;
-            self.lru.insert(stamp, tpid);
+            self.touch(slot);
+            self.entries[slot as usize].dirty |= make_dirty;
             return Ok(now + cache_ns);
         }
 
@@ -128,14 +148,16 @@ impl MapCache {
         // Make room; a dirty victim's write-back gates slot reuse.
         let mut ready = now + cache_ns;
         while self.resident.len() >= self.capacity_tpages {
-            let (&victim_stamp, &victim_tpid) =
-                self.lru.iter().next().expect("cache full ⇒ lru nonempty");
-            self.lru.remove(&victim_stamp);
-            let victim = self
-                .resident
-                .remove(&victim_tpid)
-                .expect("lru entry resident");
-            if victim.dirty {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "cache full ⇒ lru nonempty");
+            let (victim_tpid, victim_dirty) = {
+                let e = &self.entries[victim as usize];
+                (e.tpid, e.dirty)
+            };
+            self.unlink(victim);
+            self.free.push(victim);
+            self.resident.remove(victim_tpid);
+            if victim_dirty {
                 let done = self.flush_tpage(array, alloc, now, victim_tpid)?;
                 ready = ready.max(done);
             }
@@ -147,9 +169,14 @@ impl MapCache {
         // rebuilt from the in-DRAM tables (OOB scan in a real device) and
         // the page is re-marked dirty so a fresh copy reaches flash.
         let mut dirty = make_dirty;
-        if let Some(&ppn) = self.flash_loc.get(&tpid) {
-            let r =
-                crate::recover::read_with_retry(array, ppn, array.geometry().page_bytes, now, now)?;
+        if let Some(ppn) = self.flash_loc.get(tpid) {
+            let r = crate::recover::read_with_retry(
+                array,
+                Ppn(ppn),
+                array.geometry().page_bytes,
+                now,
+                now,
+            )?;
             if r.is_lost() {
                 dirty = true;
             }
@@ -158,9 +185,73 @@ impl MapCache {
         } else {
             dirty = true;
         }
-        self.resident.insert(tpid, Slot { dirty, stamp });
-        self.lru.insert(stamp, tpid);
+        let slot = self.alloc_slot(tpid, dirty);
+        self.push_front(slot);
+        self.resident.insert(tpid, u64::from(slot));
         Ok(ready)
+    }
+
+    // ---- intrusive LRU list plumbing ----------------------------------
+
+    /// Claim a slab slot for a new resident entry (links unset).
+    fn alloc_slot(&mut self, tpid: u64, dirty: bool) -> u32 {
+        let e = Entry {
+            tpid,
+            dirty,
+            prev: NIL,
+            next: NIL,
+        };
+        match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot as usize] = e;
+                slot
+            }
+            None => {
+                self.entries.push(e);
+                (self.entries.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Detach `slot` from the LRU list.
+    fn unlink(&mut self, slot: u32) {
+        let Entry { prev, next, .. } = self.entries[slot as usize];
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.entries[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.entries[next as usize].prev = prev;
+        }
+    }
+
+    /// Link `slot` at the head (most recently used).
+    fn push_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let e = &mut self.entries[slot as usize];
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.entries[old_head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Move `slot` to the head (a hit).
+    fn touch(&mut self, slot: u32) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
     }
 
     /// Write a translation page to flash, returning the program completion.
@@ -181,32 +272,33 @@ impl MapCache {
             now,
             now,
         )?;
-        if let Some(old) = self.flash_loc.insert(tpid, new_ppn) {
-            array.invalidate(old)?;
+        if let Some(old) = self.flash_loc.insert(tpid, new_ppn.0) {
+            array.invalidate(Ppn(old))?;
         }
         self.stats.flushes += 1;
         Ok(out.complete_ns)
     }
 
     /// Flush every dirty resident page (used when draining at shutdown in
-    /// tests; the paper's runs never drain).
+    /// tests; the paper's runs never drain). Pages flush in LRU→MRU order
+    /// (deterministic, unlike the old hash-iteration order).
     pub fn flush_all(
         &mut self,
         array: &mut FlashArray,
         alloc: &mut Allocator,
         now: Nanos,
     ) -> Result<()> {
-        let dirty: Vec<u64> = self
-            .resident
-            .iter()
-            .filter(|(_, s)| s.dirty)
-            .map(|(&t, _)| t)
-            .collect();
-        for tpid in dirty {
-            self.flush_tpage(array, alloc, now, tpid)?;
-            if let Some(slot) = self.resident.get_mut(&tpid) {
-                slot.dirty = false;
+        let mut slot = self.tail;
+        while slot != NIL {
+            let (tpid, dirty, prev) = {
+                let e = &self.entries[slot as usize];
+                (e.tpid, e.dirty, e.prev)
+            };
+            if dirty {
+                self.flush_tpage(array, alloc, now, tpid)?;
+                self.entries[slot as usize].dirty = false;
             }
+            slot = prev;
         }
         Ok(())
     }
@@ -214,7 +306,7 @@ impl MapCache {
     /// GC migrated the flash copy of translation page `tpid` (its OOB tag)
     /// from `old` to `new`.
     pub fn note_migrated(&mut self, tpid: u64, new_ppn: Ppn) {
-        self.flash_loc.insert(tpid, new_ppn);
+        self.flash_loc.insert(tpid, new_ppn.0);
     }
 
     /// Number of translation pages that currently have a flash copy.

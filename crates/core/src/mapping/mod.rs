@@ -11,8 +11,11 @@
 
 pub mod amt;
 pub mod cache;
+pub mod openmap;
 pub mod pmt;
+pub mod touched;
 
 pub use amt::{AcrossMapTable, AmtEntry};
 pub use cache::{CacheStats, MapCache};
 pub use pmt::{PageMapTable, PmtEntry};
+pub use touched::TouchedSet;

@@ -12,13 +12,15 @@
 //!   42.1 % residency, 36.9 % of flash writes and 34.4 % of reads being
 //!   map traffic, and ~32× the DRAM accesses of the baseline).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use aftl_flash::{Nanos, PageKind, Ppn, Result, SectorStamp, StreamId};
 
 use crate::counters::SchemeCounters;
 use crate::gc::{self, GcConfig, GcReport};
 use crate::mapping::cache::{CacheStats, MapCache};
+use crate::mapping::openmap::OpenMap;
+use crate::mapping::touched::TouchedSet;
 use crate::recover::{lost_stamps_of, program_relocating, read_with_retry, PageRead, LOST_VERSION};
 use crate::request::{HostRequest, ReqKind};
 use crate::scheme::{
@@ -84,19 +86,216 @@ struct SubWrite {
     we: u64,
 }
 
+/// One (page, in-page range) gather piece of a read.
+#[derive(Debug, Clone, Copy)]
+struct Piece {
+    ppn: Ppn,
+    page_offset: u32,
+    sector: u64,
+    len: u32,
+}
+
+/// LPN → mapping-node table. MRSM never unmaps an LPN (nodes only convert
+/// between page- and sub-mapped forms), so the node slab is append-only
+/// and `len()` is the mapped-LPN count driving [`MrsmFtl::tree_depth`].
+/// The open-addressed index replaces a std `HashMap` whose SipHash probe
+/// sat on every mapping consultation.
+#[derive(Debug, Default)]
+struct LpnTable {
+    index: OpenMap,
+    lpns: Vec<u64>,
+    nodes: Vec<LpnMap>,
+}
+
+impl LpnTable {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    #[inline]
+    fn get(&self, lpn: u64) -> Option<&LpnMap> {
+        self.index.get(lpn).map(|s| &self.nodes[s as usize])
+    }
+
+    /// Insert or overwrite `lpn`'s node.
+    fn set(&mut self, lpn: u64, node: LpnMap) {
+        match self.index.get(lpn) {
+            Some(s) => self.nodes[s as usize] = node,
+            None => {
+                self.index.insert(lpn, self.nodes.len() as u64);
+                self.lpns.push(lpn);
+                self.nodes.push(node);
+            }
+        }
+    }
+
+    /// Mutable node for `lpn`, creating an empty sub-mapped node if absent.
+    fn get_or_insert(&mut self, lpn: u64) -> &mut LpnMap {
+        let slot = match self.index.get(lpn) {
+            Some(s) => s as usize,
+            None => {
+                let s = self.nodes.len();
+                self.index.insert(lpn, s as u64);
+                self.lpns.push(lpn);
+                self.nodes.push(LpnMap::Sub([SubLoc::NONE; 4]));
+                s
+            }
+        };
+        &mut self.nodes[slot]
+    }
+
+    /// All `(lpn, node)` pairs (test-only; insertion order).
+    #[cfg(test)]
+    fn iter(&self) -> impl Iterator<Item = (u64, &LpnMap)> {
+        self.lpns.iter().copied().zip(self.nodes.iter())
+    }
+}
+
+/// Live sub-regions resident on one flash page — at most one per slot, so
+/// the set fits inline with no heap allocation.
+#[derive(Debug, Clone, Copy)]
+struct ResidentSet {
+    ppn: Ppn,
+    len: u8,
+    items: [(u64, u32); SUBS_PER_PAGE as usize],
+}
+
+impl ResidentSet {
+    fn new(ppn: Ppn) -> Self {
+        ResidentSet {
+            ppn,
+            len: 0,
+            items: [(0, 0); SUBS_PER_PAGE as usize],
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[(u64, u32)] {
+        &self.items[..self.len as usize]
+    }
+
+    #[inline]
+    fn push(&mut self, lpn: u64, sub: u32) {
+        self.items[self.len as usize] = (lpn, sub);
+        self.len += 1;
+    }
+}
+
+/// Reverse map `Ppn` → [`ResidentSet`]: an open-addressed index over a
+/// slab with a free list (region pages empty out and are erased by GC, so
+/// slots recycle). Entry order within a set preserves the former `Vec`
+/// push/swap-remove order — GC repack slot assignment depends on it.
+#[derive(Debug, Default)]
+struct ResidentTable {
+    index: OpenMap,
+    slots: Vec<ResidentSet>,
+    free: Vec<u32>,
+}
+
+impl ResidentTable {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn get(&self, ppn: Ppn) -> Option<&ResidentSet> {
+        self.index.get(ppn.0).map(|s| &self.slots[s as usize])
+    }
+
+    fn alloc_slot(&mut self, ppn: Ppn) -> usize {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = ResidentSet::new(ppn);
+                s as usize
+            }
+            None => {
+                self.slots.push(ResidentSet::new(ppn));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(ppn.0, slot as u64);
+        slot
+    }
+
+    /// Append `(lpn, sub)` to `ppn`'s set, creating the set if absent.
+    fn push(&mut self, ppn: Ppn, lpn: u64, sub: u32) {
+        let slot = match self.index.get(ppn.0) {
+            Some(s) => s as usize,
+            None => self.alloc_slot(ppn),
+        };
+        self.slots[slot].push(lpn, sub);
+    }
+
+    /// Install a whole set under `ppn` (which must have none yet).
+    fn insert_set(&mut self, ppn: Ppn, mut set: ResidentSet) {
+        debug_assert!(self.index.get(ppn.0).is_none());
+        set.ppn = ppn;
+        let slot = self.alloc_slot(ppn);
+        self.slots[slot] = set;
+    }
+
+    /// Drop one `(lpn, sub)` entry (swap-remove). Returns whether the set
+    /// emptied (and was removed); `None` if there is no such entry.
+    fn swap_remove_entry(&mut self, ppn: Ppn, lpn: u64, sub: u32) -> Option<bool> {
+        let slot = self.index.get(ppn.0)? as usize;
+        let set = &mut self.slots[slot];
+        let pos = set
+            .as_slice()
+            .iter()
+            .position(|&(l, s)| l == lpn && s == sub)?;
+        set.items[pos] = set.items[set.len as usize - 1];
+        set.len -= 1;
+        if set.len == 0 {
+            set.ppn = Ppn::INVALID;
+            self.index.remove(ppn.0);
+            self.free.push(slot as u32);
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Remove and return the whole set for `ppn`.
+    fn remove(&mut self, ppn: Ppn) -> Option<ResidentSet> {
+        let slot = self.index.remove(ppn.0)? as usize;
+        let set = self.slots[slot];
+        self.slots[slot].ppn = Ppn::INVALID;
+        self.free.push(slot as u32);
+        Some(set)
+    }
+
+    /// All live sets (test-only; slab order).
+    #[cfg(test)]
+    fn iter(&self) -> impl Iterator<Item = &ResidentSet> {
+        self.slots.iter().filter(|s| s.ppn.is_valid())
+    }
+}
+
 /// The MRSM scheme.
 pub struct MrsmFtl {
     cfg: SchemeConfig,
     gc_cfg: GcConfig,
-    map: HashMap<u64, LpnMap>,
+    map: LpnTable,
     /// Live sub-regions resident on each flash page (reverse map used for
     /// slot-wise invalidation and GC remapping).
-    residents: HashMap<Ppn, Vec<(u64, u32)>>,
+    residents: ResidentTable,
     cache: MapCache,
     counters: SchemeCounters,
-    touched_tpages: HashSet<u64>,
+    touched_tpages: TouchedSet,
     entries_per_tpage: u64,
     page_bytes: u32,
+    // Reusable per-request scratch (capacity persists across requests so
+    // the hot path stays allocation-free).
+    scratch_pending: Vec<SubWrite>,
+    scratch_old_reads: Vec<(Ppn, Nanos)>,
+    scratch_pieces: Vec<Piece>,
+    scratch_read_pages: Vec<(Ppn, Nanos)>,
+    scratch_lost: Vec<Ppn>,
 }
 
 impl MrsmFtl {
@@ -110,13 +309,18 @@ impl MrsmFtl {
                 ..GcConfig::default()
             },
             cfg,
-            map: HashMap::new(),
-            residents: HashMap::new(),
+            map: LpnTable::new(),
+            residents: ResidentTable::new(),
             cache,
             counters: SchemeCounters::default(),
-            touched_tpages: HashSet::new(),
+            touched_tpages: TouchedSet::new(),
             entries_per_tpage: u64::from(page_bytes) / ENTRY_BYTES,
             page_bytes,
+            scratch_pending: Vec::new(),
+            scratch_old_reads: Vec::new(),
+            scratch_pieces: Vec::new(),
+            scratch_read_pages: Vec::new(),
+            scratch_lost: Vec::new(),
         }
     }
 
@@ -139,7 +343,7 @@ impl MrsmFtl {
 
     /// Current location of a sub-region.
     fn loc_of(&self, lpn: u64, sub: u32) -> Option<SubLoc> {
-        match self.map.get(&lpn) {
+        match self.map.get(lpn) {
             None => None,
             Some(LpnMap::Page(p)) => Some(SubLoc {
                 ppn: *p,
@@ -158,17 +362,11 @@ impl MrsmFtl {
         let Some(loc) = self.loc_of(lpn, sub) else {
             return Ok(());
         };
-        let res = self
+        let emptied = self
             .residents
-            .get_mut(&loc.ppn)
+            .swap_remove_entry(loc.ppn, lpn, sub)
             .expect("mapped sub-region has a resident record");
-        let pos = res
-            .iter()
-            .position(|&(l, s)| l == lpn && s == sub)
-            .expect("resident entry for mapped sub-region");
-        res.swap_remove(pos);
-        if res.is_empty() {
-            self.residents.remove(&loc.ppn);
+        if emptied {
             env.array.invalidate(loc.ppn)?;
         }
         Ok(())
@@ -215,9 +413,12 @@ impl MrsmFtl {
                 .collect();
             env.array.record_content(new_ppn, stamps.into_boxed_slice());
         }
-        self.map.insert(lpn, LpnMap::Page(new_ppn));
-        self.residents
-            .insert(new_ppn, (0..SUBS_PER_PAGE).map(|s| (lpn, s)).collect());
+        self.map.set(lpn, LpnMap::Page(new_ppn));
+        let mut set = ResidentSet::new(new_ppn);
+        for s in 0..SUBS_PER_PAGE {
+            set.push(lpn, s);
+        }
+        self.residents.insert_set(new_ppn, set);
         Ok(w.complete_ns)
     }
 
@@ -228,8 +429,9 @@ impl MrsmFtl {
     pub(crate) fn check_invariants(&self) {
         use std::collections::HashSet as Set;
         let mut seen: Set<(u64, u32)> = Set::new();
-        for (ppn, res) in &self.residents {
-            for &(lpn, sub) in res {
+        for set in self.residents.iter() {
+            let ppn = set.ppn;
+            for &(lpn, sub) in set.as_slice() {
                 assert!(
                     seen.insert((lpn, sub)),
                     "duplicate resident ({lpn},{sub}) on {ppn:?}"
@@ -237,10 +439,10 @@ impl MrsmFtl {
                 let loc = self
                     .loc_of(lpn, sub)
                     .unwrap_or_else(|| panic!("resident ({lpn},{sub}) on {ppn:?} has no mapping"));
-                assert_eq!(loc.ppn, *ppn, "resident ({lpn},{sub}) maps elsewhere");
+                assert_eq!(loc.ppn, ppn, "resident ({lpn},{sub}) maps elsewhere");
             }
         }
-        for (&lpn, node) in &self.map {
+        for (lpn, node) in self.map.iter() {
             for sub in 0..SUBS_PER_PAGE {
                 if let Some(loc) = self.loc_of(lpn, sub) {
                     assert!(
@@ -267,7 +469,8 @@ impl FtlScheme for MrsmFtl {
         let sub_sectors = u64::from(spp / SUBS_PER_PAGE);
         let mut outcome = ServiceOutcome::default();
         let mut ready = env.now_ns;
-        let mut pending: Vec<SubWrite> = Vec::new();
+        let mut pending = std::mem::take(&mut self.scratch_pending);
+        pending.clear();
 
         for extent in req.extents(spp) {
             let t = self.map_access(env, extent.lpn, true)?;
@@ -296,15 +499,19 @@ impl FtlScheme for MrsmFtl {
         }
 
         if pending.is_empty() {
+            self.scratch_pending = pending;
             outcome.merge_time(ready);
             return Ok(outcome);
         }
 
         // Read the old copies of partially covered sub-regions (sub-page
         // overwrite needs no page RMW, but a *sub-region* only partially
-        // covered must be completed from its old location).
+        // covered must be completed from its old location). The distinct
+        // page set is tiny (≤ staged sub-writes), so a linear scan beats a
+        // hash map here.
         let track = env.array.tracks_content();
-        let mut old_reads: HashMap<Ppn, Nanos> = HashMap::new();
+        let mut old_reads = std::mem::take(&mut self.scratch_old_reads);
+        old_reads.clear();
         let mut old_stamps: HashMap<Ppn, Vec<Option<SectorStamp>>> = HashMap::new();
         for sw in &pending {
             let sub_start = sw.lpn * u64::from(spp) + u64::from(sw.sub) * sub_sectors;
@@ -313,31 +520,32 @@ impl FtlScheme for MrsmFtl {
                 continue;
             }
             if let Some(loc) = self.loc_of(sw.lpn, sw.sub) {
-                if let std::collections::hash_map::Entry::Vacant(e) = old_reads.entry(loc.ppn) {
-                    let r = read_with_retry(
-                        env.array,
-                        loc.ppn,
-                        env.sectors_to_bytes(spp / SUBS_PER_PAGE),
-                        env.now_ns,
-                        ready,
-                    )?;
-                    self.counters.rmw_reads += 1;
-                    if r.is_lost() {
-                        self.counters.lost_pages += 1;
-                    }
-                    if track {
-                        if let Some(c) = env.array.content_of(loc.ppn) {
-                            let mut c = c.to_vec();
-                            if r.is_lost() {
-                                for s in c.iter_mut().flatten() {
-                                    s.version = LOST_VERSION;
-                                }
-                            }
-                            old_stamps.insert(loc.ppn, c);
-                        }
-                    }
-                    e.insert(r.complete_ns());
+                if old_reads.iter().any(|&(p, _)| p == loc.ppn) {
+                    continue;
                 }
+                let r = read_with_retry(
+                    env.array,
+                    loc.ppn,
+                    env.sectors_to_bytes(spp / SUBS_PER_PAGE),
+                    env.now_ns,
+                    ready,
+                )?;
+                self.counters.rmw_reads += 1;
+                if r.is_lost() {
+                    self.counters.lost_pages += 1;
+                }
+                if track {
+                    if let Some(c) = env.array.content_of(loc.ppn) {
+                        let mut c = c.to_vec();
+                        if r.is_lost() {
+                            for s in c.iter_mut().flatten() {
+                                s.version = LOST_VERSION;
+                            }
+                        }
+                        old_stamps.insert(loc.ppn, c);
+                    }
+                }
+                old_reads.push((loc.ppn, r.complete_ns()));
             }
         }
 
@@ -346,7 +554,7 @@ impl FtlScheme for MrsmFtl {
             let mut at = ready;
             for sw in group {
                 if let Some(loc) = self.loc_of(sw.lpn, sw.sub) {
-                    if let Some(&t) = old_reads.get(&loc.ppn) {
+                    if let Some(&(_, t)) = old_reads.iter().find(|&&(p, _)| p == loc.ppn) {
                         at = at.max(t);
                     }
                 }
@@ -405,6 +613,8 @@ impl FtlScheme for MrsmFtl {
                 );
             }
         }
+        self.scratch_pending = pending;
+        self.scratch_old_reads = old_reads;
         Ok(outcome)
     }
 
@@ -418,13 +628,8 @@ impl FtlScheme for MrsmFtl {
         let mut ready = env.now_ns;
 
         // Gather the needed (page, in-page range) pieces.
-        struct Piece {
-            ppn: Ppn,
-            page_offset: u32,
-            sector: u64,
-            len: u32,
-        }
-        let mut pieces: Vec<Piece> = Vec::new();
+        let mut pieces = std::mem::take(&mut self.scratch_pieces);
+        pieces.clear();
         for extent in req.extents(spp) {
             let t = self.map_access(env, extent.lpn, false)?;
             ready = ready.max(t);
@@ -454,29 +659,33 @@ impl FtlScheme for MrsmFtl {
         }
         outcome.merge_time(ready);
 
-        // One flash read per distinct page.
-        let mut read_pages: HashMap<Ppn, Nanos> = HashMap::new();
-        let mut lost_pages: HashSet<Ppn> = HashSet::new();
+        // One flash read per distinct page (distinct pages ≤ pieces, a
+        // handful — linear dedup).
+        let mut read_pages = std::mem::take(&mut self.scratch_read_pages);
+        read_pages.clear();
+        let mut lost_pages = std::mem::take(&mut self.scratch_lost);
+        lost_pages.clear();
         for p in &pieces {
-            if let std::collections::hash_map::Entry::Vacant(e) = read_pages.entry(p.ppn) {
-                let total: u32 = pieces
-                    .iter()
-                    .filter(|q| q.ppn == p.ppn)
-                    .map(|q| q.len)
-                    .sum();
-                let r = read_with_retry(
-                    env.array,
-                    p.ppn,
-                    env.sectors_to_bytes(total),
-                    env.now_ns,
-                    ready,
-                )?;
-                if let PageRead::Lost { .. } = r {
-                    lost_pages.insert(p.ppn);
-                }
-                e.insert(r.complete_ns());
-                outcome.merge_time(r.complete_ns());
+            if read_pages.iter().any(|&(pp, _)| pp == p.ppn) {
+                continue;
             }
+            let total: u32 = pieces
+                .iter()
+                .filter(|q| q.ppn == p.ppn)
+                .map(|q| q.len)
+                .sum();
+            let r = read_with_retry(
+                env.array,
+                p.ppn,
+                env.sectors_to_bytes(total),
+                env.now_ns,
+                ready,
+            )?;
+            if let PageRead::Lost { .. } = r {
+                lost_pages.push(p.ppn);
+            }
+            read_pages.push((p.ppn, r.complete_ns()));
+            outcome.merge_time(r.complete_ns());
         }
         if !lost_pages.is_empty() {
             self.counters.host_unrecoverable_reads += 1;
@@ -497,6 +706,9 @@ impl FtlScheme for MrsmFtl {
                 }
             }
         }
+        self.scratch_pieces = pieces;
+        self.scratch_read_pages = read_pages;
+        self.scratch_lost = lost_pages;
         Ok(outcome)
     }
 
@@ -534,7 +746,7 @@ impl FtlScheme for MrsmFtl {
     }
 
     fn mapping_table_bytes(&self) -> u64 {
-        self.touched_tpages.len() as u64 * u64::from(self.page_bytes)
+        self.touched_tpages.len() * u64::from(self.page_bytes)
     }
 
     fn logical_pages(&self) -> u64 {
@@ -545,13 +757,13 @@ impl FtlScheme for MrsmFtl {
 /// Shared by [`MrsmFtl::set_sub_loc`] and the GC migrator (which borrows
 /// the tables piecewise).
 fn set_sub_loc_parts(
-    map: &mut HashMap<u64, LpnMap>,
-    residents: &mut HashMap<Ppn, Vec<(u64, u32)>>,
+    map: &mut LpnTable,
+    residents: &mut ResidentTable,
     lpn: u64,
     sub: u32,
     loc: SubLoc,
 ) {
-    let node = map.entry(lpn).or_insert(LpnMap::Sub([SubLoc::NONE; 4]));
+    let node = map.get_or_insert(lpn);
     let locs = match node {
         LpnMap::Page(p) => {
             let p = *p;
@@ -571,7 +783,7 @@ fn set_sub_loc_parts(
         LpnMap::Sub(l) => l,
     };
     locs[sub as usize] = loc;
-    residents.entry(loc.ppn).or_default().push((lpn, sub));
+    residents.push(loc.ppn, lpn, sub);
 }
 
 /// A live sub-region lifted off a GC victim, awaiting repacking.
@@ -588,8 +800,8 @@ struct PendingSub {
 /// region pages are *repacked* — live sub-regions from several victims
 /// fill fresh pages densely, reclaiming the space fragmentation wasted.
 struct MrsmMigrator<'a> {
-    map: &'a mut HashMap<u64, LpnMap>,
-    residents: &'a mut HashMap<Ppn, Vec<(u64, u32)>>,
+    map: &'a mut LpnTable,
+    residents: &'a mut ResidentTable,
     cache: &'a mut MapCache,
     counters: &'a mut SchemeCounters,
     pending: Vec<PendingSub>,
@@ -682,20 +894,19 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
             return Ok(1);
         }
 
-        let res = self
+        let res = *self
             .residents
-            .get(&old)
-            .expect("valid user page has residents")
-            .clone();
+            .get(old)
+            .expect("valid user page has residents");
         // Fully live page-mapped pages move one-to-one.
-        let page_mapped_full = res.len() == SUBS_PER_PAGE as usize
-            && matches!(self.map.get(&res[0].0), Some(LpnMap::Page(p)) if *p == old);
+        let page_mapped_full = res.len as u32 == SUBS_PER_PAGE
+            && matches!(self.map.get(res.items[0].0), Some(LpnMap::Page(p)) if *p == old);
         let r = read_with_retry(array, old, page_bytes, now, now)?;
         if r.is_lost() {
             report.lost_pages += 1;
         }
         if page_mapped_full {
-            let owner_lpn = res[0].0;
+            let owner_lpn = res.items[0].0;
             let (new, _) = program_relocating(
                 array,
                 alloc,
@@ -716,9 +927,9 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
                     array.record_content(new, s);
                 }
             }
-            let res = self.residents.remove(&old).expect("checked above");
-            self.residents.insert(new, res);
-            self.map.insert(owner_lpn, LpnMap::Page(new));
+            let set = self.residents.remove(old).expect("checked above");
+            self.residents.insert_set(new, set);
+            self.map.set(owner_lpn, LpnMap::Page(new));
             array.invalidate(old)?;
             return Ok(1);
         }
@@ -729,9 +940,9 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
         } else {
             array.content_of(old).map(|c| c.to_vec())
         };
-        self.residents.remove(&old);
-        for (lpn, sub) in res {
-            let slot = match self.map.get(&lpn) {
+        self.residents.remove(old);
+        for &(lpn, sub) in res.as_slice() {
+            let slot = match self.map.get(lpn) {
                 Some(LpnMap::Sub(locs)) => {
                     debug_assert_eq!(locs[sub as usize].ppn, old);
                     locs[sub as usize].slot as usize

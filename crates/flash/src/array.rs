@@ -2,8 +2,6 @@
 //! advances per-chip / per-channel timelines, and keeps the statistics the
 //! evaluation harness reports.
 
-use std::collections::HashMap;
-
 use crate::block::{Block, BlockAddr, BlockSummary};
 use crate::error::FlashError;
 use crate::faults::{FaultConfig, FaultInjector};
@@ -11,6 +9,7 @@ use crate::geometry::{Geometry, PageAddr, Ppn};
 use crate::page::{PageInfo, PageKind, SectorStamp};
 use crate::stats::FlashStats;
 use crate::timing::TimingSpec;
+use crate::victims::VictimIndex;
 use crate::{Nanos, Result};
 
 /// Start/completion pair returned by every timed flash operation.
@@ -68,6 +67,50 @@ struct Plane {
     free_blocks: u32,
 }
 
+/// Precomputed address arithmetic. PPN decomposition sits on the hot path
+/// of every read/program/invalidate; the generic [`Geometry`] math costs a
+/// chain of runtime `u64` divisions per call, so the array caches
+/// power-of-two shifts (all practical geometries qualify) and per-plane
+/// chip/channel lookup tables at construction.
+#[derive(Debug, Clone)]
+struct AddrLut {
+    /// Total pages, so the bounds check needs no multiplication chain.
+    total_pages: u64,
+    /// `log2(pages_per_block)` when it is a power of two.
+    page_shift: Option<u32>,
+    /// `log2(blocks_per_plane)` when it is a power of two.
+    block_shift: Option<u32>,
+    /// Chip timeline index per plane index.
+    chip_of_plane: Vec<u32>,
+    /// Channel index per plane index.
+    channel_of_plane: Vec<u32>,
+}
+
+impl AddrLut {
+    fn new(g: &Geometry) -> Self {
+        let shift = |n: u32| n.is_power_of_two().then(|| n.trailing_zeros());
+        let planes = g.total_planes();
+        let mut chip_of_plane = Vec::with_capacity(planes as usize);
+        let mut channel_of_plane = Vec::with_capacity(planes as usize);
+        for plane_idx in 0..planes {
+            let (channel, chip, _, _) = g.plane_addr(plane_idx);
+            chip_of_plane.push(channel * g.chips_per_channel + chip);
+            channel_of_plane.push(channel);
+        }
+        AddrLut {
+            total_pages: g.total_pages(),
+            page_shift: shift(g.pages_per_block),
+            block_shift: shift(g.blocks_per_plane),
+            chip_of_plane,
+            channel_of_plane,
+        }
+    }
+}
+
+/// One physical page's tracked content: a stamp per sector, present only
+/// for pages that have been programmed since tracking was enabled.
+type PageContent = Option<Box<[Option<SectorStamp>]>>;
+
 /// The NAND flash array (see crate docs for the FTL contract).
 #[derive(Debug)]
 pub struct FlashArray {
@@ -77,8 +120,15 @@ pub struct FlashArray {
     chip_busy: Vec<Nanos>,
     channel_busy: Vec<Nanos>,
     stats: FlashStats,
-    /// Optional per-page content tracking for the correctness oracle.
-    content: Option<HashMap<Ppn, Box<[Option<SectorStamp>]>>>,
+    /// Optional per-page content tracking for the correctness oracle: a
+    /// flat arena indexed by PPN (dense — one slot per physical page — so
+    /// the oracle's per-op bookkeeping is an array index, not a hash).
+    content: Option<Vec<PageContent>>,
+    /// GC victim candidates, maintained incrementally on every program /
+    /// invalidate / erase / retire event (see [`crate::victims`]).
+    victims: VictimIndex,
+    /// Precomputed PPN-decomposition tables (see [`AddrLut`]).
+    lut: AddrLut,
     /// Optional per-operation log for the observability layer. `None` keeps
     /// the hot path to a single branch per operation.
     op_log: Option<Vec<FlashOpRecord>>,
@@ -111,6 +161,12 @@ impl FlashArray {
             channel_busy: vec![0; geometry.channels as usize],
             stats: FlashStats::default(),
             content: None,
+            victims: VictimIndex::new(
+                geometry.total_blocks(),
+                geometry.blocks_per_plane,
+                geometry.pages_per_block,
+            ),
+            lut: AddrLut::new(&geometry),
             op_log: None,
             injector: FaultInjector::new(&FaultConfig::disabled()),
             erase_endurance: u64::MAX,
@@ -134,11 +190,11 @@ impl FlashArray {
         self.read_retries
     }
 
-    /// Enable sector-stamp content tracking (test/oracle use; costs memory
-    /// proportional to the number of live pages).
+    /// Enable sector-stamp content tracking (test/oracle use; costs one
+    /// pointer-sized slot per physical page plus the live stamp boxes).
     pub fn enable_content_tracking(&mut self) {
         if self.content.is_none() {
-            self.content = Some(HashMap::new());
+            self.content = Some(vec![None; self.geometry.total_pages() as usize]);
         }
     }
 
@@ -224,12 +280,10 @@ impl FlashArray {
 
     /// Block containing `ppn`.
     pub fn block_addr_of(&self, ppn: Ppn) -> BlockAddr {
-        let addr = self.geometry.page_addr(ppn);
+        let (plane, block, _) = self.split(ppn).expect("block_addr_of: ppn out of range");
         BlockAddr {
-            plane_idx: self
-                .geometry
-                .plane_index(addr.channel, addr.chip, addr.die, addr.plane),
-            block: addr.block,
+            plane_idx: plane as u64,
+            block: block as u32,
         }
     }
 
@@ -246,14 +300,28 @@ impl FlashArray {
         Ppn(self.first_ppn_of(block).0 + u64::from(page))
     }
 
+    #[inline]
     fn split(&self, ppn: Ppn) -> Result<(usize, usize, u32)> {
-        if ppn.0 >= self.geometry.total_pages() {
+        if ppn.0 >= self.lut.total_pages {
             return Err(FlashError::OutOfRange(ppn));
         }
-        let page = (ppn.0 % u64::from(self.geometry.pages_per_block)) as u32;
-        let linear_block = ppn.0 / u64::from(self.geometry.pages_per_block);
-        let block = (linear_block % u64::from(self.geometry.blocks_per_plane)) as usize;
-        let plane = (linear_block / u64::from(self.geometry.blocks_per_plane)) as usize;
+        let (page, linear_block) = match self.lut.page_shift {
+            Some(s) => ((ppn.0 & ((1 << s) - 1)) as u32, ppn.0 >> s),
+            None => (
+                (ppn.0 % u64::from(self.geometry.pages_per_block)) as u32,
+                ppn.0 / u64::from(self.geometry.pages_per_block),
+            ),
+        };
+        let (block, plane) = match self.lut.block_shift {
+            Some(s) => (
+                (linear_block & ((1 << s) - 1)) as usize,
+                (linear_block >> s) as usize,
+            ),
+            None => (
+                (linear_block % u64::from(self.geometry.blocks_per_plane)) as usize,
+                (linear_block / u64::from(self.geometry.blocks_per_plane)) as usize,
+            ),
+        };
         Ok((plane, block, page))
     }
 
@@ -356,15 +424,31 @@ impl FlashArray {
         if was_free {
             self.planes[plane].free_blocks -= 1;
         }
+        // A retired block can never be erased, so it stops being a victim.
+        self.victims.remove(BlockAddr {
+            plane_idx: plane as u64,
+            block: block as u32,
+        });
         self.stats.retired_blocks += 1;
     }
 
     /// Valid pages of a block with their OOB info (GC migration source).
     pub fn valid_pages_of(&self, addr: BlockAddr) -> Vec<(Ppn, PageInfo)> {
+        let mut out = Vec::new();
+        self.valid_pages_into(addr, &mut out);
+        out
+    }
+
+    /// Fill `out` with a block's valid pages and their OOB info, reusing
+    /// the caller's buffer (GC calls this once per victim; a reused scratch
+    /// vector keeps the episode allocation-free).
+    pub fn valid_pages_into(&self, addr: BlockAddr, out: &mut Vec<(Ppn, PageInfo)>) {
+        out.clear();
         let b = &self.planes[addr.plane_idx as usize].blocks[addr.block as usize];
-        b.valid_pages()
-            .map(|(i, info)| (self.ppn_in_block(addr, i), *info))
-            .collect()
+        out.extend(
+            b.valid_pages()
+                .map(|(i, info)| (self.ppn_in_block(addr, i), *info)),
+        );
     }
 
     /// Per-block erase counts (wear histogram input).
@@ -423,13 +507,14 @@ impl FlashArray {
         arrive_ns: Nanos,
         ready_ns: Nanos,
     ) -> Result<OpOutcome> {
-        let info = self.page_info(ppn)?;
+        let (plane, block, page) = self.split(ppn)?;
+        let info = *self.planes[plane].blocks[block].page(page);
         match info.state {
             crate::page::PageState::Valid => {}
             _ => return Err(FlashError::ReadUnwritten(ppn)),
         }
-        let chip = self.geometry.chip_index_of(ppn) as usize;
-        let channel = self.geometry.channel_index_of(ppn) as usize;
+        let chip = self.lut.chip_of_plane[plane] as usize;
+        let channel = self.lut.channel_of_plane[plane] as usize;
         let xfer = self.timing.transfer_ns(
             u64::from(bytes.min(self.geometry.page_bytes)),
             self.geometry.page_bytes,
@@ -470,7 +555,7 @@ impl FlashArray {
         ready_ns: Nanos,
     ) -> Result<OpOutcome> {
         let (plane, block, page) = self.split(ppn)?;
-        {
+        let filled_with_invalid = {
             let blk = &mut self.planes[plane].blocks[block];
             if blk.is_retired() {
                 return Err(FlashError::ProgramNonFree(ppn));
@@ -481,13 +566,26 @@ impl FlashArray {
             let was_free = blk.is_free();
             blk.program(page, kind, tag)
                 .map_err(|expected_page| FlashError::NonSequentialProgram { ppn, expected_page })?;
+            // A block enters the victim index the moment it closes with
+            // reclaimable pages (invalidated while it was still filling).
+            let filled = (blk.is_full() && blk.invalid_count() > 0).then(|| blk.invalid_count());
             if was_free {
                 self.planes[plane].free_blocks -= 1;
             }
+            filled
+        };
+        if let Some(invalid) = filled_with_invalid {
+            self.victims.upsert(
+                BlockAddr {
+                    plane_idx: plane as u64,
+                    block: block as u32,
+                },
+                invalid,
+            );
         }
 
-        let chip = self.geometry.chip_index_of(ppn) as usize;
-        let channel = self.geometry.channel_index_of(ppn) as usize;
+        let chip = self.lut.chip_of_plane[plane] as usize;
+        let channel = self.lut.channel_of_plane[plane] as usize;
         let xfer = self.timing.transfer_ns(
             u64::from(bytes.min(self.geometry.page_bytes)),
             self.geometry.page_bytes,
@@ -527,7 +625,7 @@ impl FlashArray {
     /// the free pool — callers must not `release_block` it.
     pub fn erase(&mut self, addr: BlockAddr, at_ns: Nanos) -> Result<OpOutcome> {
         let first = self.first_ppn_of(addr);
-        let chip = self.geometry.chip_index_of(first) as usize;
+        let chip = self.lut.chip_of_plane[addr.plane_idx as usize] as usize;
         let (plane, block) = (addr.plane_idx as usize, addr.block as usize);
         let (retired, valid, erases, was_free) = {
             let blk = &self.planes[plane].blocks[block];
@@ -578,12 +676,13 @@ impl FlashArray {
             });
         }
         self.planes[plane].blocks[block].erase();
+        self.victims.remove(addr);
         if !was_free {
             self.planes[plane].free_blocks += 1;
         }
         if let Some(content) = &mut self.content {
             for p in 0..self.geometry.pages_per_block {
-                content.remove(&Ppn(first.0 + u64::from(p)));
+                content[(first.0 + u64::from(p)) as usize] = None;
             }
         }
 
@@ -603,11 +702,24 @@ impl FlashArray {
     /// Mark a page's data superseded. Metadata-only (free, instantaneous).
     pub fn invalidate(&mut self, ppn: Ppn) -> Result<()> {
         let (plane, block, page) = self.split(ppn)?;
-        if !self.planes[plane].blocks[block].invalidate(page) {
-            return Err(FlashError::InvalidateNonValid(ppn));
+        let closed_candidate = {
+            let blk = &mut self.planes[plane].blocks[block];
+            if !blk.invalidate(page) {
+                return Err(FlashError::InvalidateNonValid(ppn));
+            }
+            (blk.is_full() && !blk.is_retired()).then(|| blk.invalid_count())
+        };
+        if let Some(invalid) = closed_candidate {
+            self.victims.upsert(
+                BlockAddr {
+                    plane_idx: plane as u64,
+                    block: block as u32,
+                },
+                invalid,
+            );
         }
         if let Some(content) = &mut self.content {
-            content.remove(&ppn);
+            content[ppn.0 as usize] = None;
         }
         Ok(())
     }
@@ -617,20 +729,64 @@ impl FlashArray {
         self.stats.gc_migrations += 1;
     }
 
+    // ---- GC victim index ---------------------------------------------------
+
+    /// The incrementally maintained erase-candidate index (full blocks with
+    /// invalid pages, not retired). GC enumerates this instead of scanning
+    /// every block summary.
+    #[inline]
+    pub fn victim_index(&self) -> &VictimIndex {
+        &self.victims
+    }
+
+    /// The greedy victim — a block in the highest non-empty invalid-count
+    /// bucket — with its invalid count. Amortised O(1).
+    pub fn best_victim(&mut self) -> Option<(BlockAddr, u32)> {
+        self.victims.peek_best()
+    }
+
+    /// Debug oracle: rebuild the candidate set with the historic full scan
+    /// and compare it to the incremental index. Returns a description of
+    /// the first divergence, if any.
+    pub fn check_victim_index(&self) -> std::result::Result<(), String> {
+        let mut scanned = 0usize;
+        for plane in 0..self.geometry.total_planes() {
+            for s in self.block_summaries(plane) {
+                let indexed = self.victims.invalid_of(s.addr);
+                let expect = (s.full && s.invalid > 0 && !s.retired).then_some(s.invalid);
+                if indexed != expect {
+                    return Err(format!(
+                        "block {:?}: index has {indexed:?}, scan says {expect:?} \
+                         (full={} invalid={} retired={})",
+                        s.addr, s.full, s.invalid, s.retired
+                    ));
+                }
+                scanned += usize::from(expect.is_some());
+            }
+        }
+        if scanned != self.victims.len() {
+            return Err(format!(
+                "index holds {} blocks, scan found {scanned}",
+                self.victims.len()
+            ));
+        }
+        Ok(())
+    }
+
     // ---- oracle content tracking ------------------------------------------
 
     /// Record which sector stamps a just-programmed page holds.
     /// No-op unless [`Self::enable_content_tracking`] was called.
     pub fn record_content(&mut self, ppn: Ppn, stamps: Box<[Option<SectorStamp>]>) {
         if let Some(content) = &mut self.content {
-            content.insert(ppn, stamps);
+            content[ppn.0 as usize] = Some(stamps);
         }
     }
 
     /// The stamps stored on a page, if tracking is enabled and the page has
     /// recorded content.
     pub fn content_of(&self, ppn: Ppn) -> Option<&[Option<SectorStamp>]> {
-        self.content.as_ref()?.get(&ppn).map(|b| &b[..])
+        self.content.as_ref()?[ppn.0 as usize].as_deref()
     }
 
     /// Whether content tracking is on.

@@ -30,6 +30,7 @@ pub mod geometry;
 pub mod page;
 pub mod stats;
 pub mod timing;
+pub mod victims;
 
 pub use allocator::{Allocator, StreamId};
 pub use array::{FlashArray, FlashOp, FlashOpRecord, OpOutcome};
@@ -40,6 +41,7 @@ pub use geometry::{Geometry, GeometryBuilder, PageAddr, Ppn};
 pub use page::{PageInfo, PageKind, PageState, SectorStamp};
 pub use stats::FlashStats;
 pub use timing::TimingSpec;
+pub use victims::VictimIndex;
 
 /// Nanosecond timestamps used across the simulator.
 pub type Nanos = u64;

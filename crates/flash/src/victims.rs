@@ -1,0 +1,220 @@
+//! Incrementally maintained GC victim index.
+//!
+//! Garbage collection wants the *fullest-of-invalid* closed block. Scanning
+//! every block summary on each episode is O(total blocks); instead the
+//! [`crate::array::FlashArray`] keeps this index up to date on every page
+//! program / invalidate / block erase / retire event, so an episode starts
+//! from the candidate set directly.
+//!
+//! A block is **indexed** exactly when it could be erased for profit:
+//! fully programmed, at least one invalid page, not retired. (Whether it is
+//! an allocator-*active* block is allocator state, filtered at selection
+//! time — a full block can never be active for long anyway.)
+//!
+//! The structure is a classic bucket index: `buckets[i]` holds the global
+//! ids of indexed blocks with exactly `i` invalid pages, and two dense
+//! per-block arrays record where each block sits so every maintenance event
+//! is O(1) (`swap_remove` + push). The greedy victim is any block in the
+//! highest non-empty bucket ([`VictimIndex::peek_best`]); full enumeration
+//! ([`VictimIndex::for_each`]) is O(candidates), not O(blocks).
+
+use crate::block::BlockAddr;
+
+/// Sentinel for "not indexed" in the per-block position arrays.
+const NONE: u32 = u32::MAX;
+
+/// Bucketed-by-invalid-count index of erase candidates. See module docs.
+#[derive(Debug, Clone)]
+pub struct VictimIndex {
+    blocks_per_plane: u32,
+    /// Bucket (= invalid count) each global block currently sits in, or
+    /// [`NONE`].
+    bucket_of: Vec<u32>,
+    /// Position of each global block inside its bucket's vector.
+    pos_in_bucket: Vec<u32>,
+    /// `buckets[i]` = global block ids with exactly `i` invalid pages.
+    /// Index 0 exists but stays empty (no profit in erasing it).
+    buckets: Vec<Vec<u32>>,
+    /// Highest bucket that might be non-empty (lazily decayed in
+    /// [`Self::peek_best`]).
+    top: usize,
+    /// Indexed blocks.
+    len: usize,
+}
+
+impl VictimIndex {
+    /// An empty index for `total_blocks` blocks of `pages_per_block` pages,
+    /// `blocks_per_plane` per plane.
+    pub fn new(total_blocks: u64, blocks_per_plane: u32, pages_per_block: u32) -> Self {
+        VictimIndex {
+            blocks_per_plane,
+            bucket_of: vec![NONE; total_blocks as usize],
+            pos_in_bucket: vec![NONE; total_blocks as usize],
+            buckets: vec![Vec::new(); pages_per_block as usize + 1],
+            top: 0,
+            len: 0,
+        }
+    }
+
+    /// Global id of a block address.
+    #[inline]
+    pub fn global_id(&self, addr: BlockAddr) -> usize {
+        (addr.plane_idx * u64::from(self.blocks_per_plane) + u64::from(addr.block)) as usize
+    }
+
+    #[inline]
+    fn addr_of(&self, gid: u32) -> BlockAddr {
+        BlockAddr {
+            plane_idx: u64::from(gid / self.blocks_per_plane),
+            block: gid % self.blocks_per_plane,
+        }
+    }
+
+    /// Number of indexed candidate blocks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no block is currently an erase candidate.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Invalid-page count the index holds for `addr`, if indexed.
+    #[inline]
+    pub fn invalid_of(&self, addr: BlockAddr) -> Option<u32> {
+        let gid = self.global_id(addr);
+        let b = self.bucket_of[gid];
+        (b != NONE).then_some(b)
+    }
+
+    /// Insert `addr` with `invalid` invalid pages, or move it to the new
+    /// bucket if already indexed. O(1).
+    pub fn upsert(&mut self, addr: BlockAddr, invalid: u32) {
+        debug_assert!(invalid > 0, "zero-profit blocks are not indexed");
+        let gid = self.global_id(addr) as u32;
+        let cur = self.bucket_of[gid as usize];
+        if cur == invalid {
+            return;
+        }
+        if cur != NONE {
+            self.detach(gid);
+        } else {
+            self.len += 1;
+        }
+        let bucket = &mut self.buckets[invalid as usize];
+        self.bucket_of[gid as usize] = invalid;
+        self.pos_in_bucket[gid as usize] = bucket.len() as u32;
+        bucket.push(gid);
+        self.top = self.top.max(invalid as usize);
+    }
+
+    /// Remove `addr` from the index (erase, retire, or no longer a
+    /// candidate). O(1); no-op when not indexed.
+    pub fn remove(&mut self, addr: BlockAddr) {
+        let gid = self.global_id(addr) as u32;
+        if self.bucket_of[gid as usize] != NONE {
+            self.detach(gid);
+            self.bucket_of[gid as usize] = NONE;
+            self.pos_in_bucket[gid as usize] = NONE;
+            self.len -= 1;
+        }
+    }
+
+    /// Unlink `gid` from its current bucket, fixing the swapped-in entry's
+    /// position. Leaves `bucket_of`/`pos_in_bucket[gid]` stale — callers
+    /// overwrite them.
+    fn detach(&mut self, gid: u32) {
+        let bucket_idx = self.bucket_of[gid as usize] as usize;
+        let pos = self.pos_in_bucket[gid as usize] as usize;
+        let bucket = &mut self.buckets[bucket_idx];
+        bucket.swap_remove(pos);
+        if let Some(&moved) = bucket.get(pos) {
+            self.pos_in_bucket[moved as usize] = pos as u32;
+        }
+    }
+
+    /// The greedy victim: a block in the highest non-empty bucket, with its
+    /// invalid count. Amortised O(1) — `top` only decays here.
+    pub fn peek_best(&mut self) -> Option<(BlockAddr, u32)> {
+        while self.top > 0 && self.buckets[self.top].is_empty() {
+            self.top -= 1;
+        }
+        if self.top == 0 {
+            return None;
+        }
+        let gid = self.buckets[self.top][0];
+        Some((self.addr_of(gid), self.top as u32))
+    }
+
+    /// Visit every candidate as `(invalid, addr)`, unordered. O(candidates).
+    pub fn for_each(&self, mut f: impl FnMut(u32, BlockAddr)) {
+        for (invalid, bucket) in self.buckets.iter().enumerate().skip(1) {
+            for &gid in bucket {
+                f(invalid as u32, self.addr_of(gid));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(plane_idx: u64, block: u32) -> BlockAddr {
+        BlockAddr { plane_idx, block }
+    }
+
+    #[test]
+    fn upsert_moves_between_buckets() {
+        let mut v = VictimIndex::new(8, 4, 8);
+        v.upsert(addr(0, 1), 3);
+        v.upsert(addr(1, 0), 5);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.peek_best(), Some((addr(1, 0), 5)));
+        v.upsert(addr(0, 1), 7);
+        assert_eq!(v.len(), 2, "move, not duplicate");
+        assert_eq!(v.peek_best(), Some((addr(0, 1), 7)));
+        assert_eq!(v.invalid_of(addr(0, 1)), Some(7));
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_fixes_positions() {
+        let mut v = VictimIndex::new(8, 4, 8);
+        v.upsert(addr(0, 0), 2);
+        v.upsert(addr(0, 1), 2);
+        v.upsert(addr(0, 2), 2);
+        v.remove(addr(0, 0)); // swap_remove moves the tail into slot 0
+        v.remove(addr(0, 0));
+        assert_eq!(v.len(), 2);
+        // The moved entry must still be removable through its new position.
+        v.remove(addr(0, 2));
+        v.remove(addr(0, 1));
+        assert!(v.is_empty());
+        assert_eq!(v.peek_best(), None);
+    }
+
+    #[test]
+    fn top_decays_after_removals() {
+        let mut v = VictimIndex::new(8, 4, 8);
+        v.upsert(addr(0, 0), 8);
+        v.upsert(addr(0, 1), 1);
+        assert_eq!(v.peek_best().unwrap().1, 8);
+        v.remove(addr(0, 0));
+        assert_eq!(v.peek_best(), Some((addr(0, 1), 1)));
+    }
+
+    #[test]
+    fn for_each_enumerates_all_candidates() {
+        let mut v = VictimIndex::new(16, 8, 8);
+        v.upsert(addr(0, 3), 1);
+        v.upsert(addr(1, 2), 4);
+        v.upsert(addr(1, 5), 4);
+        let mut seen = Vec::new();
+        v.for_each(|inv, a| seen.push((inv, a.plane_idx, a.block)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, 0, 3), (4, 1, 2), (4, 1, 5)]);
+    }
+}

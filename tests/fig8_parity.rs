@@ -1,0 +1,53 @@
+//! Fig8 small-config parity: host-side performance work must never change
+//! what the simulation *computes*.
+//!
+//! The golden digests under `tests/golden/fig8_small_digest.json` were
+//! captured **before** the replay hot-path overhaul (incremental GC victim
+//! index, flat content arena, slab LRU cache). Every scheme's replay of the
+//! fig8-small workload must still produce bit-identical simulated results —
+//! flash op counts, GC work, cache stats, latency sums, the simulated span.
+//!
+//! To re-bless after an *intentional* behaviour change (e.g. a scheme
+//! change, never a data-structure swap):
+//!
+//! ```text
+//! AFTL_BLESS=1 cargo test --release -p aftl-integration --test fig8_parity
+//! ```
+
+use aftl_bench::replay::{self, ReplayDigest};
+use aftl_core::scheme::SchemeKind;
+
+const GOLDEN_PATH: &str = "../../tests/golden/fig8_small_digest.json";
+
+fn run_digests() -> Vec<ReplayDigest> {
+    let trace = replay::fig8_small_trace(replay::FIG8_SMALL_SCALE);
+    SchemeKind::ALL
+        .iter()
+        .map(|&s| ReplayDigest::of(&replay::run_fig8_small(s, &trace)))
+        .collect()
+}
+
+#[test]
+fn fig8_small_matches_pre_optimization_golden() {
+    let digests = run_digests();
+
+    if std::env::var_os("AFTL_BLESS").is_some() {
+        let json = serde_json::to_string_pretty(&digests).expect("digests serialize");
+        std::fs::write(GOLDEN_PATH, json).expect("write golden digest");
+        eprintln!("blessed {GOLDEN_PATH}");
+        return;
+    }
+
+    let text = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden digest present (bless with AFTL_BLESS=1 after intentional changes)");
+    let golden: Vec<ReplayDigest> = serde_json::from_str(&text).expect("golden digest parses");
+
+    assert_eq!(golden.len(), digests.len(), "scheme count changed");
+    for (want, got) in golden.iter().zip(&digests) {
+        assert_eq!(
+            want, got,
+            "{}: simulated results drifted from the pre-optimization golden",
+            got.scheme
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based equivalence of the slab/intrusive-list [`MapCache`] with a
+//! straightforward reference model of the old stamp-ordered (`BTreeMap`)
+//! implementation: under arbitrary access traces the hit/miss/load/flush
+//! counters, residency and flash-copy counts must match exactly.
+
+use std::collections::HashSet;
+
+use aftl_core::mapping::cache::MapCache;
+use aftl_flash::{Allocator, FlashArray, GeometryBuilder, TimingSpec};
+use proptest::prelude::*;
+
+/// The old implementation in miniature: residents keyed by tpid with an
+/// LRU stamp, evicting the smallest stamp; dirty evictions flush to flash.
+/// Timing and flash traffic are out of scope — only the observable cache
+/// behaviour (what hits, what loads, what flushes) is modelled.
+#[derive(Default)]
+struct ModelCache {
+    capacity: usize,
+    resident: Vec<(u64, bool, u64)>, // (tpid, dirty, stamp)
+    next_stamp: u64,
+    flash: HashSet<u64>,
+    lookups: u64,
+    hits: u64,
+    misses: u64,
+    loads: u64,
+    flushes: u64,
+}
+
+impl ModelCache {
+    fn new(capacity: usize) -> Self {
+        ModelCache {
+            capacity: capacity.max(1),
+            ..ModelCache::default()
+        }
+    }
+
+    fn access(&mut self, tpid: u64, make_dirty: bool) {
+        self.lookups += 1;
+        if let Some(e) = self.resident.iter_mut().find(|e| e.0 == tpid) {
+            self.hits += 1;
+            e.1 |= make_dirty;
+            e.2 = self.next_stamp;
+            self.next_stamp += 1;
+            return;
+        }
+        self.misses += 1;
+        while self.resident.len() >= self.capacity {
+            let victim = self
+                .resident
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .map(|(i, _)| i)
+                .expect("cache full ⇒ nonempty");
+            let (vt, vd, _) = self.resident.swap_remove(victim);
+            if vd {
+                self.flushes += 1;
+                self.flash.insert(vt);
+            }
+        }
+        let dirty = if self.flash.contains(&tpid) {
+            self.loads += 1;
+            make_dirty
+        } else {
+            true // first touch materialises dirty
+        };
+        self.resident.push((tpid, dirty, self.next_stamp));
+        self.next_stamp += 1;
+    }
+
+    fn flush_all(&mut self) {
+        for e in &mut self.resident {
+            if e.1 {
+                self.flushes += 1;
+                self.flash.insert(e.0);
+                e.1 = false;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    Access { tpid: u64, dirty: bool },
+    FlushAll,
+}
+
+fn cache_op_strategy() -> impl Strategy<Value = CacheOp> {
+    (0u8..=19, 0u64..16, any::<bool>()).prop_map(|(kind, tpid, dirty)| {
+        if kind == 0 {
+            CacheOp::FlushAll
+        } else {
+            CacheOp::Access { tpid, dirty }
+        }
+    })
+}
+
+/// A flash device big enough that map-page flushes never exhaust free space
+/// (this harness runs no GC).
+fn backing() -> (FlashArray, Allocator) {
+    let g = GeometryBuilder::new()
+        .channels(2)
+        .chips_per_channel(2)
+        .dies_per_chip(1)
+        .planes_per_die(2)
+        .blocks_per_plane(16)
+        .pages_per_block(32)
+        .page_bytes(4096)
+        .build()
+        .expect("valid geometry");
+    let array = FlashArray::new(g, TimingSpec::unit()).unwrap();
+    let alloc = Allocator::new(&array);
+    (array, alloc)
+}
+
+fn run_trace(capacity: usize, ops: &[CacheOp]) -> Result<(), TestCaseError> {
+    let (mut array, mut alloc) = backing();
+    let mut cache = MapCache::new(capacity);
+    let mut model = ModelCache::new(capacity);
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            CacheOp::Access { tpid, dirty } => {
+                cache
+                    .access(&mut array, &mut alloc, 0, tpid, dirty)
+                    .unwrap();
+                model.access(tpid, dirty);
+            }
+            CacheOp::FlushAll => {
+                cache.flush_all(&mut array, &mut alloc, 0).unwrap();
+                model.flush_all();
+            }
+        }
+        let s = cache.stats();
+        let got = (s.lookups, s.hits, s.misses, s.loads, s.flushes);
+        let want = (
+            model.lookups,
+            model.hits,
+            model.misses,
+            model.loads,
+            model.flushes,
+        );
+        prop_assert!(
+            got == want,
+            "stats diverged after op {} {:?} (capacity {}): got {:?}, want {:?}",
+            i,
+            op,
+            capacity,
+            got,
+            want
+        );
+        prop_assert_eq!(cache.resident_tpages(), model.resident.len());
+        prop_assert_eq!(cache.flash_tpages(), model.flash.len());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn slab_cache_matches_reference_model(
+        case in (1usize..=6, proptest::collection::vec(cache_op_strategy(), 1..300)))
+    {
+        let (capacity, ops) = case;
+        run_trace(capacity, &ops)?;
+    }
+
+    /// Degenerate single-slot cache: every distinct access evicts; the
+    /// richest source of flush/load interleavings.
+    #[test]
+    fn single_slot_cache_matches_reference_model(
+        ops in proptest::collection::vec(cache_op_strategy(), 1..200))
+    {
+        run_trace(1, &ops)?;
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based check of the incremental GC victim index: under arbitrary
+//! program/invalidate/erase/retire sequences — both raw flash-array ops and
+//! full scheme workloads with fault injection — the index must always agree
+//! with a from-scratch scan of every block summary
+//! ([`FlashArray::check_victim_index`]).
+
+use aftl_core::oracle::Oracle;
+use aftl_core::request::HostRequest;
+use aftl_core::scheme::SchemeKind;
+use aftl_flash::{BlockAddr, FaultConfig, FlashArray, Geometry, PageKind, TimingSpec};
+use aftl_integration::small_ssd_with_faults;
+use proptest::prelude::*;
+
+/// One raw flash operation, interpreted against the array's current state.
+#[derive(Debug, Clone, Copy)]
+enum RawOp {
+    /// Program the next free page of block `pick % blocks`.
+    Program(u64),
+    /// Invalidate the `pick`-th currently valid page (tracked externally).
+    Invalidate(u64),
+    /// Erase the `pick`-th block with no valid pages.
+    Erase(u64),
+    /// Retire block `pick % blocks`.
+    Retire(u64),
+}
+
+fn raw_op_strategy() -> impl Strategy<Value = RawOp> {
+    (0u8..=9, any::<u64>()).prop_map(|(kind, pick)| match kind {
+        // Weight programs and invalidates heavily so blocks actually fill
+        // and become victims; keep retirement rare so the array survives.
+        0..=3 => RawOp::Program(pick),
+        4..=7 => RawOp::Invalidate(pick),
+        8 => RawOp::Erase(pick),
+        _ => RawOp::Retire(pick),
+    })
+}
+
+/// Replay raw ops against a tiny array, asserting index/scan agreement
+/// after every mutation.
+fn run_raw_ops(ops: &[RawOp]) -> Result<(), TestCaseError> {
+    let g = Geometry::tiny();
+    let mut array = FlashArray::new(g, TimingSpec::unit()).unwrap();
+    let blocks: Vec<BlockAddr> = (0..g.total_planes())
+        .flat_map(|plane| {
+            (0..g.blocks_per_plane).map(move |block| BlockAddr {
+                plane_idx: plane,
+                block,
+            })
+        })
+        .collect();
+    let mut valid: Vec<aftl_flash::Ppn> = Vec::new();
+
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            RawOp::Program(pick) => {
+                let addr = blocks[(pick % blocks.len() as u64) as usize];
+                if let Some(page) = array.next_free_page(addr) {
+                    let ppn = array.ppn_in_block(addr, page);
+                    array
+                        .program(ppn, PageKind::Data, i as u64, g.page_bytes, 0, 0)
+                        .unwrap();
+                    valid.push(ppn);
+                }
+            }
+            RawOp::Invalidate(pick) => {
+                if !valid.is_empty() {
+                    let ppn = valid.swap_remove((pick % valid.len() as u64) as usize);
+                    array.invalidate(ppn).unwrap();
+                }
+            }
+            RawOp::Erase(pick) => {
+                let erasable: Vec<BlockAddr> = blocks
+                    .iter()
+                    .copied()
+                    .filter(|&a| {
+                        let s = array.block_summary(a);
+                        !s.retired && s.valid == 0 && s.invalid > 0
+                    })
+                    .collect();
+                if !erasable.is_empty() {
+                    let addr = erasable[(pick % erasable.len() as u64) as usize];
+                    array.erase(addr, 0).unwrap();
+                }
+            }
+            RawOp::Retire(pick) => {
+                let addr = blocks[(pick % blocks.len() as u64) as usize];
+                // Drop the retired block's pages from our valid pool: they
+                // stay Valid in the array but this harness stops using them,
+                // mirroring an FTL migrating off a bad block.
+                valid.retain(|&p| array.block_addr_of(p) != addr);
+                array.retire_block(addr);
+            }
+        }
+        if let Err(msg) = array.check_victim_index() {
+            return Err(TestCaseError::fail(format!("after op {i} {op:?}: {msg}")));
+        }
+    }
+    Ok(())
+}
+
+/// Drive a request mix through a full SSD (GC, translation-page spills and
+/// fault-driven retirement included) and cross-check the index along the way.
+fn run_scheme_ops(scheme: SchemeKind, ops: &[(bool, u64, u32)]) -> Result<(), TestCaseError> {
+    let faults = FaultConfig {
+        seed: 7,
+        program_fail_rate: 0.002,
+        erase_fail_rate: 0.002,
+        ..FaultConfig::disabled()
+    };
+    let mut ssd = small_ssd_with_faults(scheme, faults);
+    let mut oracle = Oracle::new();
+    for (i, &(write, sector, sectors)) in ops.iter().enumerate() {
+        if write {
+            let mut w = HostRequest::write(i as u64, sector, sectors);
+            oracle.stamp_write(&mut w);
+            ssd.submit(&w).unwrap();
+        } else {
+            ssd.submit(&HostRequest::read(i as u64, sector, sectors))
+                .unwrap();
+        }
+        if i % 16 == 0 {
+            if let Err(msg) = ssd.array().check_victim_index() {
+                return Err(TestCaseError::fail(format!(
+                    "{} after req {i}: {msg}",
+                    scheme.name()
+                )));
+            }
+        }
+    }
+    if let Err(msg) = ssd.array().check_victim_index() {
+        return Err(TestCaseError::fail(format!(
+            "{} at end: {msg}",
+            scheme.name()
+        )));
+    }
+    Ok(())
+}
+
+fn req_strategy() -> impl Strategy<Value = (bool, u64, u32)> {
+    // Narrow span: lots of overwrites, so GC runs and blocks cycle through
+    // free → open → full-victim → erased repeatedly.
+    (any::<bool>(), 0u64..2048, 1u32..=24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn raw_ops_keep_index_consistent(ops in proptest::collection::vec(raw_op_strategy(), 1..600)) {
+        run_raw_ops(&ops)?;
+    }
+
+    #[test]
+    fn baseline_workload_keeps_index_consistent(
+        ops in proptest::collection::vec(req_strategy(), 1..250))
+    {
+        run_scheme_ops(SchemeKind::Baseline, &ops)?;
+    }
+
+    #[test]
+    fn mrsm_workload_keeps_index_consistent(
+        ops in proptest::collection::vec(req_strategy(), 1..250))
+    {
+        run_scheme_ops(SchemeKind::Mrsm, &ops)?;
+    }
+
+    #[test]
+    fn across_workload_keeps_index_consistent(
+        ops in proptest::collection::vec(req_strategy(), 1..250))
+    {
+        run_scheme_ops(SchemeKind::Across, &ops)?;
+    }
+}
