@@ -54,6 +54,31 @@ if grep -q '"read_faults": 0$\|"read_faults": 0,' "$smoke"; then
 fi
 grep -q '"host_unrecoverable_reads": 0' "$smoke" || { echo "smoke run lost host data"; exit 1; }
 
+say "host smoke (multi-tenant hosted run)"
+# A 2-tenant WRR hosted run (~1k IOs) must complete, emit a schema-v4
+# manifest, and carry the per-tenant QoS section for both tenants.
+host_smoke=target/ci_host_smoke.json
+cargo run --release -q -p aftl-bench --bin sim_cli -- \
+    --scheme across --preset lun1 --scale 0.0014 \
+    --queues 2 --queue-depth 16 --arbitration wrr --tenant-weights 3,1 \
+    --json "$host_smoke" >/dev/null
+grep -q '"schema_version": 4' "$host_smoke" || { echo "hosted manifest is not schema v4"; exit 1; }
+grep -q '"arbitration": "wrr"' "$host_smoke" || { echo "hosted manifest lost arbitration"; exit 1; }
+for tenant in '"tenant0"' '"tenant1"'; do
+    grep -q "$tenant" "$host_smoke" || { echo "hosted manifest missing QoS for $tenant"; exit 1; }
+done
+
+say "host bench smoke (BENCH_host manifest)"
+host_bench=$PWD/target/ci_host_bench.json
+rm -f "$host_bench"
+cargo bench -q -p aftl-bench --bench host_throughput -- \
+    --test --json "$host_bench" >/dev/null
+[ -s "$host_bench" ] || { echo "host bench smoke wrote no manifest"; exit 1; }
+grep -q '"schema_version": 1' "$host_bench" || { echo "host bench manifest has wrong schema_version"; exit 1; }
+for scheme in '"FTL"' '"MRSM"' '"Across-FTL"'; do
+    grep -q "$scheme" "$host_bench" || { echo "host bench manifest missing scheme $scheme"; exit 1; }
+done
+
 say "bench smoke (replay manifest)"
 # The tracked replay bench must run end to end at smoke scale and emit a
 # schema-valid BENCH_replay manifest (the binary refuses to write an

@@ -1,0 +1,161 @@
+//! Hosted throughput: the multi-queue host front end (4 WRR tenants,
+//! weights 4:2:1:1, closed loop) driving the fig8-small workload on all
+//! three schemes — the **tracked** host benchmark.
+//!
+//! Custom main (the `[[bench]]` entry sets `harness = false`) so it can
+//! emit the machine-readable `BENCH_host.json` manifest. Modes mirror
+//! `sim_throughput`:
+//!
+//! ```text
+//! cargo bench -p aftl-bench --bench host_throughput           # measure + print
+//!   -- --json BENCH_host.json                                 # also emit manifest
+//!      --baseline old.json --baseline-label "seed @<commit>"  # carry BEFORE numbers
+//!      --scale 0.01 --samples 3                               # workload/averaging knobs
+//!      --test                                                 # CI smoke: tiny scale, 1 sample
+//! ```
+//!
+//! The tenant setup and all JSON types live in [`aftl_bench::hostbench`]
+//! so the QoS tests exercise exactly what the bench times.
+
+use aftl_bench::hostbench::{
+    self, BenchHostManifest, HostSchemeResult, HOST_BENCH_SCHEMA_VERSION, HOST_WEIGHTS,
+};
+use aftl_bench::replay::{self, FIG8_SMALL_SCALE};
+use aftl_core::scheme::SchemeKind;
+
+struct Opts {
+    smoke: bool,
+    json: Option<String>,
+    baseline: Option<String>,
+    baseline_label: String,
+    scale: f64,
+    samples: u32,
+}
+
+/// Parse bench arguments, ignoring the flags cargo's bench runner passes
+/// through (`--bench`, filter strings, …).
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        json: None,
+        baseline: None,
+        baseline_label: "self".to_string(),
+        scale: FIG8_SMALL_SCALE,
+        samples: 3,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--test" => opts.smoke = true,
+            "--json" => opts.json = it.next(),
+            "--baseline" => opts.baseline = it.next(),
+            "--baseline-label" => {
+                if let Some(l) = it.next() {
+                    opts.baseline_label = l;
+                }
+            }
+            "--scale" => {
+                if let Some(s) = it.next().and_then(|v| v.parse().ok()) {
+                    opts.scale = s;
+                }
+            }
+            "--samples" => {
+                if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                    opts.samples = n;
+                }
+            }
+            _ => {} // cargo bench pass-through (e.g. --bench, filters)
+        }
+    }
+    opts
+}
+
+fn main() {
+    let mut opts = parse_opts();
+    if opts.smoke {
+        // CI smoke: prove the hosted pipeline (shard → queues → WRR →
+        // aged device → QoS manifest) works, in seconds.
+        opts.scale = opts.scale.min(0.002);
+        opts.samples = 1;
+    }
+
+    let trace = replay::fig8_small_trace(opts.scale);
+    eprintln!(
+        "fig8-small hosted: {} requests (scale {}) over 4 WRR tenants {:?}, {} timed sample(s) per scheme",
+        trace.len(),
+        opts.scale,
+        HOST_WEIGHTS,
+        opts.samples
+    );
+
+    let mut results: Vec<HostSchemeResult> = Vec::new();
+    for scheme in SchemeKind::ALL {
+        let r = hostbench::time_fig8_small_hosted(scheme, &trace, opts.samples);
+        eprintln!(
+            "{:<11} {:>9.0} req/s  {:>8} ns/req  [{} reqs across {} tenants]",
+            r.scheme,
+            r.req_per_sec,
+            r.ns_per_req,
+            r.requests,
+            r.tenants.len()
+        );
+        for t in &r.tenants {
+            eprintln!(
+                "  {:<9} w={} {:>6} reqs  write p50/p99 {:>8}/{:>8} ns  read p50/p99 {:>8}/{:>8} ns  stalls {} ({} ns)",
+                t.tenant,
+                t.weight,
+                t.requests,
+                t.write_p50_ns,
+                t.write_p99_ns,
+                t.read_p50_ns,
+                t.read_p99_ns,
+                t.queue_full_stalls,
+                t.stalled_ns,
+            );
+        }
+        results.push(r);
+    }
+
+    // Baseline: carried forward from --baseline's current numbers, so the
+    // manifest always shows where the numbers came from and where they are.
+    let (baseline, baseline_label) = match opts.baseline.as_deref() {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+            let old: BenchHostManifest = serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("parse baseline {path}: {e}"));
+            (old.results, opts.baseline_label)
+        }
+        None => (results.clone(), opts.baseline_label),
+    };
+
+    let manifest = BenchHostManifest {
+        schema_version: HOST_BENCH_SCHEMA_VERSION,
+        workload: "fig8-small-hosted".to_string(),
+        scale: opts.scale,
+        arbitration: "wrr".to_string(),
+        weights: HOST_WEIGHTS.to_vec(),
+        results,
+        baseline_label,
+        baseline,
+    };
+    hostbench::validate_host_manifest(&manifest).expect("manifest is schema-valid");
+
+    for scheme in SchemeKind::ALL {
+        if let Some(s) = manifest.speedup(scheme.name()) {
+            eprintln!("{:<11} speedup vs baseline: {s:.2}x", scheme.name());
+        }
+    }
+
+    if let Some(path) = &opts.json {
+        let json = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+            }
+        }
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

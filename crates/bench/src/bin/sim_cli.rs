@@ -4,19 +4,30 @@
 //! sim_cli --scheme across --preset lun1 --scale 0.2 --page 8192 --json out.json
 //! sim_cli --scheme mrsm --trace /path/to/systor.csv
 //! sim_cli --scheme ftl --trace msr.csv --format msr --lun 1
+//! sim_cli --scheme across --queues 4 --queue-depth 16 --arbitration wrr \
+//!         --tenant-weights 4,2,1,1                 # multi-tenant hosted run
+//! sim_cli --scheme across --queues 2 --arrival-rate 50000   # open-loop Poisson
 //! ```
 //!
 //! Every run writes its full JSON [`aftl_sim::RunReport`] manifest —
 //! to the `--json` path when given, else to `results/sim_cli_<trace>_<scheme>.json`
 //! (override the directory with `AFTL_RESULTS_DIR`). Pass `--trace-events N`
 //! to also capture an event trace and write it as JSONL next to the manifest.
+//!
+//! `--queues N` switches from plain replay to a *hosted* run: the trace is
+//! sharded round-robin across N tenants, each with its own bounded
+//! submission queue, and the manifest gains the per-tenant QoS section
+//! (schema v4). Without `--queues`, `--speedup F` rescales the trace's
+//! inter-arrival gaps before replay.
 
 use aftl_core::scheme::SchemeKind;
 use aftl_flash::{FaultConfig, FlashError};
+use aftl_host::{Arbitration, ArrivalModel, HostConfig, IssueModel};
 use aftl_sim::experiment::run_on_device_keep;
-use aftl_sim::{SimConfig, Ssd};
+use aftl_sim::hosted::{run_hosted, tenants_from_trace};
+use aftl_sim::{RunReport, SimConfig, Ssd};
 use aftl_trace::parser::{parse_msr, parse_systor};
-use aftl_trace::{LunPreset, Trace};
+use aftl_trace::{ArrivalClock, LunPreset, Trace};
 use std::io::BufReader;
 
 /// Everything that can go wrong in a run, reported as one clean line on
@@ -58,11 +69,20 @@ struct Cli {
     json: Option<String>,
     trace_events: Option<usize>,
     fault: FaultConfig,
+    queues: Option<usize>,
+    queue_depth: usize,
+    arbitration: Arbitration,
+    tenant_weights: Option<Vec<u32>>,
+    arrival_rate: Option<f64>,
+    outstanding: u32,
+    speedup: Option<f64>,
+    device_inflight: usize,
+    host_seed: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
+        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F]\n               [--device-inflight N] [--host-seed N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
     );
     std::process::exit(2);
 }
@@ -79,6 +99,15 @@ fn parse_cli() -> Cli {
         json: None,
         trace_events: None,
         fault: FaultConfig::disabled(),
+        queues: None,
+        queue_depth: 16,
+        arbitration: Arbitration::RoundRobin,
+        tenant_weights: None,
+        arrival_rate: None,
+        outstanding: 8,
+        speedup: None,
+        device_inflight: 16,
+        host_seed: 42,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -164,6 +193,71 @@ fn parse_cli() -> Cli {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--queues" => {
+                cli.queues = it.next().and_then(|v| v.parse().ok());
+                if cli.queues.is_none_or(|n| n == 0) {
+                    usage()
+                }
+            }
+            "--queue-depth" => {
+                cli.queue_depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--arbitration" => {
+                cli.arbitration = it
+                    .next()
+                    .as_deref()
+                    .and_then(Arbitration::parse)
+                    .unwrap_or_else(|| usage())
+            }
+            "--tenant-weights" => {
+                let parsed: Option<Vec<u32>> = it
+                    .next()
+                    .map(|v| {
+                        v.split(',')
+                            .map(|w| w.trim().parse())
+                            .collect::<Result<_, _>>()
+                    })
+                    .and_then(|r| r.ok());
+                cli.tenant_weights = parsed;
+                if cli.tenant_weights.as_ref().is_none_or(|w| w.is_empty()) {
+                    usage()
+                }
+                // Weights only make sense under WRR.
+                cli.arbitration = Arbitration::WeightedRoundRobin;
+            }
+            "--arrival-rate" => {
+                cli.arrival_rate = it.next().and_then(|v| v.parse().ok());
+                if cli.arrival_rate.is_none_or(|r| r <= 0.0) {
+                    usage()
+                }
+            }
+            "--outstanding" => {
+                cli.outstanding = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--speedup" => {
+                cli.speedup = it.next().and_then(|v| v.parse().ok());
+                if cli.speedup.is_none_or(|s| s <= 0.0 || !s.is_finite()) {
+                    usage()
+                }
+            }
+            "--device-inflight" => {
+                cli.device_inflight = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--host-seed" => {
+                cli.host_seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--min-spare-blocks" => {
                 cli.fault.min_spare_blocks = it
                     .next()
@@ -210,22 +304,65 @@ fn main() {
 
 fn run() -> Result<(), CliError> {
     let cli = parse_cli();
-    let trace = load_trace(&cli)?;
-    eprintln!(
-        "replaying {} ({} requests) on {} @ {} KB pages…",
-        trace.name,
-        trace.len(),
-        cli.scheme.name(),
-        cli.page / 1024
-    );
+    let mut trace = load_trace(&cli)?;
     let mut config = SimConfig::experiment(cli.scheme, cli.page);
     if let Some(cap) = cli.trace_events {
         config.observe.trace.enabled = true;
         config.observe.trace.capacity = cap;
     }
     config.fault = cli.fault;
-    let ssd = Ssd::new(config).map_err(CliError::Device)?;
-    let (report, ssd) = run_on_device_keep(ssd, &trace).map_err(CliError::Sim)?;
+
+    let (report, ssd): (RunReport, Option<Ssd>) = if let Some(n) = cli.queues {
+        // Hosted run: shard the trace across N tenants behind the
+        // multi-queue host front end.
+        let issue = if let Some(rate) = cli.arrival_rate {
+            IssueModel::Open(ArrivalModel::Poisson {
+                mean_iat_ns: (1e9 / rate).max(1.0) as u64,
+            })
+        } else if let Some(speedup) = cli.speedup {
+            IssueModel::Open(ArrivalModel::TraceTimed { speedup })
+        } else {
+            IssueModel::Closed {
+                outstanding: cli.outstanding,
+            }
+        };
+        let weights = cli.tenant_weights.clone().unwrap_or_else(|| vec![1; n]);
+        let host = HostConfig {
+            arbitration: cli.arbitration,
+            device_inflight: cli.device_inflight,
+            seed: cli.host_seed,
+        };
+        eprintln!(
+            "hosted run: {} ({} requests) over {n} tenant(s) [{}; depth {}; weights {:?}; {}] on {} @ {} KB pages…",
+            trace.name,
+            trace.len(),
+            host.arbitration.name(),
+            cli.queue_depth,
+            weights,
+            issue.describe(),
+            cli.scheme.name(),
+            cli.page / 1024
+        );
+        let tenants = tenants_from_trace(&trace, n, issue, cli.queue_depth, &weights);
+        let report = run_hosted(config, tenants, &host).map_err(CliError::Sim)?;
+        (report, None)
+    } else {
+        if let Some(speedup) = cli.speedup {
+            // Rescale inter-arrival gaps, then replay as usual.
+            ArrivalClock::for_trace(&trace, speedup).rescale(&mut trace);
+            eprintln!("rescaled arrivals by x{speedup}");
+        }
+        eprintln!(
+            "replaying {} ({} requests) on {} @ {} KB pages…",
+            trace.name,
+            trace.len(),
+            cli.scheme.name(),
+            cli.page / 1024
+        );
+        let ssd = Ssd::new(config).map_err(CliError::Device)?;
+        let (report, ssd) = run_on_device_keep(ssd, &trace).map_err(CliError::Sim)?;
+        (report, Some(ssd))
+    };
 
     println!("scheme           : {}", report.scheme.name());
     println!("requests         : {}", report.requests);
@@ -270,21 +407,65 @@ fn run() -> Result<(), CliError> {
             report.counters.lost_pages + report.gc.lost_pages,
             report.counters.host_unrecoverable_reads,
             report.counters.write_rejections,
-            if ssd.read_only() { " (device is read-only)" } else { "" }
+            if ssd.as_ref().is_some_and(|s| s.read_only()) {
+                " (device is read-only)"
+            } else {
+                ""
+            }
         );
     }
     println!("\nlatency percentiles (measured window):");
     print!("{}", report.latency_table());
 
+    if let Some(qos) = &report.qos {
+        println!(
+            "\nper-tenant QoS ({} arbitration, device inflight {}, seed {}):",
+            qos.arbitration, qos.device_inflight, qos.host_seed
+        );
+        println!(
+            "{:<10}{:>3}{:>7}{:>14}{:>8}{:>12}{:>12}{:>12}{:>12}{:>8}{:>12}",
+            "tenant",
+            "w",
+            "depth",
+            "issue",
+            "reqs",
+            "rd p50[us]",
+            "rd p99[us]",
+            "wr p50[us]",
+            "wr p99[us]",
+            "stalls",
+            "stalled[us]"
+        );
+        for t in &qos.tenants {
+            println!(
+                "{:<10}{:>3}{:>7}{:>14}{:>8}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{:>8}{:>12.1}",
+                t.name,
+                t.weight,
+                t.queue_depth,
+                t.issue,
+                t.requests,
+                t.read_latency.p50_ns as f64 / 1e3,
+                t.read_latency.p99_ns as f64 / 1e3,
+                t.write_latency.p50_ns as f64 / 1e3,
+                t.write_latency.p99_ns as f64 / 1e3,
+                t.queue_full_stalls,
+                t.stalled_ns as f64 / 1e3,
+            );
+        }
+    }
+
     // The full manifest is always written: --json wins, else results/.
     let json_path = match &cli.json {
         Some(path) => std::path::PathBuf::from(path),
         None => {
-            let stem: String = trace
+            let mut stem: String = trace
                 .name
                 .chars()
                 .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
                 .collect();
+            if cli.queues.is_some() {
+                stem.push_str("_hosted");
+            }
             let dir = aftl_bench::results_dir();
             std::fs::create_dir_all(&dir).map_err(|err| CliError::WriteOut {
                 path: dir.display().to_string(),
@@ -298,7 +479,7 @@ fn run() -> Result<(), CliError> {
         err,
     })?;
     eprintln!("wrote {}", json_path.display());
-    if let Some(ring) = ssd.observer().events() {
+    if let Some(ring) = ssd.as_ref().and_then(|s| s.observer().events()) {
         let path = json_path.with_extension("jsonl");
         std::fs::write(&path, ring.to_jsonl()).map_err(|err| CliError::WriteOut {
             path: path.display().to_string(),

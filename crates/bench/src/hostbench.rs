@@ -1,0 +1,309 @@
+//! The tracked hosted-throughput benchmark: the fig8-small workload
+//! sharded across **four WRR tenants** (weights 4:2:1:1, closed-loop),
+//! run through the multi-queue host front end on all three schemes, and
+//! the `BENCH_host.json` manifest recording wall-clock throughput plus
+//! per-tenant QoS (p50/p99 end-to-end latency, stall counters).
+//!
+//! Mirrors [`crate::replay`]: same workload family, same
+//! current-vs-baseline manifest shape, so the two tracked files read the
+//! same way. The QoS rows double as a determinism check — they are
+//! simulated results, so reruns at the same scale must reproduce them
+//! bit-for-bit.
+
+use aftl_core::scheme::SchemeKind;
+use aftl_host::{Arbitration, HostConfig, IssueModel, TenantConfig};
+use aftl_sim::hosted::{run_hosted, tenants_from_trace};
+use aftl_sim::report::RunReport;
+use aftl_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+use crate::replay::fig8_small_config;
+
+/// Schema version of `BENCH_host.json`. Bump on any field change.
+pub const HOST_BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// The canonical contended-tenant setup: four closed-loop tenants with
+/// 4:2:1:1 WRR weights.
+pub const HOST_TENANTS: usize = 4;
+/// WRR weights of the canonical setup.
+pub const HOST_WEIGHTS: [u32; 4] = [4, 2, 1, 1];
+/// Per-tenant outstanding IOs (closed loop) of the canonical setup.
+pub const HOST_OUTSTANDING: u32 = 8;
+/// Per-tenant submission-queue depth of the canonical setup.
+pub const HOST_QUEUE_DEPTH: usize = 16;
+/// Device-side inflight budget of the canonical setup.
+pub const HOST_DEVICE_INFLIGHT: usize = 16;
+/// Run seed of the canonical setup.
+pub const HOST_SEED: u64 = 42;
+
+/// The canonical host configuration (WRR, inflight budget, seed).
+pub fn host_config() -> HostConfig {
+    HostConfig {
+        arbitration: Arbitration::WeightedRoundRobin,
+        device_inflight: HOST_DEVICE_INFLIGHT,
+        seed: HOST_SEED,
+    }
+}
+
+/// Shard `trace` into the canonical four closed-loop tenants.
+pub fn host_tenants(trace: &Trace) -> Vec<TenantConfig> {
+    tenants_from_trace(
+        trace,
+        HOST_TENANTS,
+        IssueModel::Closed {
+            outstanding: HOST_OUTSTANDING,
+        },
+        HOST_QUEUE_DEPTH,
+        &HOST_WEIGHTS,
+    )
+}
+
+/// One hosted fig8-small run on `scheme` (aged device, canonical tenants).
+pub fn run_fig8_small_hosted(scheme: SchemeKind, trace: &Trace) -> RunReport {
+    run_hosted(
+        fig8_small_config(scheme),
+        host_tenants(trace),
+        &host_config(),
+    )
+    .expect("hosted fig8-small run succeeds")
+}
+
+/// Per-tenant QoS row of the host manifest: the latency percentiles and
+/// backpressure counters the contended-tenant experiment reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantRow {
+    /// Tenant name (`tenant0`…).
+    pub tenant: String,
+    /// WRR weight.
+    pub weight: u32,
+    /// Requests the tenant issued.
+    pub requests: u64,
+    /// End-to-end read latency median (ns).
+    pub read_p50_ns: u64,
+    /// End-to-end read latency 99th percentile (ns).
+    pub read_p99_ns: u64,
+    /// End-to-end write latency median (ns).
+    pub write_p50_ns: u64,
+    /// End-to-end write latency 99th percentile (ns).
+    pub write_p99_ns: u64,
+    /// Queue-full stall episodes.
+    pub queue_full_stalls: u64,
+    /// Nanoseconds spent blocked on a full submission queue.
+    pub stalled_ns: u64,
+}
+
+/// One scheme's hosted timing + QoS results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostSchemeResult {
+    /// Scheme name (`FTL` / `MRSM` / `Across-FTL`).
+    pub scheme: String,
+    /// Total requests across all tenants per sample.
+    pub requests: u64,
+    /// Median wall nanoseconds per request (full hosted run / requests).
+    pub ns_per_req: u64,
+    /// Median requests per wall second.
+    pub req_per_sec: f64,
+    /// Timed samples the median was taken over.
+    pub samples: u32,
+    /// Per-tenant QoS rows (simulated — reproducible bit-for-bit).
+    pub tenants: Vec<TenantRow>,
+}
+
+/// The `BENCH_host.json` manifest: current numbers plus the recorded
+/// baseline, same shape conventions as `BENCH_replay.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchHostManifest {
+    /// Manifest schema version ([`HOST_BENCH_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Workload identifier.
+    pub workload: String,
+    /// Trace-length scale the numbers were measured at.
+    pub scale: f64,
+    /// Arbitration policy of the canonical setup (`wrr`).
+    pub arbitration: String,
+    /// WRR weights of the canonical setup.
+    pub weights: Vec<u32>,
+    /// Current per-scheme results.
+    pub results: Vec<HostSchemeResult>,
+    /// Which commit/state produced the baseline numbers.
+    pub baseline_label: String,
+    /// Baseline per-scheme results.
+    pub baseline: Vec<HostSchemeResult>,
+}
+
+impl BenchHostManifest {
+    /// Speedup of `results` over `baseline` for `scheme` (req/s ratio).
+    pub fn speedup(&self, scheme: &str) -> Option<f64> {
+        let cur = self.results.iter().find(|r| r.scheme == scheme)?;
+        let base = self.baseline.iter().find(|r| r.scheme == scheme)?;
+        if base.req_per_sec > 0.0 {
+            Some(cur.req_per_sec / base.req_per_sec)
+        } else {
+            None
+        }
+    }
+}
+
+/// Extract the per-tenant QoS rows from a hosted run manifest.
+pub fn tenant_rows(report: &RunReport) -> Vec<TenantRow> {
+    let qos = report.qos.as_ref().expect("hosted report carries QoS");
+    qos.tenants
+        .iter()
+        .map(|t| TenantRow {
+            tenant: t.name.clone(),
+            weight: t.weight,
+            requests: t.requests,
+            read_p50_ns: t.read_latency.p50_ns,
+            read_p99_ns: t.read_latency.p99_ns,
+            write_p50_ns: t.write_latency.p50_ns,
+            write_p99_ns: t.write_latency.p99_ns,
+            queue_full_stalls: t.queue_full_stalls,
+            stalled_ns: t.stalled_ns,
+        })
+        .collect()
+}
+
+/// Time `samples` hosted runs of `trace` on `scheme`; the QoS rows come
+/// from the last sample (they are identical across samples by
+/// construction — seeded simulation).
+pub fn time_fig8_small_hosted(scheme: SchemeKind, trace: &Trace, samples: u32) -> HostSchemeResult {
+    assert!(samples >= 1);
+    let mut wall_ns: Vec<u128> = Vec::with_capacity(samples as usize);
+    // Warm-up run for steady allocator state; also provides the QoS rows.
+    let mut last = run_fig8_small_hosted(scheme, trace);
+    for _ in 0..samples {
+        let t0 = std::time::Instant::now();
+        last = run_fig8_small_hosted(scheme, trace);
+        wall_ns.push(t0.elapsed().as_nanos());
+    }
+    wall_ns.sort_unstable();
+    let med = wall_ns[wall_ns.len() / 2];
+    let requests = last.requests;
+    HostSchemeResult {
+        scheme: scheme.name().to_string(),
+        requests,
+        ns_per_req: (med / u128::from(requests.max(1))) as u64,
+        req_per_sec: requests as f64 / (med as f64 / 1e9),
+        samples,
+        tenants: tenant_rows(&last),
+    }
+}
+
+/// Structural validation of a parsed `BENCH_host.json` (CI gate).
+pub fn validate_host_manifest(m: &BenchHostManifest) -> std::result::Result<(), String> {
+    if m.schema_version != HOST_BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {HOST_BENCH_SCHEMA_VERSION}",
+            m.schema_version
+        ));
+    }
+    if m.workload.is_empty() {
+        return Err("empty workload name".into());
+    }
+    if m.arbitration != "wrr" && m.arbitration != "rr" {
+        return Err(format!("unknown arbitration {:?}", m.arbitration));
+    }
+    for (section, rows) in [("results", &m.results), ("baseline", &m.baseline)] {
+        for scheme in SchemeKind::ALL {
+            let row = rows
+                .iter()
+                .find(|r| r.scheme == scheme.name())
+                .ok_or_else(|| format!("{section} is missing scheme {}", scheme.name()))?;
+            if row.requests == 0 || row.ns_per_req == 0 || row.req_per_sec <= 0.0 {
+                return Err(format!(
+                    "{section}/{}: degenerate timing row",
+                    scheme.name()
+                ));
+            }
+            if row.tenants.len() != m.weights.len() {
+                return Err(format!(
+                    "{section}/{}: {} tenant rows for {} weights",
+                    scheme.name(),
+                    row.tenants.len(),
+                    m.weights.len()
+                ));
+            }
+            for t in &row.tenants {
+                if t.requests == 0 {
+                    return Err(format!(
+                        "{section}/{}/{}: tenant issued no requests",
+                        scheme.name(),
+                        t.tenant
+                    ));
+                }
+                if t.write_p99_ns < t.write_p50_ns || t.read_p99_ns < t.read_p50_ns {
+                    return Err(format!(
+                        "{section}/{}/{}: p99 below p50",
+                        scheme.name(),
+                        t.tenant
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::fig8_small_trace;
+
+    #[test]
+    fn hosted_qos_rows_are_deterministic() {
+        let trace = fig8_small_trace(0.001);
+        let a = tenant_rows(&run_fig8_small_hosted(SchemeKind::Across, &trace));
+        let b = tenant_rows(&run_fig8_small_hosted(SchemeKind::Across, &trace));
+        assert_eq!(a, b, "same seed ⇒ same per-tenant QoS");
+        assert_eq!(a.len(), HOST_TENANTS);
+        assert_eq!(a[0].weight, 4);
+        let total: u64 = a.iter().map(|t| t.requests).sum();
+        assert_eq!(total, trace.len() as u64);
+    }
+
+    #[test]
+    fn host_manifest_round_trips_and_validates() {
+        let trace = fig8_small_trace(0.001);
+        let results: Vec<HostSchemeResult> = SchemeKind::ALL
+            .iter()
+            .map(|&s| time_fig8_small_hosted(s, &trace, 1))
+            .collect();
+        let m = BenchHostManifest {
+            schema_version: HOST_BENCH_SCHEMA_VERSION,
+            workload: "fig8-small-hosted".into(),
+            scale: 0.001,
+            arbitration: "wrr".into(),
+            weights: HOST_WEIGHTS.to_vec(),
+            results: results.clone(),
+            baseline_label: "self".into(),
+            baseline: results,
+        };
+        validate_host_manifest(&m).unwrap();
+        let back: BenchHostManifest =
+            serde_json::from_str(&serde_json::to_string_pretty(&m).unwrap()).unwrap();
+        validate_host_manifest(&back).unwrap();
+        assert!((back.speedup("FTL").unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_manifest_validation_catches_tenant_mismatch() {
+        let trace = fig8_small_trace(0.001);
+        let mut results: Vec<HostSchemeResult> = SchemeKind::ALL
+            .iter()
+            .map(|&s| time_fig8_small_hosted(s, &trace, 1))
+            .collect();
+        results[0].tenants.pop();
+        let m = BenchHostManifest {
+            schema_version: HOST_BENCH_SCHEMA_VERSION,
+            workload: "fig8-small-hosted".into(),
+            scale: 0.001,
+            arbitration: "wrr".into(),
+            weights: HOST_WEIGHTS.to_vec(),
+            results: results.clone(),
+            baseline_label: "self".into(),
+            baseline: results,
+        };
+        let err = validate_host_manifest(&m).unwrap_err();
+        assert!(err.contains("tenant rows"), "{err}");
+    }
+}

@@ -18,6 +18,7 @@ use aftl_trace::{LunPreset, Trace};
 use rayon::prelude::*;
 use std::path::PathBuf;
 
+pub mod hostbench;
 pub mod replay;
 
 /// Command-line options shared by the figure binaries.

@@ -1,0 +1,38 @@
+//! `aftl-host` — an NVMe-style multi-queue host interface in front of
+//! the simulated SSD.
+//!
+//! The replay path (`aftl-sim::experiment`) feeds the FTL one trace
+//! record at a time with no contention model. This crate adds the piece
+//! the paper's multi-tenant QoS experiments need: N bounded
+//! submission/completion queue pairs, each fed by an independent tenant
+//! initiator, with round-robin or weighted-round-robin arbitration
+//! deciding which queue the device serves next and a device-side
+//! inflight budget bounding concurrency. Backpressure is explicit — a
+//! full queue stalls its initiator, and both the stall episodes and the
+//! blocked nanoseconds are counted per tenant.
+//!
+//! Layering: this crate depends only on `aftl-flash` (for `Nanos`) and
+//! `aftl-trace` (for records and traces). It knows nothing about the
+//! FTL; the device is abstracted behind [`QueuedDevice`], which
+//! `aftl-sim` implements for its `Ssd` and tests implement with mock
+//! servers.
+//!
+//! * [`queue`] — bounded submission queues + backpressure counters.
+//! * [`arbiter`] — RR/WRR arbitration state machine.
+//! * [`initiator`] — closed-loop and open-loop (trace-timed, Poisson,
+//!   fixed-interval) issue models, deterministic per run seed.
+//! * [`engine`] — the event loop: retire / fill / admit phases over a
+//!   simulated clock.
+
+pub mod arbiter;
+pub mod engine;
+pub mod initiator;
+pub mod queue;
+
+pub use arbiter::{Arbiter, Arbitration};
+pub use engine::{
+    run_host, Completion, HostConfig, HostOutcome, QueuedDevice, Served, TenantConfig,
+    TenantOutcome,
+};
+pub use initiator::{ArrivalModel, Initiator, IssueModel};
+pub use queue::{QueueStats, SqEntry, SubmissionQueue};

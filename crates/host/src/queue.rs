@@ -1,0 +1,149 @@
+//! Bounded per-tenant submission queues with explicit backpressure
+//! accounting.
+//!
+//! An NVMe submission queue is a fixed-depth ring; when it is full the
+//! host cannot post new commands and the initiator stalls. This module
+//! models exactly that visible behaviour: a bounded FIFO of pending
+//! requests plus counters for every time the bound actually bit —
+//! queue-full stall episodes and the nanoseconds arrivals spent blocked
+//! before they could be posted. Completion-side bookkeeping (latency
+//! histograms, per-tenant class splits) lives with the engine's
+//! completion sink; the queue only owns submission-side state.
+
+use aftl_flash::Nanos;
+use aftl_trace::IoRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One posted submission-queue entry: the request plus the time it was
+/// (or wanted to be) posted. End-to-end latency is measured from
+/// `arrival_ns`, so time spent waiting in the queue — or blocked *out* of
+/// a full queue — counts against the tenant.
+#[derive(Debug, Clone, Copy)]
+pub struct SqEntry {
+    /// When the initiator produced the request (tenant clock).
+    pub arrival_ns: Nanos,
+    /// The request itself.
+    pub record: IoRecord,
+}
+
+/// Submission-side counters for one queue, echoed into run manifests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Entries successfully posted to the queue.
+    pub enqueued: u64,
+    /// Stall episodes: times an arrival was due but the queue was full
+    /// (counted once per blocked arrival, not once per retry).
+    pub queue_full_stalls: u64,
+    /// Total nanoseconds arrivals spent blocked on a full queue before
+    /// they could be posted.
+    pub stalled_ns: u64,
+    /// High-water mark of queue occupancy.
+    pub max_occupancy: u32,
+}
+
+/// A bounded FIFO submission queue.
+#[derive(Debug)]
+pub struct SubmissionQueue {
+    depth: usize,
+    entries: VecDeque<SqEntry>,
+    /// Backpressure counters (public so the engine can fold stall time in).
+    pub stats: QueueStats,
+}
+
+impl SubmissionQueue {
+    /// An empty queue holding at most `depth` entries (min 1).
+    pub fn new(depth: usize) -> Self {
+        let depth = depth.max(1);
+        SubmissionQueue {
+            depth,
+            entries: VecDeque::with_capacity(depth),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Configured depth.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is at its depth bound (posting would stall).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.depth
+    }
+
+    /// Post an entry. Returns `false` (and leaves the queue unchanged)
+    /// when the queue is full — the caller owns stall accounting because
+    /// only it knows how long the arrival has been blocked.
+    pub fn try_push(&mut self, entry: SqEntry) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.entries.push_back(entry);
+        self.stats.enqueued += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.entries.len() as u32);
+        true
+    }
+
+    /// Take the head entry (FIFO within a queue; ordering *across* queues
+    /// is the arbiter's job).
+    pub fn pop(&mut self) -> Option<SqEntry> {
+        self.entries.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftl_trace::IoOp;
+
+    fn rec(at_ns: u64) -> SqEntry {
+        SqEntry {
+            arrival_ns: at_ns,
+            record: IoRecord {
+                at_ns,
+                sector: 0,
+                sectors: 8,
+                op: IoOp::Write,
+            },
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_depth_bound() {
+        let mut q = SubmissionQueue::new(2);
+        assert!(q.try_push(rec(1)));
+        assert!(q.try_push(rec(2)));
+        assert!(q.is_full());
+        assert!(!q.try_push(rec(3)), "full queue rejects");
+        assert_eq!(q.stats.enqueued, 2);
+        assert_eq!(q.stats.max_occupancy, 2);
+        assert_eq!(q.pop().unwrap().arrival_ns, 1);
+        assert!(q.try_push(rec(3)), "pop frees a slot");
+        assert_eq!(q.pop().unwrap().arrival_ns, 2);
+        assert_eq!(q.pop().unwrap().arrival_ns, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn zero_depth_clamps_to_one() {
+        let mut q = SubmissionQueue::new(0);
+        assert_eq!(q.depth(), 1);
+        assert!(q.try_push(rec(1)));
+        assert!(q.is_full());
+    }
+}

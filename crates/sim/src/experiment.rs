@@ -72,6 +72,7 @@ pub fn run_on_device_keep(mut ssd: Ssd, trace: &Trace) -> Result<(RunReport, Ssd
         sim_span_ns: last_complete,
         wall_seconds: started.elapsed().as_secs_f64(),
         trace_events: ssd.observer().trace_events_total(),
+        qos: None,
     };
     Ok((report, ssd))
 }

@@ -1,0 +1,348 @@
+//! Hosted runs: the multi-queue host front end driving the simulated SSD.
+//!
+//! Where [`crate::experiment`] replays a trace one record at a time with
+//! no contention model, a *hosted* run puts the `aftl-host` engine in
+//! front of the device: per-tenant submission queues, RR/WRR arbitration,
+//! a device-side inflight budget, and closed- or open-loop initiators.
+//! The result is still one [`RunReport`] — schema v4 adds a [`QosSection`]
+//! carrying per-tenant end-to-end latency percentiles and backpressure
+//! counters.
+//!
+//! Two latencies show up in a hosted manifest and they measure different
+//! things: the `classes`/`latency` sections record *device-side* latency
+//! (submit → complete, as in replay), while the QoS section records
+//! *end-to-end* latency (tenant arrival → complete), which additionally
+//! charges queue wait and queue-full stall time to the tenant.
+
+use aftl_core::gc::GcReport;
+use aftl_core::request::ReqKind;
+use aftl_flash::{FlashError, Nanos, Result};
+use aftl_host::{run_host, HostConfig, QueuedDevice, Served, TenantConfig};
+use aftl_trace::{IoOp, IoRecord};
+
+use crate::config::SimConfig;
+use crate::metrics::{cache_delta, counters_delta, flash_delta, ClassBreakdown};
+use crate::observe::LatencyHistogram;
+use crate::report::{QosSection, RunReport, TenantQos, SCHEMA_VERSION};
+use crate::ssd::Ssd;
+use crate::warmup;
+
+/// [`QueuedDevice`] adapter: the simulated SSD behind the host engine.
+/// Accumulates the same device-side accounting the replay loop keeps
+/// (class breakdown, GC report), and parks the first hard error so the
+/// run can surface it after the engine returns.
+struct SsdDevice {
+    ssd: Ssd,
+    classes: ClassBreakdown,
+    gc: GcReport,
+    error: Option<FlashError>,
+}
+
+impl QueuedDevice for SsdDevice {
+    fn submit(&mut self, now_ns: Nanos, record: &IoRecord) -> Served {
+        if self.error.is_some() {
+            // Poisoned: refuse everything so the engine drains and exits.
+            return Served::Rejected;
+        }
+        // The host clock, not the trace timestamp, is when the device
+        // sees the command.
+        let rec = IoRecord {
+            at_ns: now_ns,
+            ..*record
+        };
+        match self.ssd.submit_record(&rec) {
+            Ok(c) => {
+                self.classes
+                    .class_mut(c.kind == ReqKind::Write, c.across)
+                    .record(c.sectors, c.latency_ns, c.flash_reads, c.flash_programs);
+                self.gc.merge(&c.gc);
+                Served::Done {
+                    complete_ns: now_ns.saturating_add(c.latency_ns),
+                }
+            }
+            // Degraded device: writes bounce (counted in the device's
+            // write_rejections), reads keep flowing — same policy as
+            // the replay loop.
+            Err(FlashError::ReadOnlyMode) => Served::Rejected,
+            Err(e) => {
+                self.error = Some(e);
+                Served::Rejected
+            }
+        }
+    }
+}
+
+/// Run the multi-queue host engine over a freshly built, aged device and
+/// collect a schema-v4 [`RunReport`] whose [`QosSection`] carries the
+/// per-tenant picture. Deterministic for a fixed `(config, tenants,
+/// host)` triple — `host.seed` feeds every initiator.
+pub fn run_hosted(
+    config: SimConfig,
+    tenants: Vec<TenantConfig>,
+    host: &HostConfig,
+) -> Result<RunReport> {
+    assert!(!tenants.is_empty(), "hosted run needs at least one tenant");
+    let started = std::time::Instant::now();
+    let mut ssd = Ssd::new(config)?;
+    let warm = ssd.config().warmup;
+    let warmup = warmup::age(&mut ssd, &warm)?;
+    let base = ssd.snapshot();
+
+    let total_records: u64 = tenants.iter().map(|t| t.trace.records.len() as u64).sum();
+    let run_name = format!(
+        "hosted:{}",
+        tenants
+            .iter()
+            .map(|t| t.trace.name.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    );
+
+    let mut device = SsdDevice {
+        ssd,
+        classes: ClassBreakdown::default(),
+        gc: GcReport::default(),
+        error: None,
+    };
+
+    // Per-tenant end-to-end accounting, filled by the completion sink.
+    struct TenantAcc {
+        reads: u64,
+        writes: u64,
+        read_latency: LatencyHistogram,
+        write_latency: LatencyHistogram,
+    }
+    let mut acc: Vec<TenantAcc> = tenants
+        .iter()
+        .map(|_| TenantAcc {
+            reads: 0,
+            writes: 0,
+            read_latency: LatencyHistogram::new(),
+            write_latency: LatencyHistogram::new(),
+        })
+        .collect();
+
+    let outcome = run_host(&mut device, tenants, host, |c| {
+        if c.rejected {
+            return;
+        }
+        let a = &mut acc[c.tenant];
+        let latency = c.complete_ns.saturating_sub(c.arrival_ns);
+        match c.record.op {
+            IoOp::Read => {
+                a.reads += 1;
+                a.read_latency.record(latency);
+            }
+            IoOp::Write => {
+                a.writes += 1;
+                a.write_latency.record(latency);
+            }
+        }
+    });
+
+    if let Some(e) = device.error {
+        return Err(e);
+    }
+    let SsdDevice {
+        ssd, classes, gc, ..
+    } = device;
+
+    let qos = QosSection {
+        arbitration: host.arbitration.name().to_string(),
+        device_inflight: host.device_inflight.max(1) as u64,
+        host_seed: host.seed,
+        tenants: outcome
+            .tenants
+            .iter()
+            .zip(acc.iter())
+            .map(|(t, a)| TenantQos {
+                name: t.name.clone(),
+                weight: t.weight,
+                queue_depth: t.queue_depth as u64,
+                issue: t.issue.clone(),
+                requests: t.completed + t.rejected,
+                reads: a.reads,
+                writes: a.writes,
+                rejected_writes: t.rejected,
+                queue_full_stalls: t.queue.queue_full_stalls,
+                stalled_ns: t.queue.stalled_ns,
+                max_occupancy: t.queue.max_occupancy,
+                read_latency: a.read_latency.summary(),
+                write_latency: a.write_latency.summary(),
+            })
+            .collect(),
+    };
+
+    let end = ssd.snapshot();
+    Ok(RunReport {
+        schema_version: SCHEMA_VERSION,
+        trace: run_name,
+        scheme: ssd.config().scheme,
+        page_bytes: ssd.config().geometry.page_bytes,
+        requests: total_records,
+        config: ssd.config().clone(),
+        warmup,
+        classes,
+        latency: ssd.observer().breakdown(),
+        flash: flash_delta(&end.flash, &base.flash),
+        counters: counters_delta(&end.counters, &base.counters),
+        cache: cache_delta(&end.cache, &base.cache),
+        gc,
+        mapping_table_bytes: ssd.scheme().mapping_table_bytes(),
+        sim_span_ns: u128::from(outcome.span_ns),
+        wall_seconds: started.elapsed().as_secs_f64(),
+        trace_events: ssd.observer().trace_events_total(),
+        qos: Some(qos),
+    })
+}
+
+/// Split `trace` into `n` round-robin shards and dress each as a tenant
+/// with the given issue model, queue depth and weight — the standard way
+/// the CLI and benches build an N-tenant contention workload from one
+/// trace.
+pub fn tenants_from_trace(
+    trace: &aftl_trace::Trace,
+    n: usize,
+    issue: aftl_host::IssueModel,
+    queue_depth: usize,
+    weights: &[u32],
+) -> Vec<TenantConfig> {
+    assert!(n >= 1, "need at least one tenant");
+    trace
+        .shard(n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, shard)| TenantConfig {
+            name: format!("tenant{i}"),
+            trace: shard,
+            issue,
+            queue_depth,
+            weight: weights.get(i).copied().unwrap_or(1),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftl_core::scheme::SchemeKind;
+    use aftl_host::{Arbitration, ArrivalModel, IssueModel};
+    use aftl_trace::{IoOp, IoRecord, Trace};
+    use serde::Deserialize;
+
+    fn tiny_trace(n: u64) -> Trace {
+        let records = (0..n)
+            .map(|i| IoRecord {
+                at_ns: i * 5_000,
+                sector: (i * 7) % 4096,
+                sectors: 4 + (i % 8) as u32,
+                op: if i % 3 == 0 { IoOp::Read } else { IoOp::Write },
+            })
+            .collect();
+        Trace::new("unit", records)
+    }
+
+    fn tiny_config(scheme: SchemeKind) -> SimConfig {
+        let mut config = SimConfig::test_tiny(scheme);
+        config.track_content = false;
+        config
+    }
+
+    #[test]
+    fn hosted_run_emits_v4_manifest_with_qos() {
+        let trace = tiny_trace(300);
+        let tenants = tenants_from_trace(
+            &trace,
+            2,
+            IssueModel::Closed { outstanding: 4 },
+            16,
+            &[3, 1],
+        );
+        let host = HostConfig {
+            arbitration: Arbitration::WeightedRoundRobin,
+            device_inflight: 8,
+            seed: 7,
+        };
+        let report = run_hosted(tiny_config(SchemeKind::Across), tenants, &host).unwrap();
+
+        assert_eq!(report.schema_version, 4);
+        assert_eq!(report.requests, 300);
+        let qos = report.qos.as_ref().expect("hosted run carries QoS");
+        assert_eq!(qos.arbitration, "wrr");
+        assert_eq!(qos.tenants.len(), 2);
+        let (a, b) = (&qos.tenants[0], &qos.tenants[1]);
+        assert_eq!(a.requests + b.requests, 300);
+        assert_eq!(a.weight, 3);
+        assert_eq!(b.weight, 1);
+        assert_eq!(a.reads + a.writes + a.rejected_writes, a.requests);
+        assert!(a.write_latency.count > 0);
+        assert!(a.write_latency.p50_ns > 0);
+
+        // And the manifest round-trips with the QoS section intact.
+        let back = RunReport::from_value(&serde_json::to_value(&report)).unwrap();
+        let back_qos = back.qos.expect("qos survives the round trip");
+        assert_eq!(back_qos.tenants[0].requests, a.requests);
+        assert_eq!(
+            back_qos.tenants[0].write_latency.p99_ns,
+            a.write_latency.p99_ns
+        );
+    }
+
+    #[test]
+    fn hosted_run_is_deterministic_for_fixed_seed() {
+        let trace = tiny_trace(200);
+        let run = |seed: u64| {
+            let tenants = tenants_from_trace(
+                &trace,
+                2,
+                IssueModel::Open(ArrivalModel::Poisson {
+                    mean_iat_ns: 20_000,
+                }),
+                8,
+                &[2, 1],
+            );
+            let host = HostConfig {
+                arbitration: Arbitration::WeightedRoundRobin,
+                device_inflight: 4,
+                seed,
+            };
+            run_hosted(tiny_config(SchemeKind::Baseline), tenants, &host).unwrap()
+        };
+        let (r1, r2) = (run(11), run(11));
+        assert_eq!(r1.sim_span_ns, r2.sim_span_ns);
+        assert_eq!(
+            serde_json::to_string(&r1.flash),
+            serde_json::to_string(&r2.flash)
+        );
+        let (q1, q2) = (r1.qos.unwrap(), r2.qos.unwrap());
+        for (t1, t2) in q1.tenants.iter().zip(q2.tenants.iter()) {
+            assert_eq!(t1, t2, "per-tenant QoS is bit-identical");
+        }
+    }
+
+    #[test]
+    fn overloaded_open_loop_tenant_records_backpressure() {
+        let trace = tiny_trace(400);
+        // Back-to-back arrivals (1ns apart) against unit-timing ops
+        // (~10ns programs) and a serialized device: the depth-4 queue
+        // saturates and stalls pile up.
+        let tenants = tenants_from_trace(
+            &trace,
+            1,
+            IssueModel::Open(ArrivalModel::FixedInterval { interval_ns: 1 }),
+            4,
+            &[1],
+        );
+        let host = HostConfig {
+            arbitration: Arbitration::RoundRobin,
+            device_inflight: 1,
+            seed: 3,
+        };
+        let report = run_hosted(tiny_config(SchemeKind::Baseline), tenants, &host).unwrap();
+        let t = &report.qos.unwrap().tenants[0];
+        assert!(t.queue_full_stalls > 0, "overload must surface as stalls");
+        assert!(t.stalled_ns > 0);
+        assert_eq!(t.max_occupancy, 4);
+        assert_eq!(t.requests, 400, "backpressure delays, never drops");
+    }
+}

@@ -15,6 +15,10 @@
 //!   mapping-table bytes — everything Figures 4 and 8–12 report,
 //! * [`experiment`] — one-call runners for (trace × scheme × page size)
 //!   grids, fanned out across cores with rayon,
+//! * [`hosted`] — multi-queue hosted runs: the `aftl-host` NVMe-style
+//!   front end (per-tenant submission queues, RR/WRR arbitration,
+//!   backpressure) driving the device, with per-tenant QoS in the
+//!   manifest,
 //! * [`observe`] — latency histograms per op kind and optional structured
 //!   event tracing (JSONL),
 //! * [`report`] — the [`RunReport`] run manifest: one self-describing JSON
@@ -26,6 +30,7 @@
 
 pub mod config;
 pub mod experiment;
+pub mod hosted;
 pub mod metrics;
 pub mod observe;
 pub mod report;
@@ -35,8 +40,9 @@ pub mod warmup;
 
 pub use config::{ObserveConfig, SimConfig};
 pub use experiment::{run_comparison, run_single, ComparisonReport};
+pub use hosted::{run_hosted, tenants_from_trace};
 pub use metrics::ClassMetrics;
 pub use observe::{LatencyBreakdown, LatencyHistogram, Observer, OpKind};
-pub use report::RunReport;
+pub use report::{QosSection, RunReport, TenantQos};
 pub use ssd::Ssd;
 pub use warmup::WarmupStats;

@@ -29,10 +29,14 @@ use crate::warmup::WarmupStats;
 /// History: v2 added the latency/trace observability sections; v3 added
 /// the fault model — the `FaultConfig` echo inside `config`, fault and
 /// retirement counters in `flash`/`counters`/`gc`, and the
-/// `read_retry`/`reprogram` latency buckets. Every v3 addition carries a
-/// serde default, so v2 manifests still deserialize (see the
-/// `v2_manifest_still_deserializes` test).
-pub const SCHEMA_VERSION: u32 = 3;
+/// `read_retry`/`reprogram` latency buckets. v4 added the multi-queue
+/// host front end: the optional [`QosSection`] with per-tenant
+/// end-to-end latency percentiles and backpressure counters (`null` for
+/// plain replay runs). Every addition carries a serde default, so v2 and
+/// v3 manifests still deserialize (see the
+/// `v2_manifest_still_deserializes` / `v3_manifest_still_deserializes`
+/// tests).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The complete result of replaying one trace on one scheme — the run
 /// manifest.
@@ -73,6 +77,58 @@ pub struct RunReport {
     pub wall_seconds: f64,
     /// Events offered to the trace ring (0 unless tracing was enabled).
     pub trace_events: u64,
+    /// Per-tenant QoS results — present only for hosted (multi-queue)
+    /// runs, `null` for plain replay.
+    #[serde(default)]
+    pub qos: Option<QosSection>,
+}
+
+/// Per-tenant QoS results of a hosted (multi-queue) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosSection {
+    /// Arbitration policy the run used (`rr` / `wrr`).
+    pub arbitration: String,
+    /// Device-side inflight budget.
+    pub device_inflight: u64,
+    /// Run seed that fed every tenant initiator.
+    pub host_seed: u64,
+    /// Per-tenant results, in config order.
+    pub tenants: Vec<TenantQos>,
+}
+
+/// One tenant's end-to-end view of a hosted run. Latencies here are
+/// measured from the tenant's *arrival* (when it wanted to issue), so
+/// queue wait and queue-full stall time count against the tenant —
+/// unlike the device-side `classes`/`latency` sections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantQos {
+    /// Tenant display name.
+    pub name: String,
+    /// Effective arbitration weight (1 under plain RR).
+    pub weight: u32,
+    /// Submission-queue depth.
+    pub queue_depth: u64,
+    /// Issue-model echo (`closed(8)`, `poisson(100000ns)`, `trace(x2)`,
+    /// `fixed(50000ns)`).
+    pub issue: String,
+    /// Requests issued (completed + rejected).
+    pub requests: u64,
+    /// Reads completed.
+    pub reads: u64,
+    /// Writes completed.
+    pub writes: u64,
+    /// Writes the device refused (read-only degradation).
+    pub rejected_writes: u64,
+    /// Stall episodes: arrivals that found the submission queue full.
+    pub queue_full_stalls: u64,
+    /// Nanoseconds arrivals spent blocked on a full queue.
+    pub stalled_ns: u64,
+    /// Submission-queue occupancy high-water mark.
+    pub max_occupancy: u32,
+    /// End-to-end read latency percentiles.
+    pub read_latency: crate::observe::HistogramSummary,
+    /// End-to-end write latency percentiles.
+    pub write_latency: crate::observe::HistogramSummary,
 }
 
 impl RunReport {
@@ -206,7 +262,10 @@ mod tests {
         // all carry serde defaults, so deserialization must still succeed.
         use serde::Deserialize;
         use serde::Value;
-        const V3_FIELDS: [&str; 12] = [
+        // v3 additions plus the v4 `qos` section: a v2 manifest predates
+        // them all.
+        const V3_FIELDS: [&str; 13] = [
+            "qos",
             "fault",
             "read_faults",
             "program_faults",
@@ -248,6 +307,32 @@ mod tests {
         assert_eq!(back.flash.read_faults, 0);
         assert_eq!(back.counters.write_rejections, 0);
         assert_eq!(back.latency.read_retry.count, 0);
+    }
+
+    #[test]
+    fn v3_manifest_still_deserializes() {
+        // Simulate a schema-v3 manifest (pre-host-interface) by dropping
+        // the v4-only `qos` section; it carries a serde default, so the
+        // manifest must still load, with `qos` defaulting to `None`.
+        use serde::Deserialize;
+        use serde::Value;
+
+        let mut config = SimConfig::test_tiny(SchemeKind::Mrsm);
+        config.track_content = false;
+        let report = run_single_with(config, &tiny_trace()).unwrap();
+        let mut v = serde_json::to_value(&report);
+        if let Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "qos");
+            for (k, val) in entries.iter_mut() {
+                if k == "schema_version" {
+                    *val = Value::U128(3);
+                }
+            }
+        }
+        let back = RunReport::from_value(&v).expect("v3 manifest deserializes");
+        assert_eq!(back.schema_version, 3);
+        assert_eq!(back.requests, report.requests);
+        assert!(back.qos.is_none(), "qos defaults to None for v3 manifests");
     }
 
     #[test]

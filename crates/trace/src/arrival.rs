@@ -1,0 +1,139 @@
+//! Arrival-time rescaling for open-loop replay.
+//!
+//! Trace records carry absolute arrival timestamps, but experiments often
+//! need to replay a trace *faster* (contract a lightly-loaded trace until
+//! the device saturates) or *slower* (stretch a burst to probe queueing).
+//! An [`ArrivalClock`] maps recorded arrival times onto the simulation
+//! clock with the inter-arrival gaps divided by a `speedup` factor:
+//!
+//! * `speedup = 1.0` — issue at the recorded times (timing-faithful replay),
+//! * `speedup = 2.0` — gaps halved, the trace arrives twice as fast,
+//! * `speedup = 0.5` — gaps doubled, the trace arrives at half speed.
+//!
+//! The first arrival is the fixed point: `issue(origin) == origin`, so a
+//! rescaled trace starts when the original did and only the spacing
+//! changes. Open-loop trace-timed initiators use this clock to schedule
+//! submission-queue arrivals; `sim_cli --speedup` uses it to rescale a
+//! whole trace before classic replay.
+
+use crate::record::Trace;
+
+/// Maps recorded arrival timestamps onto the simulation clock, rescaling
+/// inter-arrival gaps by a constant factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalClock {
+    origin_ns: u64,
+    speedup: f64,
+}
+
+impl ArrivalClock {
+    /// A clock anchored at `origin_ns` (normally the trace's first arrival)
+    /// contracting gaps by `speedup`. Panics unless `speedup` is finite and
+    /// positive — a zero or negative factor has no timeline meaning.
+    pub fn new(origin_ns: u64, speedup: f64) -> Self {
+        assert!(
+            speedup.is_finite() && speedup > 0.0,
+            "speedup must be finite and positive, got {speedup}"
+        );
+        ArrivalClock { origin_ns, speedup }
+    }
+
+    /// A clock anchored at the first arrival of `trace`.
+    pub fn for_trace(trace: &Trace, speedup: f64) -> Self {
+        let origin = trace.records.iter().map(|r| r.at_ns).min().unwrap_or(0);
+        Self::new(origin, speedup)
+    }
+
+    /// The anchor timestamp (maps to itself).
+    #[inline]
+    pub fn origin_ns(&self) -> u64 {
+        self.origin_ns
+    }
+
+    /// The gap-contraction factor.
+    #[inline]
+    pub fn speedup(&self) -> f64 {
+        self.speedup
+    }
+
+    /// The simulation-clock issue time for a record stamped `at_ns`.
+    /// Timestamps before the origin clamp to the origin (a rescaled trace
+    /// never issues before it starts).
+    #[inline]
+    pub fn issue_ns(&self, at_ns: u64) -> u64 {
+        let gap = at_ns.saturating_sub(self.origin_ns);
+        self.origin_ns + (gap as f64 / self.speedup) as u64
+    }
+
+    /// Rewrite every record of `trace` onto this clock, in place.
+    pub fn rescale(&self, trace: &mut Trace) {
+        for r in &mut trace.records {
+            r.at_ns = self.issue_ns(r.at_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{IoOp, IoRecord};
+
+    fn trace_at(times: &[u64]) -> Trace {
+        Trace::new(
+            "t",
+            times
+                .iter()
+                .map(|&at_ns| IoRecord {
+                    at_ns,
+                    sector: 0,
+                    sectors: 8,
+                    op: IoOp::Write,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn unit_speedup_is_identity() {
+        let t = trace_at(&[100, 250, 900]);
+        let clock = ArrivalClock::for_trace(&t, 1.0);
+        for r in &t.records {
+            assert_eq!(clock.issue_ns(r.at_ns), r.at_ns);
+        }
+    }
+
+    #[test]
+    fn speedup_contracts_gaps_around_the_origin() {
+        let clock = ArrivalClock::new(1000, 2.0);
+        assert_eq!(clock.issue_ns(1000), 1000, "origin is the fixed point");
+        assert_eq!(clock.issue_ns(1200), 1100, "gap 200 becomes 100");
+        assert_eq!(clock.issue_ns(3000), 2000);
+    }
+
+    #[test]
+    fn slowdown_stretches_gaps() {
+        let clock = ArrivalClock::new(0, 0.5);
+        assert_eq!(clock.issue_ns(100), 200);
+        assert_eq!(clock.issue_ns(1000), 2000);
+    }
+
+    #[test]
+    fn pre_origin_timestamps_clamp() {
+        let clock = ArrivalClock::new(500, 4.0);
+        assert_eq!(clock.issue_ns(100), 500);
+    }
+
+    #[test]
+    fn rescale_rewrites_in_place_preserving_order() {
+        let mut t = trace_at(&[1000, 1400, 2600]);
+        ArrivalClock::for_trace(&t, 2.0).rescale(&mut t);
+        let times: Vec<u64> = t.records.iter().map(|r| r.at_ns).collect();
+        assert_eq!(times, vec![1000, 1200, 1800]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_speedup_panics() {
+        ArrivalClock::new(0, 0.0);
+    }
+}

@@ -12,13 +12,17 @@
 //!   calibrated against the paper's Table 2 (request count, write ratio,
 //!   mean write size, across-page ratio at 8 KB pages), plus the 61-trace
 //!   collection used by Figure 2,
-//! * [`stats`] — per-trace statistics (Table 2 columns, Figures 2 and 13).
+//! * [`stats`] — per-trace statistics (Table 2 columns, Figures 2 and 13),
+//! * [`arrival`] — the [`ArrivalClock`] that rescales recorded
+//!   inter-arrival times for open-loop (rate-driven) replay.
 
+pub mod arrival;
 pub mod parser;
 pub mod record;
 pub mod stats;
 pub mod synth;
 
+pub use arrival::ArrivalClock;
 pub use record::{IoOp, IoRecord, Trace};
 pub use stats::TraceStats;
 pub use synth::vdi::{LunPreset, VdiSpec, VdiWorkload};
