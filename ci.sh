@@ -38,6 +38,11 @@ cargo build --release
 say "cargo test"
 cargo test -q
 
+say "cargo doc -D warnings"
+# Every public item in every crate is documented (#![warn(missing_docs)]
+# workspace-wide); broken intra-doc links or rustdoc warnings fail here.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 say "fault-injection smoke"
 # A short replay with nonzero fault rates must complete cleanly, actually
 # inject faults, and lose no host data (retry ladder + relocation cover
@@ -55,14 +60,14 @@ fi
 grep -q '"host_unrecoverable_reads": 0' "$smoke" || { echo "smoke run lost host data"; exit 1; }
 
 say "host smoke (multi-tenant hosted run)"
-# A 2-tenant WRR hosted run (~1k IOs) must complete, emit a schema-v4
+# A 2-tenant WRR hosted run (~1k IOs) must complete, emit a current-schema
 # manifest, and carry the per-tenant QoS section for both tenants.
 host_smoke=target/ci_host_smoke.json
 cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme across --preset lun1 --scale 0.0014 \
     --queues 2 --queue-depth 16 --arbitration wrr --tenant-weights 3,1 \
     --json "$host_smoke" >/dev/null
-grep -q '"schema_version": 4' "$host_smoke" || { echo "hosted manifest is not schema v4"; exit 1; }
+grep -q '"schema_version": 5' "$host_smoke" || { echo "hosted manifest is not schema v5"; exit 1; }
 grep -q '"arbitration": "wrr"' "$host_smoke" || { echo "hosted manifest lost arbitration"; exit 1; }
 for tenant in '"tenant0"' '"tenant1"'; do
     grep -q "$tenant" "$host_smoke" || { echo "hosted manifest missing QoS for $tenant"; exit 1; }
@@ -77,6 +82,32 @@ cargo bench -q -p aftl-bench --bench host_throughput -- \
 grep -q '"schema_version": 1' "$host_bench" || { echo "host bench manifest has wrong schema_version"; exit 1; }
 for scheme in '"FTL"' '"MRSM"' '"Across-FTL"'; do
     grep -q "$scheme" "$host_bench" || { echo "host bench manifest missing scheme $scheme"; exit 1; }
+done
+
+say "fleet smoke (2-device sharded run + N=1 parity)"
+# A 2-device fleet run must complete, emit a schema-v5 manifest whose
+# fleet section carries both devices, and the 1-device fleet must stay
+# bit-identical to the hosted run (golden-digest parity test).
+fleet_smoke=target/ci_fleet_smoke.json
+cargo run --release -q -p aftl-bench --bin sim_cli -- \
+    --scheme across --preset lun1 --scale 0.0014 \
+    --devices 2 --json "$fleet_smoke" >/dev/null
+grep -q '"schema_version": 5' "$fleet_smoke" || { echo "fleet manifest is not schema v5"; exit 1; }
+grep -q '"devices": 2' "$fleet_smoke" || { echo "fleet manifest lost its topology section"; exit 1; }
+grep -q '"d0/tenant0"' "$fleet_smoke" || { echo "fleet manifest missing per-device QoS rows"; exit 1; }
+cargo test --release -q -p aftl-integration --test fig8_parity \
+    fleet_single_device_matches_hosted_run_bit_for_bit >/dev/null \
+    || { echo "1-device fleet diverged from the hosted run"; exit 1; }
+
+say "fleet bench smoke (BENCH_fleet manifest)"
+fleet_bench=$PWD/target/ci_fleet_bench.json
+rm -f "$fleet_bench"
+cargo bench -q -p aftl-bench --bench fleet_scaling -- \
+    --test --json "$fleet_bench" >/dev/null
+[ -s "$fleet_bench" ] || { echo "fleet bench smoke wrote no manifest"; exit 1; }
+grep -q '"schema_version": 1' "$fleet_bench" || { echo "fleet bench manifest has wrong schema_version"; exit 1; }
+for scheme in '"FTL"' '"MRSM"' '"Across-FTL"'; do
+    grep -q "$scheme" "$fleet_bench" || { echo "fleet bench manifest missing scheme $scheme"; exit 1; }
 done
 
 say "bench smoke (replay manifest)"

@@ -1,0 +1,155 @@
+//! Fleet scaling: the fig8-small workload range-sharded across 1, 2, 4
+//! and 8 simulated devices on all three schemes — the **tracked** fleet
+//! benchmark.
+//!
+//! Custom main (the `[[bench]]` entry sets `harness = false`) so it can
+//! emit the machine-readable `BENCH_fleet.json` manifest. Modes mirror
+//! `host_throughput`:
+//!
+//! ```text
+//! cargo bench -p aftl-bench --bench fleet_scaling              # measure + print
+//!   -- --json BENCH_fleet.json                                 # also emit manifest
+//!      --baseline old.json --baseline-label "seed @<commit>"   # carry BEFORE numbers
+//!      --scale 0.01 --samples 7                                # workload/averaging knobs
+//!      --test                                                  # CI smoke: tiny scale, 1 sample
+//! ```
+//!
+//! The fleet setup and all JSON types live in [`aftl_bench::fleetbench`]
+//! so the determinism tests exercise exactly what the bench times. The
+//! gated number is **simulated IOPS** (requests / fleet simulated
+//! makespan), which measures the modeled fleet and reproduces
+//! bit-for-bit; wall-clock throughput is recorded alongside but depends
+//! on host cores.
+
+use aftl_bench::fleetbench::{
+    self, BenchFleetManifest, FleetSchemeResult, FLEET_BENCH_SCHEMA_VERSION, FLEET_SAMPLES,
+    FLEET_SIZES,
+};
+use aftl_bench::replay::{self, FIG8_SMALL_SCALE};
+use aftl_core::scheme::SchemeKind;
+
+struct Opts {
+    smoke: bool,
+    json: Option<String>,
+    baseline: Option<String>,
+    baseline_label: String,
+    scale: f64,
+    samples: u32,
+}
+
+/// Parse bench arguments, ignoring the flags cargo's bench runner passes
+/// through (`--bench`, filter strings, …).
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        json: None,
+        baseline: None,
+        baseline_label: "self".to_string(),
+        scale: FIG8_SMALL_SCALE,
+        samples: FLEET_SAMPLES,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--test" => opts.smoke = true,
+            "--json" => opts.json = it.next(),
+            "--baseline" => opts.baseline = it.next(),
+            "--baseline-label" => {
+                if let Some(l) = it.next() {
+                    opts.baseline_label = l;
+                }
+            }
+            "--scale" => {
+                if let Some(s) = it.next().and_then(|v| v.parse().ok()) {
+                    opts.scale = s;
+                }
+            }
+            "--samples" => {
+                if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                    opts.samples = n;
+                }
+            }
+            _ => {} // cargo bench pass-through (e.g. --bench, filters)
+        }
+    }
+    opts
+}
+
+fn main() {
+    let mut opts = parse_opts();
+    if opts.smoke {
+        // CI smoke: prove the fleet pipeline (shard → N devices → merge →
+        // scaling manifest) works, in seconds.
+        opts.scale = opts.scale.min(0.002);
+        opts.samples = 1;
+    }
+
+    let trace = replay::fig8_small_trace(opts.scale);
+    eprintln!(
+        "fig8-small fleet: {} requests (scale {}) sharded over {:?} device(s), {} timed sample(s) per point",
+        trace.len(),
+        opts.scale,
+        FLEET_SIZES,
+        opts.samples
+    );
+
+    let mut results: Vec<FleetSchemeResult> = Vec::new();
+    for scheme in SchemeKind::ALL {
+        let r = fleetbench::time_fig8_small_fleet(scheme, &trace, opts.samples);
+        for p in &r.points {
+            eprintln!(
+                "{:<11} {}d  {:>12.0} sim IOPS  {:>9.0} wall req/s  [{} reqs, sim span {:.2} ms]",
+                r.scheme,
+                p.devices,
+                p.sim_iops,
+                p.req_per_sec,
+                p.requests,
+                p.sim_span_ns as f64 / 1e6,
+            );
+        }
+        if let Some(s) = r.sim_scaling(*FLEET_SIZES.last().unwrap() as u64) {
+            eprintln!(
+                "{:<11} simulated scaling 1 -> {} devices: {s:.2}x",
+                r.scheme,
+                FLEET_SIZES.last().unwrap()
+            );
+        }
+        results.push(r);
+    }
+
+    // Baseline: carried forward from --baseline's current numbers, so the
+    // manifest always shows where the numbers came from and where they are.
+    let (baseline, baseline_label) = match opts.baseline.as_deref() {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+            let old: BenchFleetManifest = serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("parse baseline {path}: {e}"));
+            (old.results, opts.baseline_label)
+        }
+        None => (results.clone(), opts.baseline_label),
+    };
+
+    let manifest = BenchFleetManifest {
+        schema_version: FLEET_BENCH_SCHEMA_VERSION,
+        workload: "fig8-small-fleet".to_string(),
+        scale: opts.scale,
+        fleet_sizes: FLEET_SIZES.iter().map(|&n| n as u64).collect(),
+        results,
+        baseline_label,
+        baseline,
+    };
+    fleetbench::validate_fleet_manifest(&manifest).expect("manifest is schema-valid");
+
+    if let Some(path) = &opts.json {
+        let json = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+            }
+        }
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,8 +1,57 @@
 //! Regenerate every table and figure in one pass; writes text output to
 //! stdout and machine-readable JSON grids to `results/`.
+//!
+//! The figure binaries are independent of each other, so they run in
+//! parallel (rayon worker per binary) while their outputs are printed
+//! and archived in the canonical paper order. A failing binary no longer
+//! aborts the pass: every failure is collected, reported with the
+//! binary's stderr at the end, and turned into a nonzero exit code.
 
 use aftl_core::scheme::SchemeKind;
+use rayon::prelude::*;
 use std::fmt::Write as _;
+
+/// The figure/table binaries of the reproduction, in paper order.
+const BINS: [&str; 11] = [
+    "table1", "table2", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+];
+
+/// One figure binary's run: captured stdout on success, the failure
+/// reason (spawn error or stderr) otherwise. Wall time is kept either
+/// way — a slow failure is still worth seeing.
+struct BinRun {
+    bin: &'static str,
+    wall_s: f64,
+    outcome: Result<String, String>,
+}
+
+fn run_bin(bin: &'static str, scale: f64, page_bytes: u32) -> BinRun {
+    let started = std::time::Instant::now();
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("exe has a parent dir");
+    let outcome = match std::process::Command::new(dir.join(bin))
+        .args([
+            "--scale",
+            &scale.to_string(),
+            "--page",
+            &page_bytes.to_string(),
+        ])
+        .output()
+    {
+        Err(e) => Err(format!("failed to spawn: {e}")),
+        Ok(out) if !out.status.success() => Err(format!(
+            "exited with {}: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr).trim_end()
+        )),
+        Ok(out) => Ok(String::from_utf8_lossy(&out.stdout).into_owned()),
+    };
+    BinRun {
+        bin,
+        wall_s: started.elapsed().as_secs_f64(),
+        outcome,
+    }
+}
 
 fn main() {
     let args = aftl_bench::Args::parse();
@@ -10,35 +59,32 @@ fn main() {
     let results_dir = aftl_bench::results_dir();
     std::fs::create_dir_all(&results_dir).expect("create results dir");
 
-    let run = |bin: &str| {
-        let exe = std::env::current_exe().unwrap();
-        let dir = exe.parent().unwrap();
-        let out = std::process::Command::new(dir.join(bin))
-            .args([
-                "--scale",
-                &args.scale.to_string(),
-                "--page",
-                &args.page_bytes.to_string(),
-            ])
-            .output()
-            .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
-        assert!(
-            out.status.success(),
-            "{bin} failed: {}",
-            String::from_utf8_lossy(&out.stderr)
-        );
-        String::from_utf8_lossy(&out.stdout).into_owned()
-    };
+    eprintln!(
+        "[repro_all] running {} figure binaries in parallel (scale {}, page {})…",
+        BINS.len(),
+        args.scale,
+        args.page_bytes
+    );
+    let runs: Vec<BinRun> = BINS
+        .par_iter()
+        .map(|&bin| run_bin(bin, args.scale, args.page_bytes))
+        .collect();
 
+    // Print and archive in paper order regardless of completion order.
     let mut all = String::new();
-    for bin in [
-        "table1", "table2", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "fig14",
-    ] {
-        eprintln!("[repro_all] running {bin}…");
-        let text = run(bin);
-        println!("{text}");
-        writeln!(all, "{text}").unwrap();
+    let mut failures: Vec<&BinRun> = Vec::new();
+    for run in &runs {
+        match &run.outcome {
+            Ok(text) => {
+                eprintln!("[repro_all] {} ok in {:.1}s", run.bin, run.wall_s);
+                println!("{text}");
+                writeln!(all, "{text}").unwrap();
+            }
+            Err(_) => {
+                eprintln!("[repro_all] {} FAILED after {:.1}s", run.bin, run.wall_s);
+                failures.push(run);
+            }
+        }
     }
     std::fs::write(results_dir.join("all_figures.txt"), &all).expect("write results");
 
@@ -55,4 +101,20 @@ fn main() {
         io_red * 100.0,
         er_red * 100.0
     );
+
+    if !failures.is_empty() {
+        eprintln!(
+            "[repro_all] {} of {} binaries failed:",
+            failures.len(),
+            BINS.len()
+        );
+        for run in &failures {
+            eprintln!(
+                "[repro_all]   {}: {}",
+                run.bin,
+                run.outcome.as_ref().unwrap_err()
+            );
+        }
+        std::process::exit(1);
+    }
 }

@@ -7,6 +7,7 @@
 //! sim_cli --scheme across --queues 4 --queue-depth 16 --arbitration wrr \
 //!         --tenant-weights 4,2,1,1                 # multi-tenant hosted run
 //! sim_cli --scheme across --queues 2 --arrival-rate 50000   # open-loop Poisson
+//! sim_cli --scheme across --devices 8                       # 8-device fleet run
 //! ```
 //!
 //! Every run writes its full JSON [`aftl_sim::RunReport`] manifest —
@@ -19,11 +20,18 @@
 //! submission queue, and the manifest gains the per-tenant QoS section
 //! (schema v4). Without `--queues`, `--speedup F` rescales the trace's
 //! inter-arrival gaps before replay.
+//!
+//! `--devices N` switches to a *fleet* run: the workload's sector space is
+//! range-sharded across N independent simulated devices driven in
+//! parallel, and the merged manifest gains the fleet topology section
+//! (schema v5). `--queues` then sets tenants *per device*; a 1-device
+//! fleet is bit-identical to the equivalent hosted run.
 
 use aftl_core::scheme::SchemeKind;
 use aftl_flash::{FaultConfig, FlashError};
 use aftl_host::{Arbitration, ArrivalModel, HostConfig, IssueModel};
 use aftl_sim::experiment::run_on_device_keep;
+use aftl_sim::fleet::{run_fleet, FleetSpec};
 use aftl_sim::hosted::{run_hosted, tenants_from_trace};
 use aftl_sim::{RunReport, SimConfig, Ssd};
 use aftl_trace::parser::{parse_msr, parse_systor};
@@ -78,11 +86,12 @@ struct Cli {
     speedup: Option<f64>,
     device_inflight: usize,
     host_seed: u64,
+    devices: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F]\n               [--device-inflight N] [--host-seed N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
+        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F]\n               [--devices N] [--device-inflight N] [--host-seed N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
     );
     std::process::exit(2);
 }
@@ -108,6 +117,7 @@ fn parse_cli() -> Cli {
         speedup: None,
         device_inflight: 16,
         host_seed: 42,
+        devices: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -246,6 +256,12 @@ fn parse_cli() -> Cli {
                     usage()
                 }
             }
+            "--devices" => {
+                cli.devices = it.next().and_then(|v| v.parse().ok());
+                if cli.devices.is_none_or(|n| n == 0) {
+                    usage()
+                }
+            }
             "--device-inflight" => {
                 cli.device_inflight = it
                     .next()
@@ -312,7 +328,49 @@ fn run() -> Result<(), CliError> {
     }
     config.fault = cli.fault;
 
-    let (report, ssd): (RunReport, Option<Ssd>) = if let Some(n) = cli.queues {
+    let (report, ssd): (RunReport, Option<Ssd>) = if let Some(devices) = cli.devices {
+        // Fleet run: range-shard the workload across N independent
+        // devices and merge their manifests.
+        let issue = if let Some(rate) = cli.arrival_rate {
+            IssueModel::Open(ArrivalModel::Poisson {
+                mean_iat_ns: (1e9 / rate).max(1.0) as u64,
+            })
+        } else if let Some(speedup) = cli.speedup {
+            IssueModel::Open(ArrivalModel::TraceTimed { speedup })
+        } else {
+            IssueModel::Closed {
+                outstanding: cli.outstanding,
+            }
+        };
+        let tenants_per_device = cli.queues.unwrap_or(1);
+        let weights = cli
+            .tenant_weights
+            .clone()
+            .unwrap_or_else(|| vec![1; tenants_per_device]);
+        let spec = FleetSpec {
+            devices,
+            host: HostConfig {
+                arbitration: cli.arbitration,
+                device_inflight: cli.device_inflight,
+                seed: cli.host_seed,
+            },
+            issue,
+            queue_depth: cli.queue_depth,
+            tenants_per_device,
+            weights,
+            sequential: false,
+        };
+        eprintln!(
+            "fleet run: {} ({} requests) over {devices} device(s) × {tenants_per_device} tenant(s) [{}] on {} @ {} KB pages…",
+            trace.name,
+            trace.len(),
+            spec.issue.describe(),
+            cli.scheme.name(),
+            cli.page / 1024
+        );
+        let report = run_fleet(config, &trace, &spec).map_err(CliError::Sim)?;
+        (report, None)
+    } else if let Some(n) = cli.queues {
         // Hosted run: shard the trace across N tenants behind the
         // multi-queue host front end.
         let issue = if let Some(rate) = cli.arrival_rate {
@@ -454,6 +512,29 @@ fn run() -> Result<(), CliError> {
         }
     }
 
+    if let Some(fleet) = &report.fleet {
+        println!(
+            "\nfleet topology ({} devices over {} sectors, base seed {}):",
+            fleet.devices, fleet.span_sectors, fleet.base_seed
+        );
+        println!(
+            "{:<8}{:>14}{:>14}{:>10}{:>14}{:>12}{:>10}",
+            "device", "range", "", "reqs", "span[ms]", "programs", "erases"
+        );
+        for d in &fleet.per_device {
+            println!(
+                "{:<8}{:>14}{:>14}{:>10}{:>14.2}{:>12}{:>10}",
+                format!("d{}", d.device),
+                d.range_start,
+                d.range_end,
+                d.requests,
+                d.sim_span_ns as f64 / 1e6,
+                d.flash_programs,
+                d.erases
+            );
+        }
+    }
+
     // The full manifest is always written: --json wins, else results/.
     let json_path = match &cli.json {
         Some(path) => std::path::PathBuf::from(path),
@@ -463,7 +544,9 @@ fn run() -> Result<(), CliError> {
                 .chars()
                 .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
                 .collect();
-            if cli.queues.is_some() {
+            if cli.devices.is_some() {
+                stem.push_str("_fleet");
+            } else if cli.queues.is_some() {
                 stem.push_str("_hosted");
             }
             let dir = aftl_bench::results_dir();

@@ -11,6 +11,8 @@
 //! * figures print the paper's normalized-to-FTL convention with baseline
 //!   absolutes in parentheses.
 
+#![warn(missing_docs)]
+
 use aftl_core::scheme::SchemeKind;
 use aftl_sim::experiment::ComparisonReport;
 use aftl_sim::tables::Row;
@@ -18,6 +20,7 @@ use aftl_trace::{LunPreset, Trace};
 use rayon::prelude::*;
 use std::path::PathBuf;
 
+pub mod fleetbench;
 pub mod hostbench;
 pub mod replay;
 

@@ -37,6 +37,16 @@ impl CacheStats {
             self.hits as f64 / self.lookups as f64
         }
     }
+
+    /// Accumulate another device's cache statistics into this one
+    /// (fleet-level aggregation; every field is a plain sum).
+    pub fn merge(&mut self, o: &CacheStats) {
+        self.lookups += o.lookups;
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.loads += o.loads;
+        self.flushes += o.flushes;
+    }
 }
 
 /// Sentinel for "no slab slot" in the intrusive list links.

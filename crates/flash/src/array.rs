@@ -245,21 +245,25 @@ impl FlashArray {
         }
     }
 
+    /// The array dimensions this device was built with.
     #[inline]
     pub fn geometry(&self) -> &Geometry {
         &self.geometry
     }
 
+    /// The NAND operation latencies in effect.
     #[inline]
     pub fn timing(&self) -> &TimingSpec {
         &self.timing
     }
 
+    /// Cumulative operation counts and busy-time accounting.
     #[inline]
     pub fn stats(&self) -> &FlashStats {
         &self.stats
     }
 
+    /// Zero all operation counters (start of a measured window).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
     }

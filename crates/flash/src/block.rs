@@ -9,7 +9,9 @@ use crate::page::{PageInfo, PageKind, PageState};
 /// Address of a block: the plane it lives in plus its in-plane index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BlockAddr {
+    /// Flat plane index within the array (channel-major order).
     pub plane_idx: u64,
+    /// Block index within the plane.
     pub block: u32,
 }
 
@@ -29,6 +31,7 @@ pub struct Block {
 }
 
 impl Block {
+    /// A fully erased block of `pages_per_block` pages.
     pub fn new(pages_per_block: u32) -> Self {
         Block {
             pages: vec![PageInfo::free(); pages_per_block as usize],
@@ -40,11 +43,13 @@ impl Block {
         }
     }
 
+    /// Number of pages in the block.
     #[inline]
     pub fn pages_per_block(&self) -> u32 {
         self.pages.len() as u32
     }
 
+    /// Per-page state at in-block index `idx`.
     #[inline]
     pub fn page(&self, idx: u32) -> &PageInfo {
         &self.pages[idx as usize]
@@ -70,16 +75,19 @@ impl Block {
         self.write_ptr == 0
     }
 
+    /// Pages currently holding valid data.
     #[inline]
     pub fn valid_count(&self) -> u32 {
         self.valid_count
     }
 
+    /// Pages whose data has been superseded (GC reclaims these).
     #[inline]
     pub fn invalid_count(&self) -> u32 {
         self.invalid_count
     }
 
+    /// How many times the block has been erased (wear).
     #[inline]
     pub fn erase_count(&self) -> u64 {
         self.erase_count
@@ -153,12 +161,19 @@ impl Block {
 /// borrowing the whole array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockSummary {
+    /// Which block this summarizes.
     pub addr: BlockAddr,
+    /// Physical page number of the block’s first page.
     pub first_ppn: Ppn,
+    /// Valid-page count at summary time.
     pub valid: u32,
+    /// Invalid-page count at summary time.
     pub invalid: u32,
+    /// Erase count at summary time.
     pub erases: u64,
+    /// Whether every page has been programmed.
     pub full: bool,
+    /// Whether the bad-block manager has retired the block.
     pub retired: bool,
 }
 

@@ -23,11 +23,21 @@ pub enum FlashError {
     ProgramNonFree(Ppn),
     /// Programming pages of a block out of order (NAND requires sequential
     /// in-block programming).
-    NonSequentialProgram { ppn: Ppn, expected_page: u32 },
+    NonSequentialProgram {
+        /// The out-of-order page that was requested.
+        ppn: Ppn,
+        /// The in-block page index the write pointer expected next.
+        expected_page: u32,
+    },
     /// Reading a page that holds no data.
     ReadUnwritten(Ppn),
     /// Erasing a block that still holds valid pages.
-    EraseWithValidPages { block_first_ppn: Ppn, valid: u32 },
+    EraseWithValidPages {
+        /// First physical page of the offending block.
+        block_first_ppn: Ppn,
+        /// Valid pages still in the block.
+        valid: u32,
+    },
     /// Invalidating a page that is not valid.
     InvalidateNonValid(Ppn),
     /// The device ran out of free blocks in every plane (GC failed to keep
@@ -36,7 +46,12 @@ pub enum FlashError {
     /// A block exceeded its erase endurance budget. The block has been
     /// retired; its pages were reclaimed but it will never rejoin the free
     /// pool.
-    WornOut { block_first_ppn: Ppn, erases: u64 },
+    WornOut {
+        /// First physical page of the worn-out block.
+        block_first_ppn: Ppn,
+        /// Erase count at which the budget was exceeded.
+        erases: u64,
+    },
     /// An injected transient read failure: the page still holds its data
     /// and a retry may succeed.
     ReadFailed(Ppn),
@@ -45,7 +60,10 @@ pub enum FlashError {
     ProgramFailed(Ppn),
     /// An injected erase failure: the block has been retired and does not
     /// return to the free pool.
-    EraseFailed { block_first_ppn: Ppn },
+    EraseFailed {
+        /// First physical page of the retired block.
+        block_first_ppn: Ppn,
+    },
     /// The device is in read-only (graceful-degradation) mode: spare
     /// blocks fell below the configured threshold, so host writes are
     /// rejected while reads keep being served.

@@ -35,11 +35,17 @@ impl std::fmt::Display for Ppn {
 /// A structured physical page address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PageAddr {
+    /// Channel index.
     pub channel: u32,
+    /// Chip index within the channel.
     pub chip: u32,
+    /// Die index within the chip.
     pub die: u32,
+    /// Plane index within the die.
     pub plane: u32,
+    /// Block index within the plane.
     pub block: u32,
+    /// Page index within the block.
     pub page: u32,
 }
 
@@ -49,11 +55,17 @@ pub struct PageAddr {
 /// pages) is available as [`Geometry::paper_default`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Geometry {
+    /// Independent flash channels.
     pub channels: u32,
+    /// Chips sharing each channel's bus.
     pub chips_per_channel: u32,
+    /// Dies per chip.
     pub dies_per_chip: u32,
+    /// Planes per die.
     pub planes_per_die: u32,
+    /// Blocks per plane.
     pub blocks_per_plane: u32,
+    /// Pages per block.
     pub pages_per_block: u32,
     /// Flash page size in bytes (4096 / 8192 / 16384 in the paper).
     pub page_bytes: u32,
@@ -250,47 +262,56 @@ impl Default for GeometryBuilder {
 }
 
 impl GeometryBuilder {
+    /// Start from [`Geometry::paper_default`] and override dimensions.
     pub fn new() -> Self {
         GeometryBuilder {
             geo: Geometry::paper_default(),
         }
     }
 
+    /// Set the channel count.
     pub fn channels(mut self, n: u32) -> Self {
         self.geo.channels = n;
         self
     }
 
+    /// Set the chips per channel.
     pub fn chips_per_channel(mut self, n: u32) -> Self {
         self.geo.chips_per_channel = n;
         self
     }
 
+    /// Set the dies per chip.
     pub fn dies_per_chip(mut self, n: u32) -> Self {
         self.geo.dies_per_chip = n;
         self
     }
 
+    /// Set the planes per die.
     pub fn planes_per_die(mut self, n: u32) -> Self {
         self.geo.planes_per_die = n;
         self
     }
 
+    /// Set the blocks per plane.
     pub fn blocks_per_plane(mut self, n: u32) -> Self {
         self.geo.blocks_per_plane = n;
         self
     }
 
+    /// Set the pages per block.
     pub fn pages_per_block(mut self, n: u32) -> Self {
         self.geo.pages_per_block = n;
         self
     }
 
+    /// Set the flash page size in bytes.
     pub fn page_bytes(mut self, n: u32) -> Self {
         self.geo.page_bytes = n;
         self
     }
 
+    /// Validate the dimensions and hand back the finished geometry.
     pub fn build(self) -> Result<Geometry, FlashError> {
         self.geo.validate()?;
         Ok(self.geo)

@@ -21,6 +21,8 @@
 //! Timing constants default to the paper's Table 1 (TLC: 0.075 ms read,
 //! 2 ms program, 0.001 ms DRAM cache access).
 
+#![warn(missing_docs)]
+
 pub mod allocator;
 pub mod array;
 pub mod block;

@@ -46,7 +46,9 @@ pub struct SectorStamp {
 /// entry so Across-FTL's GC can fix up its second-level table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PageInfo {
+    /// Lifecycle state: free, valid, or invalid.
     pub state: PageState,
+    /// What the page holds (data, map, across-area).
     pub kind: PageKind,
     /// Reverse-map tag: for `Data` pages the LPN; for `Map` pages the
     /// translation-page id; for `AcrossData` the owning table's entry id.
@@ -54,6 +56,7 @@ pub struct PageInfo {
 }
 
 impl PageInfo {
+    /// A freshly erased page: free, no kind, no tag.
     pub const fn free() -> Self {
         PageInfo {
             state: PageState::Free,
@@ -62,16 +65,19 @@ impl PageInfo {
         }
     }
 
+    /// Whether the page is erased and programmable.
     #[inline]
     pub fn is_free(&self) -> bool {
         self.state == PageState::Free
     }
 
+    /// Whether the page holds current data.
     #[inline]
     pub fn is_valid(&self) -> bool {
         self.state == PageState::Valid
     }
 
+    /// Whether the page's data has been superseded.
     #[inline]
     pub fn is_invalid(&self) -> bool {
         self.state == PageState::Invalid

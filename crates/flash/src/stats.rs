@@ -10,12 +10,16 @@ use crate::Nanos;
 /// Counters split by [`PageKind`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KindCounts {
+    /// Operations on normal data pages.
     pub data: u64,
+    /// Operations on across-page-area pages.
     pub across: u64,
+    /// Operations on mapping (translation) pages.
     pub map: u64,
 }
 
 impl KindCounts {
+    /// Count one operation against `kind`'s bucket.
     #[inline]
     pub fn bump(&mut self, kind: PageKind) {
         match kind {
@@ -31,6 +35,7 @@ impl KindCounts {
         self.data + self.across
     }
 
+    /// All operations regardless of page kind.
     #[inline]
     pub fn total(&self) -> u64 {
         self.data + self.across + self.map
@@ -113,15 +118,20 @@ impl FlashStats {
 /// Distribution of per-block erase counts, for wear-leveling analysis.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct WearHistogram {
+    /// Smallest per-block erase count.
     pub min: u64,
+    /// Largest per-block erase count.
     pub max: u64,
+    /// Mean erase count.
     pub mean: f64,
     /// Population standard deviation.
     pub stddev: f64,
+    /// Blocks the distribution was taken over.
     pub blocks: u64,
 }
 
 impl WearHistogram {
+    /// Summarize a stream of per-block erase counts.
     pub fn from_counts(counts: impl Iterator<Item = u64>) -> Self {
         let mut n = 0u64;
         let mut sum = 0u64;

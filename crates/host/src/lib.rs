@@ -24,6 +24,8 @@
 //! * [`engine`] — the event loop: retire / fill / admit phases over a
 //!   simulated clock.
 
+#![warn(missing_docs)]
+
 pub mod arbiter;
 pub mod engine;
 pub mod initiator;

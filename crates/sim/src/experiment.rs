@@ -73,6 +73,7 @@ pub fn run_on_device_keep(mut ssd: Ssd, trace: &Trace) -> Result<(RunReport, Ssd
         wall_seconds: started.elapsed().as_secs_f64(),
         trace_events: ssd.observer().trace_events_total(),
         qos: None,
+        fleet: None,
     };
     Ok((report, ssd))
 }

@@ -1,0 +1,398 @@
+//! Fleet runs: N sharded devices, one merged manifest.
+//!
+//! The hosted path ([`crate::hosted`]) drives *one* simulated SSD. A
+//! production deployment serving millions of users runs racks of them, so
+//! this module scales the simulation out: the workload's logical sector
+//! space is split into N contiguous ranges by the consistent
+//! range-sharding function ([`aftl_trace::sector_ranges`]), each range is
+//! pinned to its own fully independent simulated device (own flash
+//! array, own FTL, own host engine, own seeded RNG streams), the devices
+//! run concurrently on worker threads, and their results are merged into
+//! a single schema-v5 [`RunReport`].
+//!
+//! Determinism is the design invariant, not an accident:
+//!
+//! * **Sharding** is pure arithmetic on `(span, N)` — every run computes
+//!   identical range boundaries, and a record belongs to exactly one
+//!   device (the one owning its first sector).
+//! * **Seeds** are split per shard: device `i` ages, injects faults and
+//!   paces initiators from streams derived as `seed + i·C` (an odd
+//!   64-bit constant), so devices never share an RNG and shard 0 of a
+//!   1-device fleet reproduces the unsharded seeds exactly.
+//! * **Merging** is a left-to-right fold in shard order over results
+//!   collected in input order, so the merged report is a pure function
+//!   of `(config, trace, spec)` — thread scheduling cannot reorder it.
+//!   Counters sum, latency histograms merge exactly (the PR 1
+//!   bucket-count property), and the fleet's simulated span is the
+//!   *makespan* (max over devices, which run concurrently in simulated
+//!   time).
+//!
+//! A 1-device fleet is bit-identical to [`crate::hosted::run_hosted`] on
+//! every simulated counter — pinned by `tests/fig8_parity.rs`.
+//!
+//! ```
+//! use aftl_core::scheme::SchemeKind;
+//! use aftl_sim::fleet::{run_fleet, FleetSpec};
+//! use aftl_sim::SimConfig;
+//! use aftl_trace::{IoOp, IoRecord, Trace};
+//!
+//! let records = (0..200u64)
+//!     .map(|i| IoRecord {
+//!         at_ns: i * 1_000,
+//!         sector: (i * 37) % 4096,
+//!         sectors: 8,
+//!         op: if i % 3 == 0 { IoOp::Read } else { IoOp::Write },
+//!     })
+//!     .collect();
+//! let trace = Trace::new("doc", records);
+//! let mut config = SimConfig::test_tiny(SchemeKind::Across);
+//! config.track_content = false;
+//!
+//! let report = run_fleet(config, &trace, &FleetSpec::new(4)).unwrap();
+//! let fleet = report.fleet.as_ref().expect("fleet runs carry topology");
+//! assert_eq!(fleet.devices, 4);
+//! assert_eq!(report.requests, 200, "every record lands on exactly one device");
+//! assert_eq!(fleet.per_device.iter().map(|d| d.requests).sum::<u64>(), 200);
+//! ```
+
+use aftl_host::{HostConfig, IssueModel};
+use aftl_trace::{sector_ranges, Trace};
+use rayon::prelude::*;
+
+use crate::config::SimConfig;
+use crate::hosted::{assemble_report, run_device, tenants_from_trace, DeviceRun};
+use crate::report::{DeviceSummary, FleetSection, RunReport};
+
+/// Odd 64-bit constant for deriving per-device seed streams. Distinct
+/// from the per-tenant constant inside `aftl-host`, so device `i` tenant
+/// `j` never collides with device `i+j` tenant 0.
+const DEVICE_SEED_STRIDE: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// Derive the seed for shard `i` from a base seed. Shard 0 keeps the
+/// base unchanged, which is what makes a 1-device fleet reproduce the
+/// unsharded run bit for bit.
+#[inline]
+pub fn device_seed(base: u64, device: usize) -> u64 {
+    base.wrapping_add((device as u64).wrapping_mul(DEVICE_SEED_STRIDE))
+}
+
+/// How to run a fleet: device count plus the per-device host front-end
+/// knobs (every device gets the same front end, with its own derived
+/// seeds).
+///
+/// ```
+/// use aftl_sim::fleet::FleetSpec;
+/// let spec = FleetSpec::new(8);
+/// assert_eq!(spec.devices, 8);
+/// assert_eq!(spec.tenants_per_device, 1);
+/// assert!(!spec.sequential, "devices run on worker threads by default");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of simulated devices to shard across (min 1).
+    pub devices: usize,
+    /// Host front-end knobs; `host.seed` is the fleet base seed.
+    pub host: HostConfig,
+    /// Issue discipline for every tenant on every device.
+    pub issue: IssueModel,
+    /// Submission-queue depth per tenant.
+    pub queue_depth: usize,
+    /// Tenants per device (the device's shard is split round-robin
+    /// among them, exactly as a single-device hosted run would).
+    pub tenants_per_device: usize,
+    /// Per-tenant arbitration weights (index = tenant on each device;
+    /// missing entries default to 1).
+    pub weights: Vec<u32>,
+    /// Run devices one after another on the caller's thread instead of
+    /// in parallel. Results are identical by construction — the flag
+    /// exists so tests can assert exactly that, and to keep profiles
+    /// readable.
+    pub sequential: bool,
+}
+
+impl FleetSpec {
+    /// A closed-loop fleet spec with default host knobs: `devices`
+    /// devices, one tenant each, 8 outstanding IOs, queue depth 32.
+    pub fn new(devices: usize) -> Self {
+        FleetSpec {
+            devices,
+            host: HostConfig::default(),
+            issue: IssueModel::Closed { outstanding: 8 },
+            queue_depth: 32,
+            tenants_per_device: 1,
+            weights: Vec::new(),
+            sequential: false,
+        }
+    }
+}
+
+/// Shard `trace` across `spec.devices` simulated devices by sector
+/// range, drive every device's host engine (in parallel unless
+/// `spec.sequential`), and merge the per-device results into one
+/// schema-v5 [`RunReport`] with a [`FleetSection`] describing the
+/// topology. Each device is built from `config` with its warm-up and
+/// fault seeds re-derived for its shard index.
+///
+/// ```
+/// use aftl_core::scheme::SchemeKind;
+/// use aftl_sim::fleet::{run_fleet, FleetSpec};
+/// use aftl_sim::SimConfig;
+/// use aftl_trace::{IoOp, IoRecord, Trace};
+///
+/// let records = (0..120u64)
+///     .map(|i| IoRecord { at_ns: i * 500, sector: (i * 11) % 2048, sectors: 4, op: IoOp::Write })
+///     .collect();
+/// let trace = Trace::new("doc", records);
+/// let mut config = SimConfig::test_tiny(SchemeKind::Baseline);
+/// config.track_content = false;
+///
+/// // The same fleet, parallel and sequential, merges to identical results.
+/// let par = run_fleet(config.clone(), &trace, &FleetSpec::new(3)).unwrap();
+/// let mut seq_spec = FleetSpec::new(3);
+/// seq_spec.sequential = true;
+/// let seq = run_fleet(config, &trace, &seq_spec).unwrap();
+/// assert_eq!(par.flash.programs.total(), seq.flash.programs.total());
+/// assert_eq!(par.sim_span_ns, seq.sim_span_ns);
+/// assert_eq!(par.qos, seq.qos);
+/// ```
+pub fn run_fleet(
+    config: SimConfig,
+    trace: &Trace,
+    spec: &FleetSpec,
+) -> aftl_flash::Result<RunReport> {
+    assert!(spec.devices >= 1, "fleet needs at least one device");
+    let started = std::time::Instant::now();
+    let n = spec.devices;
+    let span = trace.max_sector_end();
+    let ranges = sector_ranges(span, n);
+
+    // A 1-device fleet takes the exact unsharded path: same trace name,
+    // same seeds, same everything as `run_hosted`.
+    let shards = if n == 1 {
+        vec![trace.clone()]
+    } else {
+        trace.shard_by_ranges(&ranges)
+    };
+
+    let weights: Vec<u32> = (0..spec.tenants_per_device)
+        .map(|i| spec.weights.get(i).copied().unwrap_or(1))
+        .collect();
+
+    // One fully-owned spec per device, so worker threads share nothing.
+    struct DeviceSpec {
+        config: SimConfig,
+        host: HostConfig,
+        shard: Trace,
+    }
+    let specs: Vec<DeviceSpec> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, shard)| {
+            let mut config = config.clone();
+            config.warmup.seed = device_seed(config.warmup.seed, i);
+            config.fault.seed = device_seed(config.fault.seed, i);
+            let mut host = spec.host;
+            host.seed = device_seed(host.seed, i);
+            DeviceSpec {
+                config,
+                host,
+                shard,
+            }
+        })
+        .collect();
+
+    let drive = |d: &DeviceSpec| -> aftl_flash::Result<DeviceRun> {
+        let tenants = tenants_from_trace(
+            &d.shard,
+            spec.tenants_per_device,
+            spec.issue,
+            spec.queue_depth,
+            &weights,
+        );
+        run_device(d.config.clone(), tenants, &d.host)
+    };
+    let runs: aftl_flash::Result<Vec<DeviceRun>> = if spec.sequential {
+        specs.iter().map(drive).collect()
+    } else {
+        specs.par_iter().map(drive).collect()
+    };
+    let runs = runs?;
+
+    let fleet = FleetSection {
+        devices: n as u64,
+        span_sectors: span,
+        base_seed: spec.host.seed,
+        per_device: runs
+            .iter()
+            .zip(&ranges)
+            .enumerate()
+            .map(|(i, (run, range))| DeviceSummary {
+                device: i as u64,
+                range_start: range.start,
+                range_end: range.end,
+                requests: run.requests,
+                sim_span_ns: u128::from(run.span_ns),
+                flash_programs: run.flash.programs.total(),
+                erases: run.flash.erases,
+                warmup_writes: run.warmup.writes,
+            })
+            .collect(),
+    };
+
+    let name = if n == 1 {
+        None // keep the hosted run's own name: bit-parity with run_hosted
+    } else {
+        Some(format!("fleet{n}:{}", trace.name))
+    };
+    Ok(assemble_report(
+        runs,
+        &spec.host,
+        name,
+        Some(fleet),
+        started,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aftl_core::scheme::SchemeKind;
+    use aftl_trace::{IoOp, IoRecord};
+
+    fn tiny_trace(n: u64) -> Trace {
+        let records = (0..n)
+            .map(|i| IoRecord {
+                at_ns: i * 5_000,
+                sector: (i * 7) % 4096,
+                sectors: 4 + (i % 8) as u32,
+                op: if i % 3 == 0 { IoOp::Read } else { IoOp::Write },
+            })
+            .collect();
+        Trace::new("unit", records)
+    }
+
+    fn tiny_config(scheme: SchemeKind) -> SimConfig {
+        let mut config = SimConfig::test_tiny(scheme);
+        config.track_content = false;
+        config
+    }
+
+    /// Compile-time proof that a device crosses thread boundaries — the
+    /// Send-state audit the fleet refactor requires.
+    #[test]
+    fn device_state_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<crate::Ssd>();
+        assert_send::<SimConfig>();
+        assert_send::<aftl_host::TenantConfig>();
+    }
+
+    #[test]
+    fn single_device_fleet_matches_hosted_run_exactly() {
+        let trace = tiny_trace(300);
+        let spec = FleetSpec::new(1);
+        let fleet = run_fleet(tiny_config(SchemeKind::Across), &trace, &spec).unwrap();
+
+        let tenants =
+            crate::hosted::tenants_from_trace(&trace, 1, spec.issue, spec.queue_depth, &[1]);
+        let hosted =
+            crate::hosted::run_hosted(tiny_config(SchemeKind::Across), tenants, &spec.host)
+                .unwrap();
+
+        assert_eq!(
+            fleet.trace, hosted.trace,
+            "1-device fleet keeps the hosted name"
+        );
+        assert_eq!(fleet.requests, hosted.requests);
+        assert_eq!(fleet.sim_span_ns, hosted.sim_span_ns);
+        assert_eq!(
+            serde_json::to_string(&fleet.flash),
+            serde_json::to_string(&hosted.flash)
+        );
+        assert_eq!(
+            serde_json::to_string(&fleet.counters),
+            serde_json::to_string(&hosted.counters)
+        );
+        assert_eq!(fleet.qos, hosted.qos);
+        assert!(fleet.fleet.is_some() && hosted.fleet.is_none());
+    }
+
+    #[test]
+    fn parallel_and_sequential_fleets_merge_identically() {
+        let trace = tiny_trace(400);
+        for scheme in SchemeKind::ALL {
+            let mut spec = FleetSpec::new(3);
+            let par = run_fleet(tiny_config(scheme), &trace, &spec).unwrap();
+            spec.sequential = true;
+            let seq = run_fleet(tiny_config(scheme), &trace, &spec).unwrap();
+            assert_eq!(par.requests, seq.requests);
+            assert_eq!(par.sim_span_ns, seq.sim_span_ns);
+            assert_eq!(par.qos, seq.qos);
+            assert_eq!(par.fleet, seq.fleet);
+            assert_eq!(
+                serde_json::to_string(&par.flash),
+                serde_json::to_string(&seq.flash),
+                "{}: flash deltas must not depend on scheduling",
+                scheme.name()
+            );
+            assert_eq!(
+                serde_json::to_string(&par.latency),
+                serde_json::to_string(&seq.latency)
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_shards_cover_all_requests_without_duplication() {
+        let trace = tiny_trace(500);
+        let report = run_fleet(tiny_config(SchemeKind::Mrsm), &trace, &FleetSpec::new(4)).unwrap();
+        let fleet = report.fleet.unwrap();
+        assert_eq!(fleet.devices, 4);
+        assert_eq!(fleet.per_device.len(), 4);
+        assert_eq!(
+            fleet.per_device.iter().map(|d| d.requests).sum::<u64>(),
+            500,
+            "every record lands on exactly one device"
+        );
+        assert_eq!(report.requests, 500);
+        // Ranges tile [0, span).
+        assert_eq!(fleet.per_device[0].range_start, 0);
+        assert_eq!(
+            fleet.per_device.last().unwrap().range_end,
+            fleet.span_sectors
+        );
+        for w in fleet.per_device.windows(2) {
+            assert_eq!(w[0].range_end, w[1].range_start);
+        }
+        // QoS rows are prefixed per device and all tenants are present.
+        let qos = report.qos.unwrap();
+        assert_eq!(qos.tenants.len(), 4);
+        assert!(qos.tenants[0].name.starts_with("d0/"));
+        assert!(qos.tenants[3].name.starts_with("d3/"));
+    }
+
+    #[test]
+    fn fleet_runs_are_deterministic_for_fixed_seed() {
+        let trace = tiny_trace(250);
+        let run =
+            || run_fleet(tiny_config(SchemeKind::Across), &trace, &FleetSpec::new(3)).unwrap();
+        let (a, b) = (run(), run());
+        assert_eq!(a.qos, b.qos);
+        assert_eq!(a.fleet, b.fleet);
+        assert_eq!(a.sim_span_ns, b.sim_span_ns);
+        assert_eq!(
+            serde_json::to_string(&a.flash),
+            serde_json::to_string(&b.flash)
+        );
+    }
+
+    #[test]
+    fn device_seed_derivation_splits_streams() {
+        assert_eq!(device_seed(42, 0), 42, "shard 0 keeps the base seed");
+        let s: Vec<u64> = (0..8).map(|i| device_seed(42, i)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 8, "derived seeds are pairwise distinct");
+    }
+}

@@ -25,7 +25,7 @@ use crate::metrics::{cache_delta, counters_delta, flash_delta, ClassBreakdown};
 use crate::observe::LatencyHistogram;
 use crate::report::{QosSection, RunReport, TenantQos, SCHEMA_VERSION};
 use crate::ssd::Ssd;
-use crate::warmup;
+use crate::warmup::{self, WarmupStats};
 
 /// [`QueuedDevice`] adapter: the simulated SSD behind the host engine.
 /// Accumulates the same device-side accounting the replay loop keeps
@@ -72,17 +72,45 @@ impl QueuedDevice for SsdDevice {
     }
 }
 
-/// Run the multi-queue host engine over a freshly built, aged device and
-/// collect a schema-v4 [`RunReport`] whose [`QosSection`] carries the
-/// per-tenant picture. Deterministic for a fixed `(config, tenants,
-/// host)` triple — `host.seed` feeds every initiator.
-pub fn run_hosted(
+/// Per-tenant end-to-end accounting, filled by the completion sink. Raw
+/// histograms (not summaries) so fleet aggregation can merge tenants
+/// exactly before condensing.
+pub(crate) struct TenantAcc {
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
+    pub(crate) read_latency: LatencyHistogram,
+    pub(crate) write_latency: LatencyHistogram,
+}
+
+/// The raw, still-mergeable result of driving one device to workload
+/// exhaustion: measured-window deltas, the host-engine outcome, per-tenant
+/// accumulators, and the device itself (for its observer histograms,
+/// scheme footprint and config echo). [`run_hosted`] condenses one of
+/// these into a [`RunReport`]; `crate::fleet` merges `N` of them first.
+pub(crate) struct DeviceRun {
+    pub(crate) ssd: Ssd,
+    pub(crate) warmup: WarmupStats,
+    pub(crate) classes: ClassBreakdown,
+    pub(crate) gc: GcReport,
+    pub(crate) flash: aftl_flash::FlashStats,
+    pub(crate) counters: aftl_core::counters::SchemeCounters,
+    pub(crate) cache: aftl_core::mapping::cache::CacheStats,
+    pub(crate) span_ns: Nanos,
+    pub(crate) tenants: Vec<aftl_host::TenantOutcome>,
+    pub(crate) acc: Vec<TenantAcc>,
+    pub(crate) requests: u64,
+    pub(crate) run_name: String,
+}
+
+/// Build, age and drive one device behind the host engine, returning the
+/// raw [`DeviceRun`]. Deterministic for a fixed `(config, tenants, host)`
+/// triple — `host.seed` feeds every initiator.
+pub(crate) fn run_device(
     config: SimConfig,
     tenants: Vec<TenantConfig>,
     host: &HostConfig,
-) -> Result<RunReport> {
+) -> Result<DeviceRun> {
     assert!(!tenants.is_empty(), "hosted run needs at least one tenant");
-    let started = std::time::Instant::now();
     let mut ssd = Ssd::new(config)?;
     let warm = ssd.config().warmup;
     let warmup = warmup::age(&mut ssd, &warm)?;
@@ -105,13 +133,6 @@ pub fn run_hosted(
         error: None,
     };
 
-    // Per-tenant end-to-end accounting, filled by the completion sink.
-    struct TenantAcc {
-        reads: u64,
-        writes: u64,
-        read_latency: LatencyHistogram,
-        write_latency: LatencyHistogram,
-    }
     let mut acc: Vec<TenantAcc> = tenants
         .iter()
         .map(|_| TenantAcc {
@@ -147,16 +168,51 @@ pub fn run_hosted(
         ssd, classes, gc, ..
     } = device;
 
-    let qos = QosSection {
-        arbitration: host.arbitration.name().to_string(),
-        device_inflight: host.device_inflight.max(1) as u64,
-        host_seed: host.seed,
-        tenants: outcome
-            .tenants
-            .iter()
-            .zip(acc.iter())
-            .map(|(t, a)| TenantQos {
-                name: t.name.clone(),
+    let end = ssd.snapshot();
+    Ok(DeviceRun {
+        warmup,
+        classes,
+        gc,
+        flash: flash_delta(&end.flash, &base.flash),
+        counters: counters_delta(&end.counters, &base.counters),
+        cache: cache_delta(&end.cache, &base.cache),
+        span_ns: outcome.span_ns,
+        tenants: outcome.tenants,
+        acc,
+        requests: total_records,
+        run_name,
+        ssd,
+    })
+}
+
+/// Condense one or more [`DeviceRun`]s into a single [`RunReport`]:
+/// counters, class metrics, GC work and warm-up stats sum; latency
+/// histograms merge exactly (bucket-count addition) before percentiles
+/// are taken; the simulated span is the fleet *makespan* (max over
+/// devices — they run concurrently in simulated time); per-tenant QoS
+/// rows concatenate in device order, prefixed `d<i>/` when more than one
+/// device contributed. The config echo and scheme label come from device
+/// 0, whose derived seeds equal the base seeds. Deterministic: a pure
+/// left-to-right fold over `runs` in device order.
+pub(crate) fn assemble_report(
+    mut runs: Vec<DeviceRun>,
+    host: &HostConfig,
+    trace_name: Option<String>,
+    fleet: Option<crate::report::FleetSection>,
+    started: std::time::Instant,
+) -> RunReport {
+    assert!(!runs.is_empty(), "report needs at least one device run");
+    let single = runs.len() == 1;
+
+    let mut qos_tenants = Vec::new();
+    for (d, run) in runs.iter().enumerate() {
+        for (t, a) in run.tenants.iter().zip(run.acc.iter()) {
+            qos_tenants.push(TenantQos {
+                name: if single {
+                    t.name.clone()
+                } else {
+                    format!("d{d}/{}", t.name)
+                },
                 weight: t.weight,
                 queue_depth: t.queue_depth as u64,
                 issue: t.issue.clone(),
@@ -169,31 +225,81 @@ pub fn run_hosted(
                 max_occupancy: t.queue.max_occupancy,
                 read_latency: a.read_latency.summary(),
                 write_latency: a.write_latency.summary(),
-            })
-            .collect(),
+            });
+        }
+    }
+    let qos = QosSection {
+        arbitration: host.arbitration.name().to_string(),
+        device_inflight: host.device_inflight.max(1) as u64,
+        host_seed: host.seed,
+        tenants: qos_tenants,
     };
 
-    let end = ssd.snapshot();
-    Ok(RunReport {
+    let warmup = WarmupStats::merged(&runs.iter().map(|r| r.warmup).collect::<Vec<_>>());
+    let mut classes = ClassBreakdown::default();
+    let mut gc = GcReport::default();
+    let mut flash = aftl_flash::FlashStats::default();
+    let mut counters = aftl_core::counters::SchemeCounters::default();
+    let mut cache = aftl_core::mapping::cache::CacheStats::default();
+    let mut span_ns: Nanos = 0;
+    let mut requests = 0u64;
+    let mut mapping_table_bytes = 0u64;
+    let mut trace_events = 0u64;
+    for run in &runs {
+        classes.merge(&run.classes);
+        gc.merge(&run.gc);
+        flash.merge(&run.flash);
+        counters.merge(&run.counters);
+        cache.merge(&run.cache);
+        span_ns = span_ns.max(run.span_ns);
+        requests += run.requests;
+        mapping_table_bytes += run.ssd.scheme().mapping_table_bytes();
+        trace_events += run.ssd.observer().trace_events_total();
+    }
+
+    // Merge every device's histograms into device 0's observer, then
+    // condense once — exact by the PR 1 merge property.
+    let (head, rest) = runs.split_at_mut(1);
+    for run in rest.iter() {
+        head[0].ssd.observer_mut().merge(run.ssd.observer());
+    }
+    let head = &runs[0];
+
+    RunReport {
         schema_version: SCHEMA_VERSION,
-        trace: run_name,
-        scheme: ssd.config().scheme,
-        page_bytes: ssd.config().geometry.page_bytes,
-        requests: total_records,
-        config: ssd.config().clone(),
+        trace: trace_name.unwrap_or_else(|| head.run_name.clone()),
+        scheme: head.ssd.config().scheme,
+        page_bytes: head.ssd.config().geometry.page_bytes,
+        requests,
+        config: head.ssd.config().clone(),
         warmup,
         classes,
-        latency: ssd.observer().breakdown(),
-        flash: flash_delta(&end.flash, &base.flash),
-        counters: counters_delta(&end.counters, &base.counters),
-        cache: cache_delta(&end.cache, &base.cache),
+        latency: head.ssd.observer().breakdown(),
+        flash,
+        counters,
+        cache,
         gc,
-        mapping_table_bytes: ssd.scheme().mapping_table_bytes(),
-        sim_span_ns: u128::from(outcome.span_ns),
+        mapping_table_bytes,
+        sim_span_ns: u128::from(span_ns),
         wall_seconds: started.elapsed().as_secs_f64(),
-        trace_events: ssd.observer().trace_events_total(),
+        trace_events,
         qos: Some(qos),
-    })
+        fleet,
+    }
+}
+
+/// Run the multi-queue host engine over a freshly built, aged device and
+/// collect a schema-v5 [`RunReport`] whose [`QosSection`] carries the
+/// per-tenant picture. Deterministic for a fixed `(config, tenants,
+/// host)` triple — `host.seed` feeds every initiator.
+pub fn run_hosted(
+    config: SimConfig,
+    tenants: Vec<TenantConfig>,
+    host: &HostConfig,
+) -> Result<RunReport> {
+    let started = std::time::Instant::now();
+    let run = run_device(config, tenants, host)?;
+    Ok(assemble_report(vec![run], host, None, None, started))
 }
 
 /// Split `trace` into `n` round-robin shards and dress each as a tenant
@@ -249,7 +355,7 @@ mod tests {
     }
 
     #[test]
-    fn hosted_run_emits_v4_manifest_with_qos() {
+    fn hosted_run_emits_current_manifest_with_qos() {
         let trace = tiny_trace(300);
         let tenants = tenants_from_trace(
             &trace,
@@ -265,7 +371,7 @@ mod tests {
         };
         let report = run_hosted(tiny_config(SchemeKind::Across), tenants, &host).unwrap();
 
-        assert_eq!(report.schema_version, 4);
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
         assert_eq!(report.requests, 300);
         let qos = report.qos.as_ref().expect("hosted run carries QoS");
         assert_eq!(qos.arbitration, "wrr");

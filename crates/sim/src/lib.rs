@@ -19,6 +19,9 @@
 //!   front end (per-tenant submission queues, RR/WRR arbitration,
 //!   backpressure) driving the device, with per-tenant QoS in the
 //!   manifest,
+//! * [`fleet`] — fleet runs: the workload range-sharded across N
+//!   independent simulated devices driven in parallel, merged
+//!   deterministically into one manifest,
 //! * [`observe`] — latency histograms per op kind and optional structured
 //!   event tracing (JSONL),
 //! * [`report`] — the [`RunReport`] run manifest: one self-describing JSON
@@ -30,6 +33,7 @@
 
 pub mod config;
 pub mod experiment;
+pub mod fleet;
 pub mod hosted;
 pub mod metrics;
 pub mod observe;
@@ -40,9 +44,10 @@ pub mod warmup;
 
 pub use config::{ObserveConfig, SimConfig};
 pub use experiment::{run_comparison, run_single, ComparisonReport};
+pub use fleet::{run_fleet, FleetSpec};
 pub use hosted::{run_hosted, tenants_from_trace};
 pub use metrics::ClassMetrics;
 pub use observe::{LatencyBreakdown, LatencyHistogram, Observer, OpKind};
-pub use report::{QosSection, RunReport, TenantQos};
+pub use report::{DeviceSummary, FleetSection, QosSection, RunReport, TenantQos};
 pub use ssd::Ssd;
 pub use warmup::WarmupStats;

@@ -109,6 +109,15 @@ impl ClassBreakdown {
         m.merge(&self.normal_writes);
         m
     }
+
+    /// Accumulate another breakdown into this one, class by class
+    /// (fleet-level aggregation across devices).
+    pub fn merge(&mut self, o: &ClassBreakdown) {
+        self.across_reads.merge(&o.across_reads);
+        self.normal_reads.merge(&o.normal_reads);
+        self.across_writes.merge(&o.across_writes);
+        self.normal_writes.merge(&o.normal_writes);
+    }
 }
 
 /// Snapshot of cumulative stats, for before/after deltas around the

@@ -323,6 +323,23 @@ impl Observer {
         }
     }
 
+    /// Fold another observer's histograms into this one, kind by kind.
+    ///
+    /// This is the fleet aggregation path: per-device histograms merge
+    /// exactly (bucket-count addition, the PR 1 exact-merge property), so
+    /// fleet percentiles are identical to recording every sample into one
+    /// histogram. Event rings are deliberately *not* merged — a ring is a
+    /// bounded per-device tail, and interleaving tails from devices with
+    /// different clocks would fabricate an ordering that never existed;
+    /// fleet reports sum only the offered-event totals.
+    pub fn merge(&mut self, other: &Observer) {
+        if let (Some(mine), Some(theirs)) = (&mut self.hists, &other.hists) {
+            for (h, o) in mine.iter_mut().zip(theirs.iter()) {
+                h.merge(o);
+            }
+        }
+    }
+
     /// The event ring, when tracing is enabled.
     pub fn events(&self) -> Option<&EventRing> {
         self.ring.as_ref()

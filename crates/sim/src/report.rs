@@ -32,11 +32,12 @@ use crate::warmup::WarmupStats;
 /// `read_retry`/`reprogram` latency buckets. v4 added the multi-queue
 /// host front end: the optional [`QosSection`] with per-tenant
 /// end-to-end latency percentiles and backpressure counters (`null` for
-/// plain replay runs). Every addition carries a serde default, so v2 and
-/// v3 manifests still deserialize (see the
-/// `v2_manifest_still_deserializes` / `v3_manifest_still_deserializes`
-/// tests).
-pub const SCHEMA_VERSION: u32 = 4;
+/// plain replay runs). v5 added fleet runs: the optional [`FleetSection`]
+/// describing the device shards a merged manifest aggregates (`null`
+/// for single-device runs). Every addition carries a serde default, so
+/// v2–v4 manifests still deserialize (see the
+/// `v*_manifest_still_deserializes` tests).
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// The complete result of replaying one trace on one scheme — the run
 /// manifest.
@@ -81,6 +82,46 @@ pub struct RunReport {
     /// runs, `null` for plain replay.
     #[serde(default)]
     pub qos: Option<QosSection>,
+    /// Fleet topology and per-device summaries — present only for
+    /// sharded multi-device runs, `null` otherwise.
+    #[serde(default)]
+    pub fleet: Option<FleetSection>,
+}
+
+/// How a fleet run sharded the workload and what each device contributed.
+/// The enclosing [`RunReport`] carries the *merged* measurements; this
+/// section records the topology so a merged manifest stays auditable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSection {
+    /// Number of simulated devices the workload was sharded across.
+    pub devices: u64,
+    /// Sector span the range sharding covered (`[0, span)`).
+    pub span_sectors: u64,
+    /// Base seed the per-device host/warm-up/fault streams derive from.
+    pub base_seed: u64,
+    /// Per-device results, in shard order.
+    pub per_device: Vec<DeviceSummary>,
+}
+
+/// One device's slice of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSummary {
+    /// Shard index (also the seed-derivation index).
+    pub device: u64,
+    /// First sector of the shard's range (inclusive).
+    pub range_start: u64,
+    /// One past the last sector of the shard's range (exclusive).
+    pub range_end: u64,
+    /// Requests the shard routed to this device.
+    pub requests: u64,
+    /// The device's simulated span (its last completion).
+    pub sim_span_ns: u128,
+    /// Flash programs the device issued in the measured window.
+    pub flash_programs: u64,
+    /// Block erases the device issued in the measured window.
+    pub erases: u64,
+    /// Warm-up writes spent aging this device.
+    pub warmup_writes: u64,
 }
 
 /// Per-tenant QoS results of a hosted (multi-queue) run.
@@ -262,10 +303,11 @@ mod tests {
         // all carry serde defaults, so deserialization must still succeed.
         use serde::Deserialize;
         use serde::Value;
-        // v3 additions plus the v4 `qos` section: a v2 manifest predates
-        // them all.
-        const V3_FIELDS: [&str; 13] = [
+        // v3 additions plus the v4 `qos` and v5 `fleet` sections: a v2
+        // manifest predates them all.
+        const V3_FIELDS: [&str; 14] = [
             "qos",
+            "fleet",
             "fault",
             "read_faults",
             "program_faults",
@@ -312,8 +354,8 @@ mod tests {
     #[test]
     fn v3_manifest_still_deserializes() {
         // Simulate a schema-v3 manifest (pre-host-interface) by dropping
-        // the v4-only `qos` section; it carries a serde default, so the
-        // manifest must still load, with `qos` defaulting to `None`.
+        // the v4-only `qos` and v5-only `fleet` sections; both carry serde
+        // defaults, so the manifest must still load with `None` for each.
         use serde::Deserialize;
         use serde::Value;
 
@@ -322,7 +364,7 @@ mod tests {
         let report = run_single_with(config, &tiny_trace()).unwrap();
         let mut v = serde_json::to_value(&report);
         if let Value::Map(entries) = &mut v {
-            entries.retain(|(k, _)| k != "qos");
+            entries.retain(|(k, _)| k != "qos" && k != "fleet");
             for (k, val) in entries.iter_mut() {
                 if k == "schema_version" {
                     *val = Value::U128(3);
@@ -333,6 +375,36 @@ mod tests {
         assert_eq!(back.schema_version, 3);
         assert_eq!(back.requests, report.requests);
         assert!(back.qos.is_none(), "qos defaults to None for v3 manifests");
+        assert!(back.fleet.is_none(), "fleet defaults to None too");
+    }
+
+    #[test]
+    fn v4_manifest_still_deserializes() {
+        // Simulate a schema-v4 manifest (pre-fleet) by dropping only the
+        // v5 `fleet` section while keeping `qos`; the fleet field carries
+        // a serde default, so the manifest must still load.
+        use serde::Deserialize;
+        use serde::Value;
+
+        let mut config = SimConfig::test_tiny(SchemeKind::Across);
+        config.track_content = false;
+        let report = run_single_with(config, &tiny_trace()).unwrap();
+        let mut v = serde_json::to_value(&report);
+        if let Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "fleet");
+            for (k, val) in entries.iter_mut() {
+                if k == "schema_version" {
+                    *val = Value::U128(4);
+                }
+            }
+        }
+        let back = RunReport::from_value(&v).expect("v4 manifest deserializes");
+        assert_eq!(back.schema_version, 4);
+        assert_eq!(back.requests, report.requests);
+        assert!(
+            back.fleet.is_none(),
+            "fleet defaults to None for v4 manifests"
+        );
     }
 
     #[test]

@@ -119,6 +119,13 @@ impl Ssd {
         &self.observer
     }
 
+    /// Mutable access to the observer — fleet aggregation merges sibling
+    /// devices' histograms into one observer before condensing.
+    #[inline]
+    pub fn observer_mut(&mut self) -> &mut Observer {
+        &mut self.observer
+    }
+
     /// Sectors per page of this device.
     #[inline]
     pub fn spp(&self) -> u32 {

@@ -28,6 +28,25 @@ pub struct WarmupStats {
     pub valid_fraction: f64,
 }
 
+impl WarmupStats {
+    /// Combine per-device aging stats into the fleet view: page and write
+    /// counts sum; the achieved fractions are averaged over the devices
+    /// (fleet devices share one geometry, so the unweighted mean is the
+    /// fleet-wide fraction).
+    pub fn merged(runs: &[WarmupStats]) -> WarmupStats {
+        if runs.is_empty() {
+            return WarmupStats::default();
+        }
+        let n = runs.len() as f64;
+        WarmupStats {
+            footprint_pages: runs.iter().map(|w| w.footprint_pages).sum(),
+            writes: runs.iter().map(|w| w.writes).sum(),
+            used_fraction: runs.iter().map(|w| w.used_fraction).sum::<f64>() / n,
+            valid_fraction: runs.iter().map(|w| w.valid_fraction).sum::<f64>() / n,
+        }
+    }
+}
+
 /// Age `ssd` per `cfg` and report what was done. Calls
 /// [`Ssd::finish_warmup`] at the end so the measured window starts clean.
 pub fn age(ssd: &mut Ssd, cfg: &WarmupConfig) -> Result<WarmupStats> {

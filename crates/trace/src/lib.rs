@@ -16,6 +16,8 @@
 //! * [`arrival`] — the [`ArrivalClock`] that rescales recorded
 //!   inter-arrival times for open-loop (rate-driven) replay.
 
+#![warn(missing_docs)]
+
 pub mod arrival;
 pub mod parser;
 pub mod record;
@@ -23,6 +25,6 @@ pub mod stats;
 pub mod synth;
 
 pub use arrival::ArrivalClock;
-pub use record::{IoOp, IoRecord, Trace};
+pub use record::{sector_ranges, IoOp, IoRecord, SectorRange, Trace};
 pub use stats::TraceStats;
 pub use synth::vdi::{LunPreset, VdiSpec, VdiWorkload};

@@ -15,7 +15,9 @@ use crate::record::IoRecord;
 /// Error for trace parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
+    /// 1-based line number the error was found at.
     pub line: usize,
+    /// What went wrong on that line.
     pub message: String,
 }
 

@@ -5,7 +5,9 @@ use serde::{Deserialize, Serialize};
 /// Request direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum IoOp {
+    /// Host read.
     Read,
+    /// Host write.
     Write,
 }
 
@@ -19,6 +21,7 @@ pub struct IoRecord {
     pub sector: u64,
     /// Length in sectors; always ≥ 1.
     pub sectors: u32,
+    /// Read or write.
     pub op: IoOp,
 }
 
@@ -73,11 +76,14 @@ impl IoRecord {
 /// A named sequence of records.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
+    /// Workload name (file stem for parsed traces, preset id for synthetic).
     pub name: String,
+    /// Requests in arrival order.
     pub records: Vec<IoRecord>,
 }
 
 impl Trace {
+    /// A trace from a name and a record list.
     pub fn new(name: impl Into<String>, records: Vec<IoRecord>) -> Self {
         Trace {
             name: name.into(),
@@ -85,11 +91,13 @@ impl Trace {
         }
     }
 
+    /// Number of requests.
     #[inline]
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
+    /// Whether the trace has no requests.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
@@ -114,6 +122,44 @@ impl Trace {
         }
     }
 
+    /// Split the trace by sector range for a fleet of `ranges.len()`
+    /// devices: record `r` goes to the shard whose [`SectorRange`]
+    /// contains `r.sector` (a record is never split — it belongs wholly
+    /// to the device owning its first sector). Timestamps and per-shard
+    /// record order are preserved, so each device replays its slice of
+    /// the address space with the original arrival pacing.
+    ///
+    /// Records starting past the last range (possible only if `ranges`
+    /// does not cover the trace span) fall into the last shard rather
+    /// than being dropped.
+    ///
+    /// ```
+    /// use aftl_trace::{sector_ranges, IoOp, IoRecord, Trace};
+    /// let records = (0..100u64)
+    ///     .map(|i| IoRecord { at_ns: i, sector: i * 8, sectors: 8, op: IoOp::Write })
+    ///     .collect();
+    /// let trace = Trace::new("t", records);
+    /// let shards = trace.shard_by_ranges(&sector_ranges(trace.max_sector_end(), 4));
+    /// assert_eq!(shards.iter().map(Trace::len).sum::<usize>(), 100);
+    /// assert!(shards.iter().all(|s| s.len() == 25), "uniform trace splits evenly");
+    /// ```
+    pub fn shard_by_ranges(&self, ranges: &[SectorRange]) -> Vec<Trace> {
+        assert!(!ranges.is_empty(), "cannot shard into zero ranges");
+        let mut shards: Vec<Trace> = (0..ranges.len())
+            .map(|i| Trace {
+                name: format!("{}.r{i}", self.name),
+                records: Vec::new(),
+            })
+            .collect();
+        for r in &self.records {
+            let i = ranges
+                .partition_point(|range| range.end <= r.sector)
+                .min(ranges.len() - 1);
+            shards[i].records.push(*r);
+        }
+        shards
+    }
+
     /// Split the trace round-robin into `n` shards (record `i` goes to
     /// shard `i % n`), preserving timestamps and per-shard record order.
     /// This is how one trace feeds several independent initiators: each
@@ -132,6 +178,70 @@ impl Trace {
         }
         shards
     }
+}
+
+/// One contiguous half-open sector range `[start, end)` — the unit of
+/// fleet range sharding: each simulated device owns one range of the
+/// logical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SectorRange {
+    /// First sector of the range (inclusive).
+    pub start: u64,
+    /// One past the last sector of the range (exclusive).
+    pub end: u64,
+}
+
+impl SectorRange {
+    /// Whether `sector` falls inside the range.
+    #[inline]
+    pub fn contains(&self, sector: u64) -> bool {
+        self.start <= sector && sector < self.end
+    }
+
+    /// Number of sectors the range covers.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range covers no sectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The consistent range-sharding function: split `[0, span)` sectors into
+/// `n` contiguous [`SectorRange`]s that tile the space exactly — no gaps,
+/// no overlap, widths differing by at most one sector (the remainder goes
+/// to the leading ranges). Pure arithmetic on `(span, n)`, so every
+/// participant computes identical boundaries.
+///
+/// ```
+/// use aftl_trace::sector_ranges;
+/// let ranges = sector_ranges(1000, 3);
+/// assert_eq!(ranges.len(), 3);
+/// assert_eq!(ranges[0].start, 0);
+/// assert_eq!(ranges.last().unwrap().end, 1000);
+/// // Exact tiling: each boundary is the next range's start.
+/// assert!(ranges.windows(2).all(|w| w[0].end == w[1].start));
+/// ```
+pub fn sector_ranges(span: u64, n: usize) -> Vec<SectorRange> {
+    assert!(n > 0, "cannot shard into zero ranges");
+    let n64 = n as u64;
+    let base = span / n64;
+    let rem = span % n64;
+    let mut ranges = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n64 {
+        let width = base + u64::from(i < rem);
+        ranges.push(SectorRange {
+            start,
+            end: start + width,
+        });
+        start += width;
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -253,5 +363,65 @@ mod tests {
         for s in &shards {
             assert!(s.records.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
         }
+    }
+
+    #[test]
+    fn sector_ranges_tile_the_space_exactly() {
+        // Coverage with no gaps and no overlap, across even and ragged
+        // splits, including span < n (trailing empty ranges).
+        for (span, n) in [(1000u64, 4usize), (1001, 4), (7, 3), (3, 8), (1, 1)] {
+            let ranges = sector_ranges(span, n);
+            assert_eq!(ranges.len(), n, "span={span} n={n}");
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, span);
+            assert!(
+                ranges.windows(2).all(|w| w[0].end == w[1].start),
+                "span={span} n={n}: adjacent ranges must abut"
+            );
+            assert_eq!(ranges.iter().map(SectorRange::len).sum::<u64>(), span);
+            let (min, max) = ranges.iter().fold((u64::MAX, 0), |(lo, hi), r| {
+                (lo.min(r.len()), hi.max(r.len()))
+            });
+            assert!(max - min <= 1, "span={span} n={n}: widths differ by ≤ 1");
+            // Every sector belongs to exactly one range.
+            for s in [0, span / 2, span.saturating_sub(1)] {
+                if span > 0 {
+                    assert_eq!(ranges.iter().filter(|r| r.contains(s)).count(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_by_ranges_routes_by_start_sector() {
+        let records: Vec<IoRecord> = (0..10)
+            .map(|i| IoRecord {
+                at_ns: i * 10,
+                sector: i * 100,
+                sectors: 8,
+                op: IoOp::Write,
+            })
+            .collect();
+        let t = Trace::new("w", records);
+        let ranges = sector_ranges(t.max_sector_end(), 2);
+        let shards = t.shard_by_ranges(&ranges);
+        assert_eq!(shards[0].name, "w.r0");
+        assert_eq!(shards.iter().map(Trace::len).sum::<usize>(), 10);
+        for (shard, range) in shards.iter().zip(&ranges) {
+            assert!(shard.records.iter().all(|r| range.contains(r.sector)));
+            assert!(shard.records.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        }
+        // A record starting past the covered span falls into the last shard.
+        let stray = Trace::new(
+            "s",
+            vec![IoRecord {
+                at_ns: 0,
+                sector: 10_000,
+                sectors: 8,
+                op: IoOp::Read,
+            }],
+        );
+        let shards = stray.shard_by_ranges(&ranges);
+        assert_eq!(shards[1].len(), 1);
     }
 }

@@ -8,19 +8,27 @@ use crate::record::{IoOp, IoRecord};
 /// Summary statistics for one trace at a given page size.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TraceStats {
+    /// Total requests.
     pub requests: u64,
+    /// Read requests.
     pub reads: u64,
+    /// Write requests.
     pub writes: u64,
+    /// Sectors read.
     pub read_sectors: u64,
+    /// Sectors written.
     pub write_sectors: u64,
     /// Requests satisfying the across-page predicate at this page size.
     pub across_requests: u64,
+    /// Across-page reads.
     pub across_reads: u64,
+    /// Across-page writes.
     pub across_writes: u64,
     /// Requests not page-aligned at this page size.
     pub unaligned_requests: u64,
     /// Page size the across/unaligned columns were computed for.
     pub page_bytes: u32,
+    /// Host sector size the trace is expressed in.
     pub sector_bytes: u32,
 }
 

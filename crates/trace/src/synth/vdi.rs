@@ -41,6 +41,7 @@ pub type SizeWeight = (u32, f64);
 /// Full parameter set for one synthetic LUN.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VdiSpec {
+    /// Trace name the generated workload carries.
     pub name: String,
     /// Number of requests to generate.
     pub requests: u64,
@@ -196,15 +197,22 @@ pub fn mixture_for_mean(mean_kib: f64) -> Vec<SizeWeight> {
 /// The paper's six evaluation traces (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum LunPreset {
+    /// Table 2 row 1 (highest across-page ratio).
     Lun1,
+    /// Table 2 row 2.
     Lun2,
+    /// Table 2 row 3.
     Lun3,
+    /// Table 2 row 4.
     Lun4,
+    /// Table 2 row 5.
     Lun5,
+    /// Table 2 row 6 (smallest trace).
     Lun6,
 }
 
 impl LunPreset {
+    /// All six presets in Table 2 order.
     pub const ALL: [LunPreset; 6] = [
         LunPreset::Lun1,
         LunPreset::Lun2,
@@ -214,6 +222,7 @@ impl LunPreset {
         LunPreset::Lun6,
     ];
 
+    /// The preset's short label ("lun1"…"lun6").
     pub fn name(self) -> &'static str {
         match self {
             LunPreset::Lun1 => "lun1",
@@ -287,6 +296,7 @@ pub struct VdiWorkload {
 }
 
 impl VdiWorkload {
+    /// A generator for `spec`; panics on a degenerate parameter set.
     pub fn new(spec: VdiSpec) -> Self {
         assert!(spec.regions > 0, "need at least one region");
         assert!(!spec.size_weights.is_empty(), "need a size mixture");
@@ -294,6 +304,7 @@ impl VdiWorkload {
         VdiWorkload { spec }
     }
 
+    /// The parameter set this generator was built with.
     pub fn spec(&self) -> &VdiSpec {
         &self.spec
     }

@@ -37,11 +37,13 @@ impl Zipf {
     }
 
     /// Number of ranks.
+    /// Number of ranks in the distribution.
     #[inline]
     pub fn len(&self) -> usize {
         self.cdf.len()
     }
 
+    /// Always false: construction requires at least one rank.
     #[inline]
     pub fn is_empty(&self) -> bool {
         false // construction requires n > 0

@@ -17,6 +17,7 @@
 use aftl_bench::replay::{self, ReplayDigest};
 use aftl_core::scheme::SchemeKind;
 use aftl_host::{Arbitration, HostConfig, IssueModel};
+use aftl_sim::fleet::{run_fleet, FleetSpec};
 use aftl_sim::hosted::{run_hosted, tenants_from_trace};
 
 const GOLDEN_PATH: &str = "../../tests/golden/fig8_small_digest.json";
@@ -105,6 +106,64 @@ fn hosted_single_tenant_matches_replay_flash_side() {
                 flash_side(golden[i].clone()),
                 hosted,
                 "{}: hosted run diverged from the pre-optimization golden",
+                scheme.name()
+            );
+        }
+    }
+}
+
+/// A 1-device fleet is the hosted run — not approximately: the unsharded
+/// trace takes the same path with the same seeds, so every digest field
+/// (latency sums and simulated span included) must be bit-identical, and
+/// therefore match the pre-optimization golden on the flash side too.
+#[test]
+fn fleet_single_device_matches_hosted_run_bit_for_bit() {
+    let trace = replay::fig8_small_trace(replay::FIG8_SMALL_SCALE);
+    let host = HostConfig {
+        arbitration: Arbitration::RoundRobin,
+        device_inflight: 8,
+        seed: 42,
+    };
+    let spec = FleetSpec {
+        devices: 1,
+        host,
+        issue: IssueModel::Closed { outstanding: 8 },
+        queue_depth: 32,
+        tenants_per_device: 1,
+        weights: vec![1],
+        sequential: false,
+    };
+
+    let golden: Option<Vec<ReplayDigest>> = std::fs::read_to_string(GOLDEN_PATH)
+        .ok()
+        .map(|text| serde_json::from_str(&text).expect("golden digest parses"));
+
+    for (i, &scheme) in SchemeKind::ALL.iter().enumerate() {
+        let fleet_report = run_fleet(replay::fig8_small_config(scheme), &trace, &spec)
+            .expect("fleet fig8-small run succeeds");
+        let tenants =
+            tenants_from_trace(&trace, 1, IssueModel::Closed { outstanding: 8 }, 32, &[1]);
+        let hosted_report = run_hosted(replay::fig8_small_config(scheme), tenants, &host)
+            .expect("hosted fig8-small run succeeds");
+
+        assert_eq!(
+            fleet_report.trace, hosted_report.trace,
+            "1-device fleet keeps the hosted run name"
+        );
+        assert_eq!(
+            ReplayDigest::of(&fleet_report),
+            ReplayDigest::of(&hosted_report),
+            "{}: 1-device fleet diverged from the hosted run",
+            scheme.name()
+        );
+        assert_eq!(fleet_report.qos, hosted_report.qos);
+        if let Some(golden) = &golden {
+            let mut fleet_digest = flash_side(ReplayDigest::of(&fleet_report));
+            fleet_digest.scheme = golden[i].scheme.clone();
+            assert_eq!(
+                flash_side(golden[i].clone()),
+                fleet_digest,
+                "{}: 1-device fleet diverged from the pre-optimization golden",
                 scheme.name()
             );
         }

@@ -1,0 +1,135 @@
+//! Fleet-merge properties: the parallel fleet path must be a pure
+//! function of `(config, trace, spec)` — identical to the sequential
+//! single-thread merge for any shard count and seed, with the range
+//! sharding covering the LPN space exactly (no gaps, no overlap, no
+//! record lost or duplicated).
+
+use aftl_core::scheme::SchemeKind;
+use aftl_sim::fleet::{run_fleet, FleetSpec};
+use aftl_sim::SimConfig;
+use aftl_trace::{sector_ranges, IoOp, IoRecord, Trace};
+use proptest::prelude::*;
+
+fn tiny_config(scheme: SchemeKind) -> SimConfig {
+    let mut config = SimConfig::test_tiny(scheme);
+    config.track_content = false;
+    config
+}
+
+/// Deterministic pseudo-random trace from a seed (splitmix64 streams) —
+/// proptest supplies the seed, the generator keeps the records valid.
+fn synth_trace(seed: u64, len: usize) -> Trace {
+    let mut s = seed;
+    let mut next = move || {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let records = (0..len)
+        .map(|i| {
+            let r = next();
+            IoRecord {
+                at_ns: (i as u64) * 2_000,
+                sector: r % 4096,
+                sectors: 1 + (r >> 32) as u32 % 16,
+                op: if r % 4 == 0 { IoOp::Read } else { IoOp::Write },
+            }
+        })
+        .collect();
+    Trace::new("prop", records)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The hard invariant of the fleet layer: for random shard counts,
+    /// seeds and workloads, running the devices on worker threads and
+    /// merging must equal running them one-by-one on this thread and
+    /// merging — on every histogram, counter and QoS row.
+    #[test]
+    fn parallel_fleet_equals_sequential_merge(
+        (devices, seed, trace_seed, len) in (
+            1usize..=5,
+            any::<u64>(),
+            any::<u64>(),
+            50usize..250,
+        )
+    ) {
+        let trace = synth_trace(trace_seed, len);
+        let mut spec = FleetSpec::new(devices);
+        spec.host.seed = seed;
+
+        let par = run_fleet(tiny_config(SchemeKind::Across), &trace, &spec).unwrap();
+        spec.sequential = true;
+        let seq = run_fleet(tiny_config(SchemeKind::Across), &trace, &spec).unwrap();
+
+        prop_assert_eq!(par.requests, seq.requests);
+        prop_assert_eq!(par.sim_span_ns, seq.sim_span_ns);
+        prop_assert_eq!(&par.qos, &seq.qos);
+        prop_assert_eq!(&par.fleet, &seq.fleet);
+        prop_assert_eq!(
+            serde_json::to_string(&par.flash),
+            serde_json::to_string(&seq.flash)
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&par.counters),
+            serde_json::to_string(&seq.counters)
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&par.latency),
+            serde_json::to_string(&seq.latency)
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&par.classes),
+            serde_json::to_string(&seq.classes)
+        );
+    }
+
+    /// Consistent range sharding covers the sector space exactly: ranges
+    /// tile `[0, span)` with no gap or overlap, and every trace record
+    /// lands in exactly one shard.
+    #[test]
+    fn range_sharding_covers_lpn_space(
+        (span, n, trace_seed) in (
+            1u64..1_000_000,
+            1usize..=32,
+            any::<u64>(),
+        )
+    ) {
+        let ranges = sector_ranges(span, n);
+        prop_assert_eq!(ranges.len(), n);
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges[ranges.len() - 1].end, span);
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        // Balanced: shard lengths differ by at most one sector.
+        let lens: Vec<u64> = ranges.iter().map(|r| r.len()).collect();
+        let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "lens {:?}", lens);
+        prop_assert_eq!(lens.iter().sum::<u64>(), span);
+
+        // Every record routes to exactly one shard; totals conserved.
+        let trace = synth_trace(trace_seed, 200);
+        let shards = trace.shard_by_ranges(&ranges);
+        prop_assert_eq!(shards.len(), n);
+        prop_assert_eq!(
+            shards.iter().map(|s| s.records.len()).sum::<usize>(),
+            trace.records.len()
+        );
+        for (shard, range) in shards.iter().zip(&ranges) {
+            for rec in &shard.records {
+                // Records route by their *start* sector; strays beyond the
+                // span land in the last shard by construction.
+                if range.end < span {
+                    prop_assert!(rec.sector < range.end);
+                }
+                if range.start > 0 {
+                    prop_assert!(rec.sector >= range.start);
+                }
+            }
+        }
+    }
+}
