@@ -67,7 +67,7 @@ cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme across --preset lun1 --scale 0.0014 \
     --queues 2 --queue-depth 16 --arbitration wrr --tenant-weights 3,1 \
     --json "$host_smoke" >/dev/null
-grep -q '"schema_version": 5' "$host_smoke" || { echo "hosted manifest is not schema v5"; exit 1; }
+grep -q '"schema_version": 6' "$host_smoke" || { echo "hosted manifest is not schema v6"; exit 1; }
 grep -q '"arbitration": "wrr"' "$host_smoke" || { echo "hosted manifest lost arbitration"; exit 1; }
 for tenant in '"tenant0"' '"tenant1"'; do
     grep -q "$tenant" "$host_smoke" || { echo "hosted manifest missing QoS for $tenant"; exit 1; }
@@ -85,14 +85,14 @@ for scheme in '"FTL"' '"MRSM"' '"Across-FTL"'; do
 done
 
 say "fleet smoke (2-device sharded run + N=1 parity)"
-# A 2-device fleet run must complete, emit a schema-v5 manifest whose
+# A 2-device fleet run must complete, emit a schema-v6 manifest whose
 # fleet section carries both devices, and the 1-device fleet must stay
 # bit-identical to the hosted run (golden-digest parity test).
 fleet_smoke=target/ci_fleet_smoke.json
 cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme across --preset lun1 --scale 0.0014 \
     --devices 2 --json "$fleet_smoke" >/dev/null
-grep -q '"schema_version": 5' "$fleet_smoke" || { echo "fleet manifest is not schema v5"; exit 1; }
+grep -q '"schema_version": 6' "$fleet_smoke" || { echo "fleet manifest is not schema v6"; exit 1; }
 grep -q '"devices": 2' "$fleet_smoke" || { echo "fleet manifest lost its topology section"; exit 1; }
 grep -q '"d0/tenant0"' "$fleet_smoke" || { echo "fleet manifest missing per-device QoS rows"; exit 1; }
 cargo test --release -q -p aftl-integration --test fig8_parity \
@@ -109,6 +109,22 @@ grep -q '"schema_version": 1' "$fleet_bench" || { echo "fleet bench manifest has
 for scheme in '"FTL"' '"MRSM"' '"Across-FTL"'; do
     grep -q "$scheme" "$fleet_bench" || { echo "fleet bench manifest missing scheme $scheme"; exit 1; }
 done
+
+say "gc tail bench smoke (BENCH_gc manifest)"
+# The preemptible-vs-atomic GC tail bench must run end to end at smoke
+# scale and emit a schema-valid BENCH_gc manifest. The p99.9 gate itself
+# only applies at full scale; the smoke asserts the preemptible arm
+# actually preempted and both arms ran GC episodes.
+gc_bench=$PWD/target/ci_gc_bench.json
+rm -f "$gc_bench"
+cargo bench -q -p aftl-bench --bench gc_tail -- \
+    --test --json "$gc_bench" >/dev/null
+[ -s "$gc_bench" ] || { echo "gc tail bench smoke wrote no manifest"; exit 1; }
+grep -q '"schema_version": 1' "$gc_bench" || { echo "gc bench manifest has wrong schema_version"; exit 1; }
+for scheme in '"FTL"' '"MRSM"' '"Across-FTL"'; do
+    grep -q "$scheme" "$gc_bench" || { echo "gc bench manifest missing scheme $scheme"; exit 1; }
+done
+grep -q '"preempt_episodes"' "$gc_bench" || { echo "gc bench manifest missing episode counters"; exit 1; }
 
 say "bench smoke (replay manifest)"
 # The tracked replay bench must run end to end at smoke scale and emit a

@@ -1,0 +1,125 @@
+//! GC tail latency: bursty open-loop writes on a near-full device,
+//! preemptible vs. atomic-greedy GC on all three schemes — the
+//! **tracked** tail-latency benchmark behind `BENCH_gc.json`.
+//!
+//! Custom main (the `[[bench]]` entry sets `harness = false`) so it can
+//! emit the machine-readable manifest. Modes mirror `host_throughput`:
+//!
+//! ```text
+//! cargo bench -p aftl-bench --bench gc_tail          # measure + print
+//!   -- --json BENCH_gc.json                          # also emit manifest
+//!      --scale 0.5                                   # workload knob
+//!      --test                                        # CI smoke: tiny scale, gate off
+//! ```
+//!
+//! Unlike the throughput benches there is no wall-clock timing and no
+//! prior-baseline file: the comparison is *simulated* latency, and the
+//! atomic-greedy baseline is embedded in each row — the p99.9 gate
+//! (`tail_ratio ≥ 2.0` for FTL and Across-FTL) reproduces bit-for-bit.
+
+use aftl_bench::gctail::{
+    self, BenchGcManifest, GcTailRow, GC_TAIL_BURST, GC_TAIL_GATED, GC_TAIL_GATE_RATIO,
+    GC_TAIL_PERIOD_NS, GC_TAIL_PREEMPT_PAGES, GC_TAIL_SCHEMA_VERSION, GC_TAIL_SPACING_NS,
+    GC_TAIL_USED_FRACTION, GC_TAIL_VALID_FRACTION,
+};
+use aftl_core::scheme::SchemeKind;
+
+struct Opts {
+    smoke: bool,
+    json: Option<String>,
+    scale: f64,
+}
+
+/// Parse bench arguments, ignoring the flags cargo's bench runner passes
+/// through (`--bench`, filter strings, …).
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        json: None,
+        scale: 1.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--test" => opts.smoke = true,
+            "--json" => opts.json = it.next(),
+            "--scale" => {
+                if let Some(s) = it.next().and_then(|v| v.parse().ok()) {
+                    opts.scale = s;
+                }
+            }
+            _ => {} // cargo bench pass-through (e.g. --bench, filters)
+        }
+    }
+    opts
+}
+
+fn main() {
+    let mut opts = parse_opts();
+    if opts.smoke {
+        // CI smoke: prove the pipeline (burst arrivals → near-full GC →
+        // preemption counters → manifest) in seconds. Too few samples
+        // for a stable p99.9, so the ratio gate stays off.
+        opts.scale = opts.scale.min(0.05);
+    }
+
+    let trace = gctail::gc_tail_trace(opts.scale);
+    eprintln!(
+        "gc-tail: {} requests (scale {}), bursts of {GC_TAIL_BURST} every {} ms, preempt budget {GC_TAIL_PREEMPT_PAGES} pages",
+        trace.len(),
+        opts.scale,
+        GC_TAIL_PERIOD_NS / 1_000_000,
+    );
+
+    let mut results: Vec<GcTailRow> = Vec::new();
+    for scheme in SchemeKind::ALL {
+        let r = gctail::compare_gc_tail(scheme, &trace);
+        eprintln!(
+            "{:<11} write p99.9 atomic {:>12} ns  preemptible {:>12} ns  ratio {:>5.2}x  [{} episodes, {} preemptions, max pause {} -> {} ns]",
+            r.scheme,
+            r.atomic_p999_ns,
+            r.preempt_p999_ns,
+            r.tail_ratio,
+            r.preempt_episodes,
+            r.preemptions,
+            r.atomic_max_pause_ns,
+            r.preempt_max_pause_ns,
+        );
+        results.push(r);
+    }
+
+    let manifest = BenchGcManifest {
+        schema_version: GC_TAIL_SCHEMA_VERSION,
+        workload: "gc-tail-burst".to_string(),
+        scale: opts.scale,
+        burst: GC_TAIL_BURST,
+        period_ns: GC_TAIL_PERIOD_NS,
+        spacing_ns: GC_TAIL_SPACING_NS,
+        preempt_pages: GC_TAIL_PREEMPT_PAGES,
+        used_fraction: GC_TAIL_USED_FRACTION,
+        valid_fraction: GC_TAIL_VALID_FRACTION,
+        gate_ratio: GC_TAIL_GATE_RATIO,
+        gated: GC_TAIL_GATED.iter().map(|s| s.name().to_string()).collect(),
+        results,
+    };
+    gctail::validate_gc_manifest(&manifest, !opts.smoke).expect("gc-tail manifest passes its gate");
+    for g in &manifest.gated {
+        let r = manifest.results.iter().find(|r| &r.scheme == g).unwrap();
+        eprintln!(
+            "{g:<11} gate: {:.2}x >= {GC_TAIL_GATE_RATIO}x  ok",
+            r.tail_ratio
+        );
+    }
+
+    if let Some(path) = &opts.json {
+        let json = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+            }
+        }
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

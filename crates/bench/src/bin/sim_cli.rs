@@ -28,6 +28,7 @@
 //! fleet is bit-identical to the equivalent hosted run.
 
 use aftl_core::scheme::SchemeKind;
+use aftl_core::{GcPolicy, GcTuning};
 use aftl_flash::{FaultConfig, FlashError};
 use aftl_host::{Arbitration, ArrivalModel, HostConfig, IssueModel};
 use aftl_sim::experiment::run_on_device_keep;
@@ -52,6 +53,12 @@ enum CliError {
     Sim(FlashError),
     /// An output file (JSON manifest / JSONL trace) could not be written.
     WriteOut { path: String, err: std::io::Error },
+    /// A flag parsed but its value is outside the meaningful range.
+    Invalid {
+        flag: &'static str,
+        got: String,
+        why: &'static str,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -62,6 +69,9 @@ impl std::fmt::Display for CliError {
             CliError::Device(e) => write!(f, "cannot build device: {e}"),
             CliError::Sim(e) => write!(f, "simulation failed: {e}"),
             CliError::WriteOut { path, err } => write!(f, "cannot write {path}: {err}"),
+            CliError::Invalid { flag, got, why } => {
+                write!(f, "invalid {flag} {got}: {why}")
+            }
         }
     }
 }
@@ -87,11 +97,15 @@ struct Cli {
     device_inflight: usize,
     host_seed: u64,
     devices: Option<usize>,
+    burst: Option<(u32, u64, u64)>,
+    gc_threshold: Option<f64>,
+    gc_hysteresis: Option<f64>,
+    gc: GcTuning,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F]\n               [--devices N] [--device-inflight N] [--host-seed N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
+        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F] [--burst N,PERIOD_NS,SPACING_NS]\n               [--devices N] [--device-inflight N] [--host-seed N]\n               [--gc-policy greedy|cost-benefit|windowed] [--gc-preempt-pages N] [--gc-window N]\n               [--gc-threshold F] [--gc-hysteresis F] [--gc-urgent-ratio F] [--gc-idle-headroom F]\n               [--gc-throttle-fraction F] [--gc-throttle-delay-ns N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
     );
     std::process::exit(2);
 }
@@ -118,6 +132,10 @@ fn parse_cli() -> Cli {
         device_inflight: 16,
         host_seed: 42,
         devices: None,
+        burst: None,
+        gc_threshold: None,
+        gc_hysteresis: None,
+        gc: GcTuning::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -274,6 +292,74 @@ fn parse_cli() -> Cli {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--burst" => {
+                let parsed = it.next().and_then(|v| {
+                    let parts: Vec<&str> = v.split(',').map(str::trim).collect();
+                    match parts.as_slice() {
+                        [b, p, s] => Some((b.parse().ok()?, p.parse().ok()?, s.parse().ok()?)),
+                        _ => None,
+                    }
+                });
+                cli.burst = parsed;
+                if cli.burst.is_none() {
+                    usage()
+                }
+            }
+            "--gc-policy" => {
+                cli.gc.policy = it
+                    .next()
+                    .as_deref()
+                    .and_then(GcPolicy::parse)
+                    .unwrap_or_else(|| usage())
+            }
+            "--gc-preempt-pages" => {
+                cli.gc.preempt_pages = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--gc-window" => {
+                cli.gc.window = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--gc-threshold" => {
+                cli.gc_threshold = it.next().and_then(|v| v.parse().ok());
+                if cli.gc_threshold.is_none() {
+                    usage()
+                }
+            }
+            "--gc-hysteresis" => {
+                cli.gc_hysteresis = it.next().and_then(|v| v.parse().ok());
+                if cli.gc_hysteresis.is_none() {
+                    usage()
+                }
+            }
+            "--gc-urgent-ratio" => {
+                cli.gc.urgent_ratio = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--gc-idle-headroom" => {
+                cli.gc.idle_headroom = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--gc-throttle-fraction" => {
+                cli.gc.throttle_fraction = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--gc-throttle-delay-ns" => {
+                cli.gc.throttle_delay_ns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--min-spare-blocks" => {
                 cli.fault.min_spare_blocks = it
                     .next()
@@ -285,6 +371,83 @@ fn parse_cli() -> Cli {
         }
     }
     cli
+}
+
+/// Range checks on values that *parse* but make no physical sense —
+/// rejected with one typed line instead of silently running a nonsense
+/// config (a threshold of 1.2 would GC forever; a zero queue depth can
+/// never admit a request).
+fn validate(cli: &Cli) -> Result<(), CliError> {
+    fn invalid<T: std::fmt::Display>(flag: &'static str, got: T, why: &'static str) -> CliError {
+        CliError::Invalid {
+            flag,
+            got: got.to_string(),
+            why,
+        }
+    }
+    if let Some(t) = cli.gc_threshold {
+        if !(t > 0.0 && t < 1.0) {
+            return Err(invalid(
+                "--gc-threshold",
+                t,
+                "must be strictly between 0 and 1",
+            ));
+        }
+    }
+    if let Some(h) = cli.gc_hysteresis {
+        if !(0.0..1.0).contains(&h) {
+            return Err(invalid("--gc-hysteresis", h, "must be in [0, 1)"));
+        }
+    }
+    if !(0.0..=1.0).contains(&cli.gc.urgent_ratio) {
+        return Err(invalid(
+            "--gc-urgent-ratio",
+            cli.gc.urgent_ratio,
+            "must be in [0, 1]",
+        ));
+    }
+    if !(0.0..1.0).contains(&cli.gc.idle_headroom) {
+        return Err(invalid(
+            "--gc-idle-headroom",
+            cli.gc.idle_headroom,
+            "must be in [0, 1)",
+        ));
+    }
+    if !(0.0..1.0).contains(&cli.gc.throttle_fraction) {
+        return Err(invalid(
+            "--gc-throttle-fraction",
+            cli.gc.throttle_fraction,
+            "must be in [0, 1)",
+        ));
+    }
+    if cli.gc.window == 0 {
+        return Err(invalid("--gc-window", cli.gc.window, "must be at least 1"));
+    }
+    if cli.queue_depth == 0 {
+        return Err(invalid(
+            "--queue-depth",
+            cli.queue_depth,
+            "must be at least 1",
+        ));
+    }
+    if let Some((burst, period_ns, _)) = cli.burst {
+        if burst == 0 {
+            return Err(invalid("--burst", burst, "burst size must be at least 1"));
+        }
+        if period_ns == 0 {
+            return Err(invalid("--burst", period_ns, "period must be nonzero"));
+        }
+    }
+    for (flag, rate) in [
+        ("--read-fail-rate", cli.fault.read_fail_rate),
+        ("--program-fail-rate", cli.fault.program_fail_rate),
+        ("--erase-fail-rate", cli.fault.erase_fail_rate),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(invalid(flag, rate, "probability must be in [0, 1]"));
+        }
+    }
+    Ok(())
 }
 
 fn load_trace(cli: &Cli) -> Result<Trace, CliError> {
@@ -320,6 +483,7 @@ fn main() {
 
 fn run() -> Result<(), CliError> {
     let cli = parse_cli();
+    validate(&cli)?;
     let mut trace = load_trace(&cli)?;
     let mut config = SimConfig::experiment(cli.scheme, cli.page);
     if let Some(cap) = cli.trace_events {
@@ -327,11 +491,21 @@ fn run() -> Result<(), CliError> {
         config.observe.trace.capacity = cap;
     }
     config.fault = cli.fault;
-
-    let (report, ssd): (RunReport, Option<Ssd>) = if let Some(devices) = cli.devices {
-        // Fleet run: range-shard the workload across N independent
-        // devices and merge their manifests.
-        let issue = if let Some(rate) = cli.arrival_rate {
+    config.scheme_cfg.gc = cli.gc;
+    if let Some(t) = cli.gc_threshold {
+        config.scheme_cfg.gc_threshold = t;
+    }
+    if let Some(h) = cli.gc_hysteresis {
+        config.scheme_cfg.gc_hysteresis = h;
+    }
+    let open_issue = |cli: &Cli| -> IssueModel {
+        if let Some((burst, period_ns, spacing_ns)) = cli.burst {
+            IssueModel::Open(ArrivalModel::Burst {
+                burst,
+                period_ns,
+                spacing_ns,
+            })
+        } else if let Some(rate) = cli.arrival_rate {
             IssueModel::Open(ArrivalModel::Poisson {
                 mean_iat_ns: (1e9 / rate).max(1.0) as u64,
             })
@@ -341,7 +515,13 @@ fn run() -> Result<(), CliError> {
             IssueModel::Closed {
                 outstanding: cli.outstanding,
             }
-        };
+        }
+    };
+
+    let (report, ssd): (RunReport, Option<Ssd>) = if let Some(devices) = cli.devices {
+        // Fleet run: range-shard the workload across N independent
+        // devices and merge their manifests.
+        let issue = open_issue(&cli);
         let tenants_per_device = cli.queues.unwrap_or(1);
         let weights = cli
             .tenant_weights
@@ -373,17 +553,7 @@ fn run() -> Result<(), CliError> {
     } else if let Some(n) = cli.queues {
         // Hosted run: shard the trace across N tenants behind the
         // multi-queue host front end.
-        let issue = if let Some(rate) = cli.arrival_rate {
-            IssueModel::Open(ArrivalModel::Poisson {
-                mean_iat_ns: (1e9 / rate).max(1.0) as u64,
-            })
-        } else if let Some(speedup) = cli.speedup {
-            IssueModel::Open(ArrivalModel::TraceTimed { speedup })
-        } else {
-            IssueModel::Closed {
-                outstanding: cli.outstanding,
-            }
-        };
+        let issue = open_issue(&cli);
         let weights = cli.tenant_weights.clone().unwrap_or_else(|| vec![1; n]);
         let host = HostConfig {
             arbitration: cli.arbitration,
@@ -438,6 +608,14 @@ fn run() -> Result<(), CliError> {
         100.0 * report.flash_reads().map_ratio()
     );
     println!("erase count      : {}", report.erases());
+    println!(
+        "GC               : {} episodes ({} preempted), {} pages moved ({} idle), {} throttled writes",
+        report.gc.episodes,
+        report.gc.preemptions,
+        report.gc.migrated_pages,
+        report.gc.idle_pages,
+        report.counters.throttled_writes
+    );
     println!(
         "mapping table    : {:.2} MB",
         report.mapping_table_bytes as f64 / 1e6

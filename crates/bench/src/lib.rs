@@ -21,6 +21,7 @@ use rayon::prelude::*;
 use std::path::PathBuf;
 
 pub mod fleetbench;
+pub mod gctail;
 pub mod hostbench;
 pub mod replay;
 

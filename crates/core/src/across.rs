@@ -17,10 +17,10 @@
 //! Reads inside a single area are **direct** (one flash read instead of
 //! two); reads exceeding an area are **merged** (area + normal pages).
 
-use aftl_flash::{Nanos, PageKind, Ppn, Result, SectorStamp, StreamId};
+use aftl_flash::{FlashArray, Nanos, PageInfo, PageKind, Ppn, Result, SectorStamp, StreamId};
 
 use crate::counters::SchemeCounters;
-use crate::gc::{self, GcConfig, GcReport};
+use crate::gc::{CopyMigrator, GcConfig, GcReport, GcState};
 use crate::mapping::amt::{AcrossMapTable, AmtEntry};
 use crate::mapping::cache::{CacheStats, MapCache};
 use crate::mapping::pmt::{PageMapTable, NO_AIDX};
@@ -61,7 +61,7 @@ impl Default for AcrossOptions {
 pub struct AcrossFtl {
     cfg: SchemeConfig,
     options: AcrossOptions,
-    gc_cfg: GcConfig,
+    gc: GcState,
     pmt: PageMapTable,
     amt: AcrossMapTable,
     cache: MapCache,
@@ -94,10 +94,11 @@ impl AcrossFtl {
         let page_bytes = geometry.page_bytes;
         let cache = MapCache::new(cfg.cache_tpages(page_bytes));
         AcrossFtl {
-            gc_cfg: GcConfig {
+            gc: GcState::new(GcConfig {
                 threshold: cfg.gc_threshold,
-                ..GcConfig::default()
-            },
+                hysteresis: cfg.gc_hysteresis,
+                tuning: cfg.gc,
+            }),
             cfg,
             options,
             pmt: PageMapTable::new(0),
@@ -117,6 +118,43 @@ impl AcrossFtl {
     fn ensure_pmt(&mut self) {
         if self.pmt.logical_pages() == 0 {
             self.pmt = PageMapTable::new(self.cfg.logical_pages);
+        }
+    }
+
+    /// Shared GC driver for the foreground (`idle_budget` = `None`) and
+    /// idle (`Some(max_pages)`) paths.
+    fn run_gc(&mut self, env: &mut FtlEnv<'_>, idle_budget: Option<u64>) -> Result<GcReport> {
+        self.ensure_pmt();
+        let pmt = &mut self.pmt;
+        let amt = &mut self.amt;
+        let cache = &mut self.cache;
+        let counters = &mut self.counters;
+        let mut migrator = CopyMigrator(
+            move |_: &mut FlashArray, old: Ppn, new: Ppn, info: &PageInfo| {
+                counters.dram_accesses += 1;
+                match info.kind {
+                    PageKind::Data => {
+                        let prev = pmt.set_ppn(info.tag, new);
+                        debug_assert_eq!(prev, old, "GC migrated a stale data page");
+                    }
+                    PageKind::AcrossData => {
+                        let aidx = info.tag as u32;
+                        let mut e = amt.get(aidx).expect("GC migrated a dead area page");
+                        debug_assert_eq!(e.appn, old);
+                        e.appn = new;
+                        amt.update(aidx, e);
+                    }
+                    PageKind::Map => cache.note_migrated(info.tag, new),
+                }
+            },
+        );
+        match idle_budget {
+            None => self
+                .gc
+                .maybe_collect(env.array, env.alloc, env.now_ns, &mut migrator),
+            Some(n) => self
+                .gc
+                .idle_collect(env.array, env.alloc, env.now_ns, n, &mut migrator),
         }
     }
 
@@ -759,34 +797,11 @@ impl FtlScheme for AcrossFtl {
     }
 
     fn maybe_gc(&mut self, env: &mut FtlEnv<'_>) -> Result<GcReport> {
-        self.ensure_pmt();
-        let pmt = &mut self.pmt;
-        let amt = &mut self.amt;
-        let cache = &mut self.cache;
-        let counters = &mut self.counters;
-        gc::maybe_collect(
-            env.array,
-            env.alloc,
-            env.now_ns,
-            &self.gc_cfg,
-            |_, old, new, info| {
-                counters.dram_accesses += 1;
-                match info.kind {
-                    PageKind::Data => {
-                        let prev = pmt.set_ppn(info.tag, new);
-                        debug_assert_eq!(prev, old, "GC migrated a stale data page");
-                    }
-                    PageKind::AcrossData => {
-                        let aidx = info.tag as u32;
-                        let mut e = amt.get(aidx).expect("GC migrated a dead area page");
-                        debug_assert_eq!(e.appn, old);
-                        e.appn = new;
-                        amt.update(aidx, e);
-                    }
-                    PageKind::Map => cache.note_migrated(info.tag, new),
-                }
-            },
-        )
+        self.run_gc(env, None)
+    }
+
+    fn idle_gc(&mut self, env: &mut FtlEnv<'_>, max_pages: u64) -> Result<GcReport> {
+        self.run_gc(env, Some(max_pages))
     }
 
     fn counters(&self) -> &SchemeCounters {
@@ -835,6 +850,8 @@ mod tests {
             logical_pages: g.total_pages() * 9 / 10,
             cache_bytes: 1 << 20,
             gc_threshold: 0.10,
+            gc_hysteresis: 0.0005,
+            gc: Default::default(),
         };
         let ftl = AcrossFtl::new(&g, cfg);
         (array, alloc, ftl)

@@ -6,10 +6,10 @@
 //! programs (plus up to two RMW reads) — the overhead Figure 4 quantifies
 //! and Across-FTL removes.
 
-use aftl_flash::{PageKind, Result};
+use aftl_flash::{FlashArray, PageInfo, PageKind, Ppn, Result};
 
 use crate::counters::SchemeCounters;
-use crate::gc::{self, GcConfig, GcReport};
+use crate::gc::{CopyMigrator, GcConfig, GcReport, GcState};
 use crate::mapping::cache::{CacheStats, MapCache};
 use crate::mapping::pmt::PageMapTable;
 use crate::mapping::touched::TouchedSet;
@@ -26,7 +26,7 @@ pub const ENTRY_BYTES: u64 = 4;
 /// The baseline page-mapping FTL.
 pub struct BaselineFtl {
     cfg: SchemeConfig,
-    gc_cfg: GcConfig,
+    gc: GcState,
     pmt: PageMapTable,
     cache: MapCache,
     counters: SchemeCounters,
@@ -44,10 +44,11 @@ impl BaselineFtl {
         let entries_per_tpage = u64::from(page_bytes) / ENTRY_BYTES;
         let cache = MapCache::new(cfg.cache_tpages(page_bytes));
         BaselineFtl {
-            gc_cfg: GcConfig {
+            gc: GcState::new(GcConfig {
                 threshold: cfg.gc_threshold,
-                ..GcConfig::default()
-            },
+                hysteresis: cfg.gc_hysteresis,
+                tuning: cfg.gc,
+            }),
             cfg,
             pmt: PageMapTable::new(0),
             cache,
@@ -77,6 +78,39 @@ impl BaselineFtl {
         self.counters.dram_accesses += 1;
         self.cache
             .access(env.array, env.alloc, env.now_ns, tpid, dirty)
+    }
+
+    /// Shared GC driver for the foreground (`idle_budget` = `None`) and
+    /// idle (`Some(max_pages)`) paths: same remap migrator, different
+    /// trigger and budget semantics in [`GcState`].
+    fn run_gc(&mut self, env: &mut FtlEnv<'_>, idle_budget: Option<u64>) -> Result<GcReport> {
+        self.ensure_pmt();
+        let pmt = &mut self.pmt;
+        let cache = &mut self.cache;
+        let counters = &mut self.counters;
+        let mut migrator = CopyMigrator(
+            move |_: &mut FlashArray, old: Ppn, new: Ppn, info: &PageInfo| {
+                counters.dram_accesses += 1;
+                match info.kind {
+                    PageKind::Data => {
+                        let prev = pmt.set_ppn(info.tag, new);
+                        debug_assert_eq!(prev, old, "GC migrated a stale data page");
+                    }
+                    PageKind::Map => cache.note_migrated(info.tag, new),
+                    PageKind::AcrossData => {
+                        unreachable!("baseline FTL never writes across-data pages")
+                    }
+                }
+            },
+        );
+        match idle_budget {
+            None => self
+                .gc
+                .maybe_collect(env.array, env.alloc, env.now_ns, &mut migrator),
+            Some(n) => self
+                .gc
+                .idle_collect(env.array, env.alloc, env.now_ns, n, &mut migrator),
+        }
     }
 }
 
@@ -157,29 +191,11 @@ impl FtlScheme for BaselineFtl {
     }
 
     fn maybe_gc(&mut self, env: &mut FtlEnv<'_>) -> Result<GcReport> {
-        self.ensure_pmt();
-        let pmt = &mut self.pmt;
-        let cache = &mut self.cache;
-        let counters = &mut self.counters;
-        gc::maybe_collect(
-            env.array,
-            env.alloc,
-            env.now_ns,
-            &self.gc_cfg,
-            |_, old, new, info| {
-                counters.dram_accesses += 1;
-                match info.kind {
-                    PageKind::Data => {
-                        let prev = pmt.set_ppn(info.tag, new);
-                        debug_assert_eq!(prev, old, "GC migrated a stale data page");
-                    }
-                    PageKind::Map => cache.note_migrated(info.tag, new),
-                    PageKind::AcrossData => {
-                        unreachable!("baseline FTL never writes across-data pages")
-                    }
-                }
-            },
-        )
+        self.run_gc(env, None)
+    }
+
+    fn idle_gc(&mut self, env: &mut FtlEnv<'_>, max_pages: u64) -> Result<GcReport> {
+        self.run_gc(env, Some(max_pages))
     }
 
     fn counters(&self) -> &SchemeCounters {
@@ -213,6 +229,8 @@ mod tests {
             logical_pages: g.total_pages() * 9 / 10,
             cache_bytes: 1 << 20,
             gc_threshold: 0.10,
+            gc_hysteresis: 0.0005,
+            gc: Default::default(),
         };
         let ftl = BaselineFtl::new(&g, cfg);
         (array, alloc, ftl)

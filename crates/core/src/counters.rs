@@ -61,6 +61,11 @@ pub struct SchemeCounters {
     /// Host writes rejected because the device was in read-only mode.
     #[serde(default)]
     pub write_rejections: u64,
+    /// Host writes delayed by the near-full admission throttle
+    /// (`GcTuning::throttle_fraction`): admitted, but charged the throttle
+    /// delay so GC can keep pace instead of the queue stalling whole.
+    #[serde(default)]
+    pub throttled_writes: u64,
 }
 
 impl SchemeCounters {
@@ -112,6 +117,7 @@ impl SchemeCounters {
         self.lost_pages += o.lost_pages;
         self.host_unrecoverable_reads += o.host_unrecoverable_reads;
         self.write_rejections += o.write_rejections;
+        self.throttled_writes += o.throttled_writes;
     }
 }
 

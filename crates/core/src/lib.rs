@@ -17,8 +17,9 @@
 //!
 //! Shared infrastructure: [`request`] (host requests and page extents),
 //! [`mapping`] (page/across mapping tables and the DFTL-style DRAM mapping
-//! cache that spills translation pages to flash), [`gc`] (greedy garbage
-//! collection with scheme remap callbacks), [`counters`] (the event
+//! cache that spills translation pages to flash), [`gc`] (preemptible,
+//! policy-pluggable garbage collection with scheme remap callbacks and
+//! idle background slices), [`counters`] (the event
 //! counters behind the paper's Figures 8–12), [`oracle`] (a
 //! sector-version mirror used by tests to prove read-your-writes across
 //! remapping, merging, rollback and GC), and [`recover`] (the read-retry
@@ -42,7 +43,7 @@ pub mod scheme;
 pub use across::{AcrossFtl, AcrossOptions};
 pub use baseline::BaselineFtl;
 pub use counters::SchemeCounters;
-pub use gc::{GcConfig, GcReport};
+pub use gc::{GcConfig, GcPolicy, GcReport, GcState, GcTuning};
 pub use mapping::cache::{CacheStats, MapCache};
 pub use mrsm::MrsmFtl;
 pub use obs::{SchemeEvent, SchemeEventKind};

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use aftl_flash::{Nanos, PageKind, Ppn, Result, SectorStamp, StreamId};
 
 use crate::counters::SchemeCounters;
-use crate::gc::{self, GcConfig, GcReport};
+use crate::gc::{self, GcConfig, GcReport, GcState};
 use crate::mapping::cache::{CacheStats, MapCache};
 use crate::mapping::openmap::OpenMap;
 use crate::mapping::touched::TouchedSet;
@@ -279,7 +279,7 @@ impl ResidentTable {
 /// The MRSM scheme.
 pub struct MrsmFtl {
     cfg: SchemeConfig,
-    gc_cfg: GcConfig,
+    gc: GcState,
     map: LpnTable,
     /// Live sub-regions resident on each flash page (reverse map used for
     /// slot-wise invalidation and GC remapping).
@@ -304,10 +304,11 @@ impl MrsmFtl {
         let page_bytes = geometry.page_bytes;
         let cache = MapCache::new(cfg.cache_tpages(page_bytes));
         MrsmFtl {
-            gc_cfg: GcConfig {
+            gc: GcState::new(GcConfig {
                 threshold: cfg.gc_threshold,
-                ..GcConfig::default()
-            },
+                hysteresis: cfg.gc_hysteresis,
+                tuning: cfg.gc,
+            }),
             cfg,
             map: LpnTable::new(),
             residents: ResidentTable::new(),
@@ -321,6 +322,37 @@ impl MrsmFtl {
             scratch_pieces: Vec::new(),
             scratch_read_pages: Vec::new(),
             scratch_lost: Vec::new(),
+        }
+    }
+
+    /// Shared GC driver for the foreground (`idle_budget` = `None`) and
+    /// idle (`Some(max_pages)`) paths.
+    ///
+    /// MRSM's mapping information lets GC *repack* sparse region pages:
+    /// live sub-regions from several victims are gathered into full pages
+    /// instead of being copied sparse (the MRSM paper's "address mapping
+    /// information facilitates GC efficiency"). Without this, sub-page
+    /// fragmentation would permanently inflate the valid-data footprint and
+    /// the device would fill with mostly-dead pages. The migrator's repack
+    /// buffer is flushed at every slice boundary (`PageMigrator::finish`),
+    /// so a preempted episode never strands sub-regions in DRAM.
+    fn run_gc(&mut self, env: &mut FtlEnv<'_>, idle_budget: Option<u64>) -> Result<GcReport> {
+        let spp = env.geometry().sectors_per_page();
+        let mut migrator = MrsmMigrator {
+            map: &mut self.map,
+            residents: &mut self.residents,
+            cache: &mut self.cache,
+            counters: &mut self.counters,
+            pending: Vec::new(),
+            spp,
+        };
+        match idle_budget {
+            None => self
+                .gc
+                .maybe_collect(env.array, env.alloc, env.now_ns, &mut migrator),
+            Some(n) => self
+                .gc
+                .idle_collect(env.array, env.alloc, env.now_ns, n, &mut migrator),
         }
     }
 
@@ -713,28 +745,11 @@ impl FtlScheme for MrsmFtl {
     }
 
     fn maybe_gc(&mut self, env: &mut FtlEnv<'_>) -> Result<GcReport> {
-        // MRSM's mapping information lets GC *repack* sparse region pages:
-        // live sub-regions from several victims are gathered into full
-        // pages instead of being copied sparse (the MRSM paper's "address
-        // mapping information facilitates GC efficiency"). Without this,
-        // sub-page fragmentation would permanently inflate the valid-data
-        // footprint and the device would fill with mostly-dead pages.
-        let spp = env.geometry().sectors_per_page();
-        let mut migrator = MrsmMigrator {
-            map: &mut self.map,
-            residents: &mut self.residents,
-            cache: &mut self.cache,
-            counters: &mut self.counters,
-            pending: Vec::new(),
-            spp,
-        };
-        gc::maybe_collect_with(
-            env.array,
-            env.alloc,
-            env.now_ns,
-            &self.gc_cfg,
-            &mut migrator,
-        )
+        self.run_gc(env, None)
+    }
+
+    fn idle_gc(&mut self, env: &mut FtlEnv<'_>, max_pages: u64) -> Result<GcReport> {
+        self.run_gc(env, Some(max_pages))
     }
 
     fn counters(&self) -> &SchemeCounters {
@@ -1001,6 +1016,8 @@ mod tests {
             logical_pages: g.total_pages() * 9 / 10,
             cache_bytes: 1 << 20,
             gc_threshold: 0.10,
+            gc_hysteresis: 0.0005,
+            gc: Default::default(),
         };
         let ftl = MrsmFtl::new(&g, cfg);
         (array, alloc, ftl)

@@ -8,7 +8,7 @@ use aftl_flash::{
 use serde::{Deserialize, Serialize};
 
 use crate::counters::SchemeCounters;
-use crate::gc::GcReport;
+use crate::gc::{GcReport, GcTuning};
 use crate::mapping::cache::CacheStats;
 use crate::mapping::pmt::PageMapTable;
 use crate::obs::SchemeEvent;
@@ -125,6 +125,18 @@ pub struct SchemeConfig {
     pub cache_bytes: u64,
     /// GC trigger threshold on the free-block fraction (Table 1: 10 %).
     pub gc_threshold: f64,
+    /// GC stop hysteresis: collect until `gc_threshold + gc_hysteresis`
+    /// free so the trigger doesn't chatter at the boundary.
+    #[serde(default = "default_gc_hysteresis")]
+    pub gc_hysteresis: f64,
+    /// GC policy / preemption / idle / throttle knobs (PR 7). Serde-
+    /// defaulted so pre-v6 manifests still deserialize.
+    #[serde(default)]
+    pub gc: GcTuning,
+}
+
+fn default_gc_hysteresis() -> f64 {
+    crate::gc::GcConfig::default().hysteresis
 }
 
 impl SchemeConfig {
@@ -144,6 +156,8 @@ impl SchemeConfig {
             // thrash for every scheme alike.
             cache_bytes: (logical_pages * 4 * 45 / 100).max(2 << 20),
             gc_threshold: 0.10,
+            gc_hysteresis: default_gc_hysteresis(),
+            gc: GcTuning::default(),
         }
     }
 
@@ -170,7 +184,17 @@ pub trait FtlScheme {
     fn read(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<ServiceOutcome>;
 
     /// Run garbage collection if the free-space threshold is breached.
+    /// With preemption enabled this runs one budgeted slice and may leave
+    /// an episode parked; the simulator calls it after every write, so a
+    /// parked episode resumes on the next call.
     fn maybe_gc(&mut self, env: &mut FtlEnv<'_>) -> Result<GcReport>;
+
+    /// Run idle (background) GC for up to `max_pages` page copies during a
+    /// host arrival gap. Default: no idle GC (schemes opt in by routing to
+    /// [`crate::gc::GcState::idle_collect`]).
+    fn idle_gc(&mut self, _env: &mut FtlEnv<'_>, _max_pages: u64) -> Result<GcReport> {
+        Ok(GcReport::default())
+    }
 
     /// Cumulative event counters since construction.
     fn counters(&self) -> &SchemeCounters;

@@ -40,6 +40,17 @@ pub struct VictimIndex {
     top: usize,
     /// Indexed blocks.
     len: usize,
+    /// Age stamp per global block: the [`Self::tick`] value at which the
+    /// block *entered* the index (first invalid page after filling).
+    /// Preserved across bucket moves, overwritten on re-entry after an
+    /// erase, so a smaller stamp means a colder candidate — the signal
+    /// cost-benefit and windowed victim policies use as "age". Stale for
+    /// unindexed blocks.
+    stamp: Vec<u64>,
+    /// Monotonic insertion counter feeding [`Self::stamp`]. Logical (event
+    /// count, not nanoseconds), so candidate ages are a pure function of
+    /// the request stream and every run stays deterministic.
+    tick: u64,
 }
 
 impl VictimIndex {
@@ -53,6 +64,8 @@ impl VictimIndex {
             buckets: vec![Vec::new(); pages_per_block as usize + 1],
             top: 0,
             len: 0,
+            stamp: vec![0; total_blocks as usize],
+            tick: 0,
         }
     }
 
@@ -90,6 +103,21 @@ impl VictimIndex {
         (b != NONE).then_some(b)
     }
 
+    /// Age stamp of `addr` (insertion tick at which it became a
+    /// candidate), if indexed. Smaller = older.
+    #[inline]
+    pub fn stamp_of(&self, addr: BlockAddr) -> Option<u64> {
+        let gid = self.global_id(addr);
+        (self.bucket_of[gid] != NONE).then(|| self.stamp[gid])
+    }
+
+    /// Current insertion tick — the "now" against which candidate ages are
+    /// measured (`tick() - stamp_of(addr)`).
+    #[inline]
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
     /// Insert `addr` with `invalid` invalid pages, or move it to the new
     /// bucket if already indexed. O(1).
     pub fn upsert(&mut self, addr: BlockAddr, invalid: u32) {
@@ -103,6 +131,8 @@ impl VictimIndex {
             self.detach(gid);
         } else {
             self.len += 1;
+            self.stamp[gid as usize] = self.tick;
+            self.tick += 1;
         }
         let bucket = &mut self.buckets[invalid as usize];
         self.bucket_of[gid as usize] = invalid;
@@ -204,6 +234,24 @@ mod tests {
         assert_eq!(v.peek_best().unwrap().1, 8);
         v.remove(addr(0, 0));
         assert_eq!(v.peek_best(), Some((addr(0, 1), 1)));
+    }
+
+    #[test]
+    fn stamps_record_entry_order_and_survive_bucket_moves() {
+        let mut v = VictimIndex::new(8, 4, 8);
+        v.upsert(addr(0, 1), 2);
+        v.upsert(addr(1, 0), 1);
+        assert_eq!(v.stamp_of(addr(0, 1)), Some(0), "first entrant");
+        assert_eq!(v.stamp_of(addr(1, 0)), Some(1), "second entrant");
+        // Moving buckets (more invalid pages) keeps the entry stamp.
+        v.upsert(addr(0, 1), 6);
+        assert_eq!(v.stamp_of(addr(0, 1)), Some(0));
+        assert_eq!(v.tick(), 2);
+        // Leaving and re-entering gets a fresh (newer) stamp.
+        v.remove(addr(0, 1));
+        assert_eq!(v.stamp_of(addr(0, 1)), None);
+        v.upsert(addr(0, 1), 1);
+        assert_eq!(v.stamp_of(addr(0, 1)), Some(2));
     }
 
     #[test]

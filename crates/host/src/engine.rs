@@ -47,6 +47,12 @@ pub enum Served {
 pub trait QueuedDevice {
     /// Serve `record` submitted at `now_ns`.
     fn submit(&mut self, now_ns: Nanos, record: &IoRecord) -> Served;
+
+    /// The engine found no runnable work before `until_ns`: every queue is
+    /// empty and the next event (arrival or completion) is at `until_ns`.
+    /// Devices may use the gap for background work (idle GC). Default:
+    /// nothing.
+    fn on_idle(&mut self, _now_ns: Nanos, _until_ns: Nanos) {}
 }
 
 /// One tenant: a workload, an issue model, and its queue/QoS knobs.
@@ -306,6 +312,13 @@ pub fn run_host<D: QueuedDevice>(
         match next {
             Some(t) => {
                 debug_assert!(t > now, "fixpoint left a due event behind");
+                // With nothing inflight the span [now, t) is a genuine
+                // arrival gap: no queued work, nothing due until t. Hand
+                // it to the device for background work (idle GC) before
+                // advancing the clock.
+                if t > now && inflight.is_empty() {
+                    device.on_idle(now, t);
+                }
                 now = t.max(now);
             }
             None => break, // exhausted: no inflight, no arrivals, no blocked

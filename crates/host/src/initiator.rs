@@ -41,6 +41,19 @@ pub enum ArrivalModel {
         /// Gap between consecutive arrivals in nanoseconds.
         interval_ns: u64,
     },
+    /// Bursty open-loop arrivals: `burst` back-to-back requests (spaced
+    /// `spacing_ns`) at the start of every `period_ns` window, then
+    /// silence until the next window — the adversarial tail-latency shape
+    /// the `gc_tail` bench uses (a GC episode that stalls one burst shows
+    /// up directly at p99.9).
+    Burst {
+        /// Requests per burst (min 1).
+        burst: u32,
+        /// Window length between burst starts in nanoseconds.
+        period_ns: u64,
+        /// Gap between requests inside a burst in nanoseconds.
+        spacing_ns: u64,
+    },
 }
 
 /// How a tenant decides its next request is ready.
@@ -67,6 +80,13 @@ impl IssueModel {
             }
             IssueModel::Open(ArrivalModel::FixedInterval { interval_ns }) => {
                 format!("fixed({interval_ns}ns)")
+            }
+            IssueModel::Open(ArrivalModel::Burst {
+                burst,
+                period_ns,
+                spacing_ns,
+            }) => {
+                format!("burst({burst}x{spacing_ns}ns/{period_ns}ns)")
             }
         }
     }
@@ -141,6 +161,21 @@ impl Initiator {
                 } else {
                     prev_ns.saturating_add(interval_ns)
                 }
+            }
+            IssueModel::Open(ArrivalModel::Burst {
+                burst,
+                period_ns,
+                spacing_ns,
+            }) => {
+                // Index-based: record i lands at window i/burst, slot
+                // i%burst. Clamped monotone so a degenerate configuration
+                // (spacing × burst > period) still yields ordered arrivals.
+                let burst = u64::from(burst.max(1));
+                let i = self.pos as u64;
+                let at = (i / burst)
+                    .saturating_mul(period_ns)
+                    .saturating_add((i % burst).saturating_mul(spacing_ns));
+                at.max(prev_ns)
             }
         }
     }
@@ -273,6 +308,31 @@ mod tests {
         assert_eq!(init.take().0, 0);
         assert_eq!(init.take().0, 50);
         assert_eq!(init.take().0, 100);
+    }
+
+    #[test]
+    fn burst_clusters_arrivals_per_window() {
+        let m = IssueModel::Open(ArrivalModel::Burst {
+            burst: 3,
+            period_ns: 1000,
+            spacing_ns: 10,
+        });
+        let mut init = Initiator::new(trace(&[0; 7]), m, 1);
+        let arrivals: Vec<_> = (0..7).map(|_| init.take().0).collect();
+        assert_eq!(arrivals, vec![0, 10, 20, 1000, 1010, 1020, 2000]);
+        assert_eq!(m.describe(), "burst(3x10ns/1000ns)");
+    }
+
+    #[test]
+    fn burst_stays_monotone_when_spacing_overflows_the_period() {
+        let m = IssueModel::Open(ArrivalModel::Burst {
+            burst: 4,
+            period_ns: 100,
+            spacing_ns: 60,
+        });
+        let mut init = Initiator::new(trace(&[0; 6]), m, 1);
+        let arrivals: Vec<_> = (0..6).map(|_| init.take().0).collect();
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "{arrivals:?}");
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub fn small_ssd_with_faults(scheme: SchemeKind, fault: aftl_flash::FaultConfig)
             logical_pages: geometry.total_pages() * 9 / 10,
             cache_bytes: 64 * 4096, // small enough to exercise spills
             gc_threshold: 0.10,
+            gc_hysteresis: 0.0005,
+            gc: Default::default(),
         },
         warmup: aftl_sim::config::WarmupConfig {
             used_fraction: 0.0,

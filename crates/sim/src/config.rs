@@ -142,6 +142,8 @@ impl SimConfig {
                 logical_pages: geometry.total_pages() * 9 / 10,
                 cache_bytes: 1 << 20,
                 gc_threshold: 0.10,
+                gc_hysteresis: 0.0005,
+                gc: Default::default(),
             },
             warmup: WarmupConfig {
                 used_fraction: 0.0,

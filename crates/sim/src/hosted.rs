@@ -70,6 +70,19 @@ impl QueuedDevice for SsdDevice {
             }
         }
     }
+
+    fn on_idle(&mut self, now_ns: Nanos, until_ns: Nanos) {
+        if self.error.is_some() {
+            return;
+        }
+        match self.ssd.on_idle(now_ns, until_ns) {
+            Ok(gc) => self.gc.merge(&gc),
+            // A device that went read-only mid-idle-GC keeps serving
+            // reads; the rejection policy above handles the writes.
+            Err(FlashError::ReadOnlyMode) => {}
+            Err(e) => self.error = Some(e),
+        }
+    }
 }
 
 /// Per-tenant end-to-end accounting, filled by the completion sink. Raw

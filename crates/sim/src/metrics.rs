@@ -179,6 +179,7 @@ pub fn counters_delta(a: &SchemeCounters, b: &SchemeCounters) -> SchemeCounters 
         lost_pages: a.lost_pages - b.lost_pages,
         host_unrecoverable_reads: a.host_unrecoverable_reads - b.host_unrecoverable_reads,
         write_rejections: a.write_rejections - b.write_rejections,
+        throttled_writes: a.throttled_writes - b.throttled_writes,
     }
 }
 

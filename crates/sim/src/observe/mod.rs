@@ -62,11 +62,16 @@ pub enum OpKind {
     /// A failed page program (fault injection): the attempt that forced a
     /// relocation to a fresh block.
     Reprogram,
+    /// One foreground GC pause: the span a host request spent stalled
+    /// behind a GC slice (request dispatch → last GC op completion). With
+    /// atomic GC this is a whole episode; with preemption it is one
+    /// budgeted slice — the distribution the `gc_tail` bench gates on.
+    GcPause,
 }
 
 impl OpKind {
     /// All kinds, in [`LatencyBreakdown`] field order.
-    pub const ALL: [OpKind; 11] = [
+    pub const ALL: [OpKind; 12] = [
         OpKind::HostRead,
         OpKind::HostWrite,
         OpKind::RmwRead,
@@ -78,6 +83,7 @@ impl OpKind {
         OpKind::ARollback,
         OpKind::ReadRetry,
         OpKind::Reprogram,
+        OpKind::GcPause,
     ];
 
     /// Dense index for per-kind arrays.
@@ -100,6 +106,7 @@ impl OpKind {
             OpKind::ARollback => "ARollback",
             OpKind::ReadRetry => "ReadRetry",
             OpKind::Reprogram => "Reprogram",
+            OpKind::GcPause => "GcPause",
         }
     }
 }
@@ -172,6 +179,10 @@ pub struct LatencyBreakdown {
     /// Failed page programs (fault injection; absent in pre-v3 manifests).
     #[serde(default)]
     pub reprogram: HistogramSummary,
+    /// Foreground GC pauses seen by host requests (absent in pre-v6
+    /// manifests).
+    #[serde(default)]
+    pub gc_pause: HistogramSummary,
 }
 
 impl LatencyBreakdown {
@@ -189,6 +200,7 @@ impl LatencyBreakdown {
             OpKind::ARollback => &self.arollback,
             OpKind::ReadRetry => &self.read_retry,
             OpKind::Reprogram => &self.reprogram,
+            OpKind::GcPause => &self.gc_pause,
         }
     }
 }
@@ -264,18 +276,32 @@ impl Observer {
     }
 
     /// Drain the array's op log and classify the records as `phase` work.
-    pub fn absorb_ops(&mut self, array: &mut FlashArray, phase: Phase) {
+    /// Returns the latest completion time among the drained records
+    /// (`None` when the observer is disabled or no op completed) — the GC
+    /// phase uses it to measure how long a slice stalled the host.
+    pub fn absorb_ops(&mut self, array: &mut FlashArray, phase: Phase) -> Option<Nanos> {
         if !self.enabled() {
-            return;
+            return None;
         }
         let mut ops = std::mem::take(&mut self.scratch_ops);
         array.drain_op_log(&mut ops);
+        let mut last_complete: Option<Nanos> = None;
         for rec in ops.drain(..) {
+            last_complete = Some(last_complete.map_or(rec.complete_ns, |t| t.max(rec.complete_ns)));
             if let Some(kind) = classify(phase, rec.op, rec.kind, rec.failed) {
                 self.record(kind, rec.latency_ns, rec.complete_ns);
             }
         }
         self.scratch_ops = ops;
+        last_complete
+    }
+
+    /// Record one foreground GC pause (see [`OpKind::GcPause`]).
+    #[inline]
+    pub fn record_gc_pause(&mut self, pause_ns: Nanos, complete_ns: Nanos) {
+        if self.enabled() {
+            self.record(OpKind::GcPause, pause_ns, complete_ns);
+        }
     }
 
     /// Drain the scheme's composite-event log (AMerge/ARollback).
@@ -320,6 +346,7 @@ impl Observer {
             arollback: hists[OpKind::ARollback.index()].summary(),
             read_retry: hists[OpKind::ReadRetry.index()].summary(),
             reprogram: hists[OpKind::Reprogram.index()].summary(),
+            gc_pause: hists[OpKind::GcPause.index()].summary(),
         }
     }
 

@@ -34,10 +34,13 @@ use crate::warmup::WarmupStats;
 /// end-to-end latency percentiles and backpressure counters (`null` for
 /// plain replay runs). v5 added fleet runs: the optional [`FleetSection`]
 /// describing the device shards a merged manifest aggregates (`null`
-/// for single-device runs). Every addition carries a serde default, so
-/// v2–v4 manifests still deserialize (see the
+/// for single-device runs). v6 added preemptible, policy-pluggable GC:
+/// the `GcTuning` echo inside `config`, the `episodes`/`preemptions`/
+/// `idle_pages` counters in `gc`, `throttled_writes` in `counters`, and
+/// the `gc_pause` latency bucket. Every addition carries a serde
+/// default, so v2–v5 manifests still deserialize (see the
 /// `v*_manifest_still_deserializes` tests).
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// The complete result of replaying one trace on one scheme — the run
 /// manifest.
@@ -404,6 +407,57 @@ mod tests {
         assert!(
             back.fleet.is_none(),
             "fleet defaults to None for v4 manifests"
+        );
+    }
+
+    #[test]
+    fn v5_manifest_still_deserializes() {
+        // Simulate a schema-v5 manifest (pre-preemptible-GC) by stripping
+        // every v6-only field from a fresh report's value tree: the
+        // `GcTuning` echo in the config, the episode/preemption/idle
+        // counters in `gc`, the admission-throttle counter and the
+        // `gc_pause` latency bucket. All carry serde defaults.
+        use serde::Deserialize;
+        use serde::Value;
+        const V6_FIELDS: [&str; 6] = [
+            "tuning",
+            "episodes",
+            "preemptions",
+            "idle_pages",
+            "throttled_writes",
+            "gc_pause",
+        ];
+        fn strip(v: &mut Value) {
+            if let Value::Map(entries) = v {
+                entries.retain(|(k, _)| !V6_FIELDS.contains(&k.as_str()));
+                for (k, v) in entries.iter_mut() {
+                    if k == "schema_version" {
+                        *v = Value::U128(5);
+                    }
+                    strip(v);
+                }
+            } else if let Value::Seq(items) = v {
+                for item in items {
+                    strip(item);
+                }
+            }
+        }
+
+        let mut config = SimConfig::test_tiny(SchemeKind::Across);
+        config.track_content = false;
+        let report = run_single_with(config, &tiny_trace()).unwrap();
+        let mut v = serde_json::to_value(&report);
+        strip(&mut v);
+        let back = RunReport::from_value(&v).expect("v5 manifest deserializes");
+        assert_eq!(back.schema_version, 5);
+        assert_eq!(back.requests, report.requests);
+        assert_eq!(back.gc.episodes, 0, "defaulted episode counter");
+        assert_eq!(back.counters.throttled_writes, 0);
+        assert_eq!(back.latency.gc_pause.count, 0);
+        assert_eq!(
+            back.config.scheme_cfg.gc.policy,
+            aftl_core::GcPolicy::Greedy,
+            "defaulted tuning echo"
         );
     }
 

@@ -42,6 +42,7 @@ pub struct Ssd {
     observer: Observer,
     read_only: bool,
     write_rejections: u64,
+    throttled_writes: u64,
 }
 
 impl Ssd {
@@ -77,6 +78,7 @@ impl Ssd {
             observer,
             read_only: false,
             write_rejections: 0,
+            throttled_writes: 0,
         })
     }
 
@@ -93,6 +95,12 @@ impl Ssd {
     #[inline]
     pub fn write_rejections(&self) -> u64 {
         self.write_rejections
+    }
+
+    /// Host writes delayed by the near-full admission throttle.
+    #[inline]
+    pub fn throttled_writes(&self) -> u64 {
+        self.throttled_writes
     }
 
     /// The configuration the device was built from.
@@ -142,9 +150,11 @@ impl Ssd {
     /// measured window).
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut counters = *self.scheme.counters();
-        // Write rejections happen at the device layer, before the scheme
-        // sees the request; fold them into the counter block here.
+        // Write rejections and throttle delays happen at the device layer,
+        // before the scheme sees the request; fold them into the counter
+        // block here.
         counters.write_rejections = self.write_rejections;
+        counters.throttled_writes = self.throttled_writes;
         StatsSnapshot {
             flash: self.array.stats().clone(),
             counters,
@@ -183,6 +193,19 @@ impl Ssd {
             self.write_rejections += 1;
             return Err(FlashError::ReadOnlyMode);
         }
+        // Near-full write-admission throttle: delay (not reject) writes
+        // while free space sits below the throttle mark, so GC keeps pace
+        // and the device degrades gracefully instead of stalling whole
+        // queues behind an urgent atomic episode. Disabled by default.
+        let tuning = self.config.scheme_cfg.gc;
+        let mut dispatch_ns = req.at_ns;
+        if req.kind == ReqKind::Write
+            && tuning.throttle_fraction > 0.0
+            && self.alloc.free_fraction() < tuning.throttle_fraction
+        {
+            dispatch_ns = dispatch_ns.saturating_add(tuning.throttle_delay_ns);
+            self.throttled_writes += 1;
+        }
         let spp = self.spp();
         let before_reads = self.array.stats().reads.total();
         let before_programs = self.array.stats().programs.total();
@@ -190,7 +213,7 @@ impl Ssd {
         let mut env = FtlEnv {
             array: &mut self.array,
             alloc: &mut self.alloc,
-            now_ns: req.at_ns,
+            now_ns: dispatch_ns,
         };
         let outcome = match req.kind {
             ReqKind::Write => self.scheme.write(&mut env, req),
@@ -227,10 +250,12 @@ impl Ssd {
         );
 
         // GC runs after the request so its ops are not attributed to it.
+        // With preemption enabled this is one budgeted slice; the parked
+        // episode resumes after the next write (or in idle gaps).
         let mut env = FtlEnv {
             array: &mut self.array,
             alloc: &mut self.alloc,
-            now_ns: req.at_ns,
+            now_ns: dispatch_ns,
         };
         let gc = match self.scheme.maybe_gc(&mut env) {
             Ok(gc) => gc,
@@ -242,7 +267,15 @@ impl Ssd {
             }
             Err(e) => return Err(e),
         };
-        self.observer.absorb_ops(&mut self.array, Phase::Gc);
+        let gc_end = self.observer.absorb_ops(&mut self.array, Phase::Gc);
+        if gc.triggered {
+            if let Some(end) = gc_end {
+                // The pause a queued request would see: dispatch → last GC
+                // op completion of this slice.
+                self.observer
+                    .record_gc_pause(end.saturating_sub(dispatch_ns), end);
+            }
+        }
         if self.config.fault.min_spare_blocks > 0
             && self.alloc.free_blocks() < u64::from(self.config.fault.min_spare_blocks)
         {
@@ -259,6 +292,50 @@ impl Ssd {
             gc,
             served: outcome.served,
         })
+    }
+
+    /// Run idle (background) GC during a host arrival gap
+    /// `[now_ns, until_ns)`. The page budget is the gap divided by one
+    /// read+program migration cost, so idle work never runs past the next
+    /// arrival by more than one copy. No-op unless the scheme's
+    /// `GcTuning::idle_headroom` enables idle GC.
+    pub fn on_idle(&mut self, now_ns: Nanos, until_ns: Nanos) -> Result<GcReport> {
+        let tuning = self.config.scheme_cfg.gc;
+        if tuning.idle_headroom <= 0.0 || until_ns <= now_ns {
+            return Ok(GcReport::default());
+        }
+        let per_page = self
+            .config
+            .timing
+            .read_ns
+            .saturating_add(self.config.timing.program_ns)
+            .max(1);
+        let budget = (until_ns - now_ns) / per_page;
+        if budget == 0 {
+            return Ok(GcReport::default());
+        }
+        let mut env = FtlEnv {
+            array: &mut self.array,
+            alloc: &mut self.alloc,
+            now_ns,
+        };
+        let gc = match self.scheme.idle_gc(&mut env, budget) {
+            Ok(gc) => gc,
+            Err(FlashError::NoFreeBlocks)
+                if self.config.fault.injects() || self.config.fault.wears() =>
+            {
+                self.read_only = true;
+                GcReport::default()
+            }
+            Err(e) => return Err(e),
+        };
+        self.observer.absorb_ops(&mut self.array, Phase::Gc);
+        if self.config.fault.min_spare_blocks > 0
+            && self.alloc.free_blocks() < u64::from(self.config.fault.min_spare_blocks)
+        {
+            self.read_only = true;
+        }
+        Ok(gc)
     }
 
     /// Convert and service a trace record.

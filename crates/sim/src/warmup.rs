@@ -54,7 +54,12 @@ pub fn age(ssd: &mut Ssd, cfg: &WarmupConfig) -> Result<WarmupStats> {
     let total_pages = ssd.array().geometry().total_pages();
     let footprint_pages =
         ((total_pages as f64 * cfg.valid_fraction) as u64).min(ssd.scheme().logical_pages());
-    let free_target = 1.0 - cfg.used_fraction;
+    // GC refuses to leave the device below `threshold + hysteresis` free,
+    // so a used-capacity target beyond that line is unreachable — the
+    // overwrite pass would spin forever with GC reclaiming every block it
+    // fills. Clamp to the closest reachable fill level.
+    let gc_floor = ssd.config().scheme_cfg.gc_threshold + ssd.config().scheme_cfg.gc_hysteresis;
+    let free_target = (1.0 - cfg.used_fraction).max(gc_floor);
     let mut writes = 0u64;
 
     if cfg.used_fraction > 0.0 && footprint_pages > 0 {
