@@ -67,7 +67,7 @@ cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme across --preset lun1 --scale 0.0014 \
     --queues 2 --queue-depth 16 --arbitration wrr --tenant-weights 3,1 \
     --json "$host_smoke" >/dev/null
-grep -q '"schema_version": 6' "$host_smoke" || { echo "hosted manifest is not schema v6"; exit 1; }
+grep -q '"schema_version": 7' "$host_smoke" || { echo "hosted manifest is not schema v7"; exit 1; }
 grep -q '"arbitration": "wrr"' "$host_smoke" || { echo "hosted manifest lost arbitration"; exit 1; }
 for tenant in '"tenant0"' '"tenant1"'; do
     grep -q "$tenant" "$host_smoke" || { echo "hosted manifest missing QoS for $tenant"; exit 1; }
@@ -85,14 +85,14 @@ for scheme in '"FTL"' '"MRSM"' '"Across-FTL"'; do
 done
 
 say "fleet smoke (2-device sharded run + N=1 parity)"
-# A 2-device fleet run must complete, emit a schema-v6 manifest whose
+# A 2-device fleet run must complete, emit a schema-v7 manifest whose
 # fleet section carries both devices, and the 1-device fleet must stay
 # bit-identical to the hosted run (golden-digest parity test).
 fleet_smoke=target/ci_fleet_smoke.json
 cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme across --preset lun1 --scale 0.0014 \
     --devices 2 --json "$fleet_smoke" >/dev/null
-grep -q '"schema_version": 6' "$fleet_smoke" || { echo "fleet manifest is not schema v6"; exit 1; }
+grep -q '"schema_version": 7' "$fleet_smoke" || { echo "fleet manifest is not schema v7"; exit 1; }
 grep -q '"devices": 2' "$fleet_smoke" || { echo "fleet manifest lost its topology section"; exit 1; }
 grep -q '"d0/tenant0"' "$fleet_smoke" || { echo "fleet manifest missing per-device QoS rows"; exit 1; }
 cargo test --release -q -p aftl-integration --test fig8_parity \
@@ -126,17 +126,39 @@ for scheme in '"FTL"' '"MRSM"' '"Across-FTL"'; do
 done
 grep -q '"preempt_episodes"' "$gc_bench" || { echo "gc bench manifest missing episode counters"; exit 1; }
 
-say "bench smoke (replay manifest)"
+say "pipeline smoke (pipelined replay manifest + parity)"
+# A pipelined replay run must complete, emit a current-schema manifest
+# with the map-engine counters actually ticking (the coalescing window
+# must fire on a real trace), and the pipelined fig8 replay must stay
+# flash-side bit-identical to the serial golden digest.
+pipe_smoke=target/ci_pipe_smoke.json
+cargo run --release -q -p aftl-bench --bin sim_cli -- \
+    --scheme mrsm --preset lun1 --scale 0.01 \
+    --pipeline --map-batch 8 --json "$pipe_smoke" >/dev/null
+grep -q '"schema_version": 7' "$pipe_smoke" || { echo "pipelined manifest is not schema v7"; exit 1; }
+grep -q '"pipeline"' "$pipe_smoke" || { echo "pipelined manifest lost its pipeline config"; exit 1; }
+if grep -q '"coalesced_lookups": 0,' "$pipe_smoke"; then
+    echo "pipelined run coalesced no lookups"; exit 1
+fi
+cargo test --release -q -p aftl-integration --test fig8_parity \
+    pipelined >/dev/null \
+    || { echo "pipelined replay diverged from the serial golden digest"; exit 1; }
+
+say "bench smoke (replay manifest, serial + pipelined pairs)"
 # The tracked replay bench must run end to end at smoke scale and emit a
 # schema-valid BENCH_replay manifest (the binary refuses to write an
-# invalid one; here we assert the file landed and looks like schema v1
-# with every scheme present).
+# invalid one; here we assert the file landed and looks like schema v2
+# with a serial/pipelined pair per scheme). The bench's own --test mode
+# additionally gates the freshly measured MRSM pipeline speedup; the
+# full-scale 1.15x gate runs against the committed BENCH_replay.json in
+# the bench lib tests.
 bench_smoke=$PWD/target/ci_bench_smoke.json
 rm -f "$bench_smoke"
 cargo bench -q -p aftl-bench --bench sim_throughput -- \
     --test --json "$bench_smoke" >/dev/null
 [ -s "$bench_smoke" ] || { echo "bench smoke wrote no manifest"; exit 1; }
-grep -q '"schema_version": 1' "$bench_smoke" || { echo "bench manifest has wrong schema_version"; exit 1; }
+grep -q '"schema_version": 2' "$bench_smoke" || { echo "bench manifest has wrong schema_version"; exit 1; }
+grep -q '"pipelined"' "$bench_smoke" || { echo "bench manifest missing pipelined timings"; exit 1; }
 for scheme in '"FTL"' '"MRSM"' '"Across-FTL"'; do
     grep -q "$scheme" "$bench_smoke" || { echo "bench manifest missing scheme $scheme"; exit 1; }
 done

@@ -1,27 +1,43 @@
 //! Simulator throughput: how many trace requests per second of host time
 //! the full stack replays — the **tracked** replay benchmark.
 //!
-//! Unlike the micro-benches this one has a custom main (the `[[bench]]`
-//! entry sets `harness = false`) so it can emit the machine-readable
-//! `BENCH_replay.json` manifest that records the repo's performance
-//! trajectory. Modes:
+//! Since schema v2 every scheme is timed twice — pipelined map engine off
+//! (the legacy serial path) and on — and the manifest records the pair
+//! plus the measured speedup. Unlike the micro-benches this one has a
+//! custom main (the `[[bench]]` entry sets `harness = false`) so it can
+//! emit the machine-readable `BENCH_replay.json` manifest that records
+//! the repo's performance trajectory. Modes:
 //!
 //! ```text
 //! cargo bench -p aftl-bench --bench sim_throughput            # measure + print
 //!   -- --json BENCH_replay.json                               # also emit manifest
-//!      --baseline old.json --baseline-label "seed @1c16167"   # carry BEFORE numbers
+//!      --baseline old.json --baseline-label "PR-7 @4b603ec"   # carry BEFORE numbers
 //!      --scale 0.01 --samples 5                               # workload/averaging knobs
 //!      --test                                                 # CI smoke: tiny scale, 1 sample
 //! ```
+//!
+//! `--test` additionally gates the freshly measured MRSM pipeline
+//! speedup: if the pipelined replay is not measurably faster than serial
+//! even at smoke scale, the process exits nonzero and CI fails.
+//!
+//! A `--baseline` file may be the previous schema (v1, serial-only
+//! `results` rows) — exactly what "carry the PR-7 medians forward" needs.
 //!
 //! The workload (fig8-small) and all JSON types live in
 //! [`aftl_bench::replay`] so the parity test replays exactly what the
 //! bench times.
 
 use aftl_bench::replay::{
-    self, BenchReplayManifest, ReplayDigest, SchemeTiming, BENCH_SCHEMA_VERSION, FIG8_SMALL_SCALE,
+    self, BenchReplayManifest, PipelineComparison, ReplayDigest, SchemeTiming,
+    BENCH_SCHEMA_VERSION, FIG8_SMALL_SCALE,
 };
 use aftl_core::scheme::SchemeKind;
+
+/// The `--test` gate on the freshly measured MRSM pipeline speedup. Looser
+/// than the manifest gate ([`replay::MIN_MRSM_PIPELINE_SPEEDUP`]): the
+/// smoke runs one sample of a tiny trace on a loaded CI box, so it only
+/// has to prove the pipeline helps at all, not by how much.
+const SMOKE_MIN_MRSM_SPEEDUP: f64 = 1.05;
 
 struct Opts {
     smoke: bool,
@@ -70,6 +86,24 @@ fn parse_opts() -> Opts {
     opts
 }
 
+/// A baseline file's serial rows, whichever schema wrote it: v2 nests them
+/// in each `results` pair, v1 stored them directly.
+fn baseline_rows(path: &str) -> Vec<SchemeTiming> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+    if let Ok(v2) = serde_json::from_str::<BenchReplayManifest>(&text) {
+        return v2.results.into_iter().map(|r| r.serial).collect();
+    }
+    /// The subset of the v1 manifest the baseline carry-forward needs.
+    #[derive(serde::Deserialize)]
+    struct LegacyManifest {
+        results: Vec<SchemeTiming>,
+    }
+    let v1: LegacyManifest = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("parse baseline {path} (v1 or v2): {e}"));
+    v1.results
+}
+
 fn main() {
     let mut opts = parse_opts();
     if opts.smoke {
@@ -81,35 +115,36 @@ fn main() {
 
     let trace = replay::fig8_small_trace(opts.scale);
     eprintln!(
-        "fig8-small: {} requests (scale {}), {} timed sample(s) per scheme",
+        "fig8-small: {} requests (scale {}), {} timed sample(s) per scheme per mode",
         trace.len(),
         opts.scale,
         opts.samples
     );
 
-    let mut results: Vec<SchemeTiming> = Vec::new();
+    let mut results: Vec<PipelineComparison> = Vec::new();
     for scheme in SchemeKind::ALL {
-        let t = replay::time_fig8_small(scheme, &trace, opts.samples);
+        // Interleaved serial/pipelined sampling: both modes see the same
+        // slice of host load, so the speedup ratio is robust to drift.
+        let pair = replay::time_fig8_small_pair(scheme, &trace, opts.samples);
         let digest = ReplayDigest::of(&replay::run_fig8_small(scheme, &trace));
         eprintln!(
-            "{:<11} {:>9.0} req/s  {:>8} ns/req  [{} reqs + {} warm-up writes; {} erases, {} GC migrations]",
-            t.scheme, t.req_per_sec, t.ns_per_req, t.requests, t.warmup_writes,
+            "{:<11} serial {:>9.0} req/s ({:>8} ns/req)  pipelined {:>9.0} req/s ({:>8} ns/req)  {:>5.2}x  [{} reqs + {} warm-up writes; {} erases, {} GC migrations]",
+            pair.scheme, pair.serial.req_per_sec, pair.serial.ns_per_req,
+            pair.pipelined.req_per_sec, pair.pipelined.ns_per_req, pair.speedup,
+            pair.serial.requests, pair.serial.warmup_writes,
             digest.erases, digest.gc_migrated_pages,
         );
-        results.push(t);
+        results.push(pair);
     }
 
-    // Baseline: carried forward from --baseline's current numbers, so the
+    // Baseline: carried forward from --baseline's serial numbers, so the
     // manifest always shows where the numbers came from and where they are.
     let (baseline, baseline_label) = match opts.baseline.as_deref() {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
-            let old: BenchReplayManifest = serde_json::from_str(&text)
-                .unwrap_or_else(|e| panic!("parse baseline {path}: {e}"));
-            (old.results, opts.baseline_label)
-        }
-        None => (results.clone(), opts.baseline_label),
+        Some(path) => (baseline_rows(path), opts.baseline_label),
+        None => (
+            results.iter().map(|r| r.serial.clone()).collect(),
+            opts.baseline_label,
+        ),
     };
 
     let manifest = BenchReplayManifest {
@@ -120,12 +155,29 @@ fn main() {
         baseline_label,
         baseline,
     };
-    replay::validate_manifest(&manifest).expect("manifest is schema-valid");
 
     for scheme in SchemeKind::ALL {
         if let Some(s) = manifest.speedup(scheme.name()) {
-            eprintln!("{:<11} speedup vs baseline: {s:.2}x", scheme.name());
+            eprintln!("{:<11} serial speedup vs baseline: {s:.2}x", scheme.name());
         }
+    }
+
+    if opts.smoke {
+        // Smoke gate on the *fresh* measurement (the full-scale gate on the
+        // committed manifest lives in validate_manifest below).
+        let mrsm = manifest
+            .pipeline_speedup(SchemeKind::Mrsm.name())
+            .expect("MRSM was timed");
+        if mrsm < SMOKE_MIN_MRSM_SPEEDUP {
+            eprintln!(
+                "FAIL: measured MRSM pipeline speedup {mrsm:.3}x is below the \
+                 smoke gate {SMOKE_MIN_MRSM_SPEEDUP}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("smoke gate: MRSM pipeline speedup {mrsm:.2}x >= {SMOKE_MIN_MRSM_SPEEDUP}x");
+    } else {
+        replay::validate_manifest(&manifest).expect("manifest is schema-valid and clears gates");
     }
 
     if let Some(path) = &opts.json {

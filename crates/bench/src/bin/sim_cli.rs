@@ -101,11 +101,13 @@ struct Cli {
     gc_threshold: Option<f64>,
     gc_hysteresis: Option<f64>,
     gc: GcTuning,
+    pipeline: bool,
+    map_batch: Option<u32>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F] [--burst N,PERIOD_NS,SPACING_NS]\n               [--devices N] [--device-inflight N] [--host-seed N]\n               [--gc-policy greedy|cost-benefit|windowed] [--gc-preempt-pages N] [--gc-window N]\n               [--gc-threshold F] [--gc-hysteresis F] [--gc-urgent-ratio F] [--gc-idle-headroom F]\n               [--gc-throttle-fraction F] [--gc-throttle-delay-ns N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
+        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F] [--burst N,PERIOD_NS,SPACING_NS]\n               [--devices N] [--device-inflight N] [--host-seed N]\n               [--gc-policy greedy|cost-benefit|windowed] [--gc-preempt-pages N] [--gc-window N]\n               [--gc-threshold F] [--gc-hysteresis F] [--gc-urgent-ratio F] [--gc-idle-headroom F]\n               [--gc-throttle-fraction F] [--gc-throttle-delay-ns N]\n               [--pipeline] [--map-batch N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
     );
     std::process::exit(2);
 }
@@ -136,6 +138,8 @@ fn parse_cli() -> Cli {
         gc_threshold: None,
         gc_hysteresis: None,
         gc: GcTuning::default(),
+        pipeline: false,
+        map_batch: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -366,6 +370,13 @@ fn parse_cli() -> Cli {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--pipeline" => cli.pipeline = true,
+            "--map-batch" => {
+                cli.map_batch = it.next().and_then(|v| v.parse().ok());
+                if cli.map_batch.is_none_or(|n| n == 0) {
+                    usage()
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -498,6 +509,10 @@ fn run() -> Result<(), CliError> {
     if let Some(h) = cli.gc_hysteresis {
         config.scheme_cfg.gc_hysteresis = h;
     }
+    config.scheme_cfg.pipeline.enabled = cli.pipeline;
+    if let Some(n) = cli.map_batch {
+        config.scheme_cfg.pipeline.map_batch = n;
+    }
     let open_issue = |cli: &Cli| -> IssueModel {
         if let Some((burst, period_ns, spacing_ns)) = cli.burst {
             IssueModel::Open(ArrivalModel::Burst {
@@ -621,6 +636,14 @@ fn run() -> Result<(), CliError> {
         report.mapping_table_bytes as f64 / 1e6
     );
     println!("DRAM accesses    : {}", report.dram_accesses());
+    if cli.pipeline {
+        println!(
+            "map engine       : {} batched map-in reads, {} coalesced lookups, {} out-of-order issues",
+            report.map_engine.batched_map_reads,
+            report.map_engine.coalesced_lookups,
+            report.map_engine.ooo_completions
+        );
+    }
     if cli.scheme == SchemeKind::Across {
         let c = &report.counters;
         let (d, p, u) = c.across_write_distribution();

@@ -22,7 +22,8 @@ use aftl_flash::{FlashArray, Nanos, PageInfo, PageKind, Ppn, Result, SectorStamp
 use crate::counters::SchemeCounters;
 use crate::gc::{CopyMigrator, GcConfig, GcReport, GcState};
 use crate::mapping::amt::{AcrossMapTable, AmtEntry};
-use crate::mapping::cache::{CacheStats, MapCache};
+use crate::mapping::cache::CacheStats;
+use crate::mapping::engine::{MapEngine, MapEngineStats};
 use crate::mapping::pmt::{PageMapTable, NO_AIDX};
 use crate::mapping::touched::TouchedSet;
 use crate::obs::{SchemeEvent, SchemeEventKind};
@@ -64,7 +65,7 @@ pub struct AcrossFtl {
     gc: GcState,
     pmt: PageMapTable,
     amt: AcrossMapTable,
-    cache: MapCache,
+    engine: MapEngine,
     counters: SchemeCounters,
     /// Composite-operation log for the observability layer (`None` = off).
     event_log: Option<Vec<SchemeEvent>>,
@@ -92,7 +93,7 @@ impl AcrossFtl {
         options: AcrossOptions,
     ) -> Self {
         let page_bytes = geometry.page_bytes;
-        let cache = MapCache::new(cfg.cache_tpages(page_bytes));
+        let engine = MapEngine::new(cfg.cache_tpages(page_bytes), cfg.pipeline);
         AcrossFtl {
             gc: GcState::new(GcConfig {
                 threshold: cfg.gc_threshold,
@@ -103,7 +104,7 @@ impl AcrossFtl {
             options,
             pmt: PageMapTable::new(0),
             amt: AcrossMapTable::new(),
-            cache,
+            engine,
             counters: SchemeCounters::default(),
             event_log: None,
             touched_tpages: TouchedSet::new(),
@@ -127,7 +128,7 @@ impl AcrossFtl {
         self.ensure_pmt();
         let pmt = &mut self.pmt;
         let amt = &mut self.amt;
-        let cache = &mut self.cache;
+        let engine = &mut self.engine;
         let counters = &mut self.counters;
         let mut migrator = CopyMigrator(
             move |_: &mut FlashArray, old: Ppn, new: Ppn, info: &PageInfo| {
@@ -144,7 +145,7 @@ impl AcrossFtl {
                         e.appn = new;
                         amt.update(aidx, e);
                     }
-                    PageKind::Map => cache.note_migrated(info.tag, new),
+                    PageKind::Map => engine.note_migrated(info.tag, new),
                 }
             },
         );
@@ -164,8 +165,8 @@ impl AcrossFtl {
         let tpid = lpn / self.pmt_entries_per_tpage;
         self.touched_tpages.insert(tpid);
         self.counters.dram_accesses += 1;
-        self.cache
-            .access(env.array, env.alloc, env.now_ns, tpid, dirty)
+        self.engine
+            .resolve(env.array, env.alloc, env.now_ns, tpid, dirty)
     }
 
     fn amt_access(&mut self, env: &mut FtlEnv<'_>, aidx: u32, dirty: bool) -> Result<Nanos> {
@@ -173,8 +174,8 @@ impl AcrossFtl {
         // reported from the AMT's slot storage, not the touched set.
         let tpid = AMT_TPID_BASE + u64::from(aidx) / self.amt_entries_per_tpage;
         self.counters.dram_accesses += 1;
-        self.cache
-            .access(env.array, env.alloc, env.now_ns, tpid, dirty)
+        self.engine
+            .resolve(env.array, env.alloc, env.now_ns, tpid, dirty)
     }
 
     fn sync_area_gauges(&mut self) {
@@ -604,7 +605,11 @@ impl AcrossFtl {
 
         let mut done = reconcile_done;
         for extent in req.extents(spp) {
+            // Each extent programs at its own mapping-ready time (maxed
+            // with area reconciliation); the engine tallies issues that
+            // land below the batch's serial watermark as out-of-order.
             let ready = self.pmt_access(env, extent.lpn, true)?;
+            let at = self.engine.note_issue(ready.max(reconcile_done));
             let w = program_normal_extent(
                 env.array,
                 env.alloc,
@@ -613,7 +618,7 @@ impl AcrossFtl {
                 &extent,
                 req.version,
                 env.now_ns,
-                ready.max(reconcile_done),
+                at,
                 None,
             )?;
             done = done.max(w);
@@ -631,6 +636,7 @@ impl FtlScheme for AcrossFtl {
         debug_assert_eq!(req.kind, ReqKind::Write);
         self.ensure_pmt();
         self.counters.host_writes += 1;
+        self.engine.begin_batch(env.now_ns);
         let spp = env.spp();
         let done = if req.is_across_page(spp) {
             self.across_write(env, req)?
@@ -644,16 +650,23 @@ impl FtlScheme for AcrossFtl {
         debug_assert_eq!(req.kind, ReqKind::Read);
         self.ensure_pmt();
         self.counters.host_reads += 1;
+        self.engine.begin_batch(env.now_ns);
+        let pipelined = self.engine.pipelined();
         let spp = env.spp();
         let track = env.array.tracks_content();
         let (s, e) = (req.sector, req.end_sector());
         let (lpn1, lpn2) = (req.first_lpn(spp), req.last_lpn(spp));
         let mut outcome = ServiceOutcome::default();
 
-        // Mapping lookups.
+        // Mapping lookups. Per-LPN ready times are kept so the pipelined
+        // data stage can issue each page read at its own resolution time
+        // rather than the request-wide maximum.
         let mut ready = env.now_ns;
+        let mut lpn_ready: Vec<Nanos> = Vec::with_capacity((lpn2 - lpn1 + 1) as usize);
         for lpn in lpn1..=lpn2 {
-            ready = ready.max(self.pmt_access(env, lpn, false)?);
+            let t = self.pmt_access(env, lpn, false)?;
+            lpn_ready.push(t);
+            ready = ready.max(t);
         }
         let areas: Vec<(u32, AmtEntry)> = self
             .areas_touching(lpn1, lpn2)
@@ -661,23 +674,38 @@ impl FtlScheme for AcrossFtl {
             .map(|i| (i, self.amt.get(i).expect("linked area is live")))
             .filter(|(_, a)| a.overlaps(s, e))
             .collect();
+        let mut area_ready: Vec<Nanos> = Vec::with_capacity(areas.len());
         for (aidx, _) in &areas {
-            ready = ready.max(self.amt_access(env, *aidx, false)?);
+            let t = self.amt_access(env, *aidx, false)?;
+            area_ready.push(t);
+            ready = ready.max(t);
         }
         outcome.merge_time(ready);
 
         // Serve the area-covered sub-ranges from the across pages.
         let mut flash_reads = 0u64;
         let mut any_lost = false;
-        for (_, a) in &areas {
+        for (i, (_, a)) in areas.iter().enumerate() {
             let ov_start = a.start_sector.max(s);
             let ov_end = a.end_sector().min(e);
+            // Pipelined: the area read depends on its AMT resolution and
+            // the PMT lookups of the LPNs it bridges — not on resolutions
+            // for unrelated parts of the request.
+            let at = if pipelined {
+                let mut t = area_ready[i];
+                for lpn in a.first_lpn(spp).max(lpn1)..=a.last_lpn(spp).min(lpn2) {
+                    t = t.max(lpn_ready[(lpn - lpn1) as usize]);
+                }
+                self.engine.note_issue(t)
+            } else {
+                ready
+            };
             let r = read_with_retry(
                 env.array,
                 a.appn,
                 env.sectors_to_bytes((ov_end - ov_start) as u32),
                 env.now_ns,
-                ready,
+                at,
             )?;
             flash_reads += 1;
             outcome.merge_time(r.complete_ns());
@@ -712,7 +740,14 @@ impl FtlScheme for AcrossFtl {
             let ext_e = extent.end_sector(spp);
             gaps.clear();
             gaps.push((ext_s, ext_e));
-            for (_, a) in &areas {
+            // Pipelined dependency: this extent's own PMT resolution, plus
+            // the AMT resolutions of any areas clipping its range (the gap
+            // boundaries come from those entries).
+            let mut dep = lpn_ready[(extent.lpn - lpn1) as usize];
+            for (i, (_, a)) in areas.iter().enumerate() {
+                if a.overlaps(ext_s, ext_e) {
+                    dep = dep.max(area_ready[i]);
+                }
                 next.clear();
                 for &(gs, ge) in &gaps {
                     if a.end_sector() <= gs || ge <= a.start_sector {
@@ -734,12 +769,17 @@ impl FtlScheme for AcrossFtl {
             let entry = self.pmt.get(extent.lpn);
             if entry.has_ppn() {
                 let covered: u64 = gaps.iter().map(|(gs, ge)| ge - gs).sum();
+                let at = if pipelined {
+                    self.engine.note_issue(dep)
+                } else {
+                    ready
+                };
                 let r = read_with_retry(
                     env.array,
                     entry.ppn,
                     env.sectors_to_bytes(covered as u32),
                     env.now_ns,
-                    ready,
+                    at,
                 )?;
                 flash_reads += 1;
                 outcome.merge_time(r.complete_ns());
@@ -809,7 +849,11 @@ impl FtlScheme for AcrossFtl {
     }
 
     fn cache_stats(&self) -> CacheStats {
-        *self.cache.stats()
+        *self.engine.cache_stats()
+    }
+
+    fn map_engine_stats(&self) -> MapEngineStats {
+        *self.engine.stats()
     }
 
     fn mapping_table_bytes(&self) -> u64 {
@@ -852,6 +896,7 @@ mod tests {
             gc_threshold: 0.10,
             gc_hysteresis: 0.0005,
             gc: Default::default(),
+            pipeline: Default::default(),
         };
         let ftl = AcrossFtl::new(&g, cfg);
         (array, alloc, ftl)

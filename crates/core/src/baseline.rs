@@ -10,7 +10,8 @@ use aftl_flash::{FlashArray, PageInfo, PageKind, Ppn, Result};
 
 use crate::counters::SchemeCounters;
 use crate::gc::{CopyMigrator, GcConfig, GcReport, GcState};
-use crate::mapping::cache::{CacheStats, MapCache};
+use crate::mapping::cache::CacheStats;
+use crate::mapping::engine::{MapEngine, MapEngineStats};
 use crate::mapping::pmt::PageMapTable;
 use crate::mapping::touched::TouchedSet;
 use crate::recover::{read_with_retry, PageRead};
@@ -28,7 +29,7 @@ pub struct BaselineFtl {
     cfg: SchemeConfig,
     gc: GcState,
     pmt: PageMapTable,
-    cache: MapCache,
+    engine: MapEngine,
     counters: SchemeCounters,
     /// Translation pages ever touched — the dynamically allocated table
     /// footprint reported in Figure 12(a).
@@ -42,7 +43,7 @@ impl BaselineFtl {
     pub fn new(env_geometry: &aftl_flash::Geometry, cfg: SchemeConfig) -> Self {
         let page_bytes = env_geometry.page_bytes;
         let entries_per_tpage = u64::from(page_bytes) / ENTRY_BYTES;
-        let cache = MapCache::new(cfg.cache_tpages(page_bytes));
+        let engine = MapEngine::new(cfg.cache_tpages(page_bytes), cfg.pipeline);
         BaselineFtl {
             gc: GcState::new(GcConfig {
                 threshold: cfg.gc_threshold,
@@ -51,7 +52,7 @@ impl BaselineFtl {
             }),
             cfg,
             pmt: PageMapTable::new(0),
-            cache,
+            engine,
             counters: SchemeCounters::default(),
             touched_tpages: TouchedSet::new(),
             entries_per_tpage,
@@ -76,8 +77,8 @@ impl BaselineFtl {
         let tpid = self.tpid(lpn);
         self.touched_tpages.insert(tpid);
         self.counters.dram_accesses += 1;
-        self.cache
-            .access(env.array, env.alloc, env.now_ns, tpid, dirty)
+        self.engine
+            .resolve(env.array, env.alloc, env.now_ns, tpid, dirty)
     }
 
     /// Shared GC driver for the foreground (`idle_budget` = `None`) and
@@ -86,7 +87,7 @@ impl BaselineFtl {
     fn run_gc(&mut self, env: &mut FtlEnv<'_>, idle_budget: Option<u64>) -> Result<GcReport> {
         self.ensure_pmt();
         let pmt = &mut self.pmt;
-        let cache = &mut self.cache;
+        let engine = &mut self.engine;
         let counters = &mut self.counters;
         let mut migrator = CopyMigrator(
             move |_: &mut FlashArray, old: Ppn, new: Ppn, info: &PageInfo| {
@@ -96,7 +97,7 @@ impl BaselineFtl {
                         let prev = pmt.set_ppn(info.tag, new);
                         debug_assert_eq!(prev, old, "GC migrated a stale data page");
                     }
-                    PageKind::Map => cache.note_migrated(info.tag, new),
+                    PageKind::Map => engine.note_migrated(info.tag, new),
                     PageKind::AcrossData => {
                         unreachable!("baseline FTL never writes across-data pages")
                     }
@@ -203,7 +204,11 @@ impl FtlScheme for BaselineFtl {
     }
 
     fn cache_stats(&self) -> CacheStats {
-        *self.cache.stats()
+        *self.engine.cache_stats()
+    }
+
+    fn map_engine_stats(&self) -> MapEngineStats {
+        *self.engine.stats()
     }
 
     fn mapping_table_bytes(&self) -> u64 {
@@ -231,6 +236,7 @@ mod tests {
             gc_threshold: 0.10,
             gc_hysteresis: 0.0005,
             gc: Default::default(),
+            pipeline: Default::default(),
         };
         let ftl = BaselineFtl::new(&g, cfg);
         (array, alloc, ftl)

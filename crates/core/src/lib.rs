@@ -45,6 +45,7 @@ pub use baseline::BaselineFtl;
 pub use counters::SchemeCounters;
 pub use gc::{GcConfig, GcPolicy, GcReport, GcState, GcTuning};
 pub use mapping::cache::{CacheStats, MapCache};
+pub use mapping::engine::{MapEngine, MapEngineStats, PipelineConfig};
 pub use mrsm::MrsmFtl;
 pub use obs::{SchemeEvent, SchemeEventKind};
 pub use oracle::Oracle;

@@ -86,6 +86,10 @@ pub struct MapCache {
     /// tpid → PPN of the page's current flash copy.
     flash_loc: OpenMap,
     stats: CacheStats,
+    /// Bumped whenever an eviction recycles a slab slot — lets the
+    /// pipelined [`super::engine::MapEngine`] detect that slots cached in
+    /// its resolution window may have been reassigned.
+    eviction_gen: u64,
 }
 
 impl MapCache {
@@ -102,6 +106,7 @@ impl MapCache {
             resident: OpenMap::new(),
             flash_loc: OpenMap::new(),
             stats: CacheStats::default(),
+            eviction_gen: 0,
         }
     }
 
@@ -167,6 +172,7 @@ impl MapCache {
             self.unlink(victim);
             self.free.push(victim);
             self.resident.remove(victim_tpid);
+            self.eviction_gen += 1;
             if victim_dirty {
                 let done = self.flush_tpage(array, alloc, now, victim_tpid)?;
                 ready = ready.max(done);
@@ -199,6 +205,47 @@ impl MapCache {
         self.push_front(slot);
         self.resident.insert(tpid, u64::from(slot));
         Ok(ready)
+    }
+
+    /// Generation counter of slab-slot recycling (see `eviction_gen`).
+    #[inline]
+    pub fn eviction_generation(&self) -> u64 {
+        self.eviction_gen
+    }
+
+    /// Slab slot of the most recently touched resident page (the LRU
+    /// head). Valid immediately after [`Self::access`] returned — the
+    /// accessed page is always moved to the head — so the pipelined
+    /// engine can remember the slot without a second hash probe.
+    #[inline]
+    pub fn mru_slot(&self) -> u32 {
+        self.head
+    }
+
+    /// Re-touch a page known to be resident at `slot`: exactly the hit
+    /// path of [`Self::access`] minus the index probe. Counters and LRU
+    /// movement are identical to a hit, so pipelined coalescing leaves
+    /// cache statistics and future eviction order bit-identical to the
+    /// serial execution. `tpid` is a debug cross-check only.
+    #[inline]
+    pub fn touch_resident(
+        &mut self,
+        timing: &aftl_flash::TimingSpec,
+        now: Nanos,
+        slot: u32,
+        tpid: u64,
+        make_dirty: bool,
+    ) -> Nanos {
+        debug_assert_eq!(
+            self.entries[slot as usize].tpid, tpid,
+            "stale window slot: engine must revalidate on eviction"
+        );
+        let _ = tpid;
+        self.stats.lookups += 1;
+        self.stats.hits += 1;
+        self.touch(slot);
+        self.entries[slot as usize].dirty |= make_dirty;
+        now + timing.cache_access_ns
     }
 
     // ---- intrusive LRU list plumbing ----------------------------------

@@ -7,15 +7,20 @@
 //! * [`cache`] — a DFTL-style DRAM cache of translation pages. Schemes
 //!   whose tables exceed the cache spill translation pages to flash, which
 //!   is what produces the Map components of Figure 10 and the DRAM access
-//!   counts of Figure 12(b).
+//!   counts of Figure 12(b),
+//! * [`engine`] — the pipelined map engine every scheme's consultations
+//!   route through: batched map-in resolution, coalesced lookups and
+//!   out-of-order data issue (FMMU-style), bit-identical when disabled.
 
 pub mod amt;
 pub mod cache;
+pub mod engine;
 pub mod openmap;
 pub mod pmt;
 pub mod touched;
 
 pub use amt::{AcrossMapTable, AmtEntry};
 pub use cache::{CacheStats, MapCache};
+pub use engine::{MapEngine, MapEngineStats, PipelineConfig};
 pub use pmt::{PageMapTable, PmtEntry};
 pub use touched::TouchedSet;

@@ -18,7 +18,8 @@ use aftl_flash::{Nanos, PageKind, Ppn, Result, SectorStamp, StreamId};
 
 use crate::counters::SchemeCounters;
 use crate::gc::{self, GcConfig, GcReport, GcState};
-use crate::mapping::cache::{CacheStats, MapCache};
+use crate::mapping::cache::CacheStats;
+use crate::mapping::engine::{MapEngine, MapEngineStats};
 use crate::mapping::openmap::OpenMap;
 use crate::mapping::touched::TouchedSet;
 use crate::recover::{lost_stamps_of, program_relocating, read_with_retry, PageRead, LOST_VERSION};
@@ -84,6 +85,16 @@ struct SubWrite {
     /// Absolute written range within the sub-region.
     ws: u64,
     we: u64,
+    /// When this sub-write's mapping resolution completed. The pipelined
+    /// data stage issues against it instead of the request-wide maximum.
+    ready: Nanos,
+    /// Old location captured at staging time (pipelined mode only; always
+    /// `None` in serial mode, where every consumer re-probes the table).
+    /// Distinct `(lpn, sub)` pairs within one request never alias, and a
+    /// page→sub node conversion keeps untouched subs at their old
+    /// `(ppn, slot)`, so the staged location stays valid until this
+    /// sub-write's own pack group evicts it.
+    loc: Option<SubLoc>,
 }
 
 /// One (page, in-page range) gather piece of a read.
@@ -93,6 +104,8 @@ struct Piece {
     page_offset: u32,
     sector: u64,
     len: u32,
+    /// When this piece's mapping resolution completed (see [`SubWrite`]).
+    ready: Nanos,
 }
 
 /// LPN → mapping-node table. MRSM never unmaps an LPN (nodes only convert
@@ -132,6 +145,32 @@ impl LpnTable {
                 self.nodes.push(node);
             }
         }
+    }
+
+    /// Slot-addressed access for the pipelined fast paths: `entry_of`
+    /// resolves `lpn` to its slab slot once, and [`LpnTable::set_at`]
+    /// rewrites that slot without a second index probe. Slots are stable —
+    /// the slab is append-only.
+    #[inline]
+    fn entry_of(&self, lpn: u64) -> Option<(u32, &LpnMap)> {
+        self.index
+            .get(lpn)
+            .map(|s| (s as u32, &self.nodes[s as usize]))
+    }
+
+    #[inline]
+    fn set_at(&mut self, slot: u32, node: LpnMap) {
+        self.nodes[slot as usize] = node;
+    }
+
+    /// Insert `lpn`, which the caller has already established is absent
+    /// (via [`LpnTable::entry_of`]) — skips [`LpnTable::set`]'s membership
+    /// probe.
+    fn insert_absent(&mut self, lpn: u64, node: LpnMap) {
+        debug_assert!(self.index.get(lpn).is_none());
+        self.index.insert(lpn, self.nodes.len() as u64);
+        self.lpns.push(lpn);
+        self.nodes.push(node);
     }
 
     /// Mutable node for `lpn`, creating an empty sub-mapped node if absent.
@@ -284,7 +323,7 @@ pub struct MrsmFtl {
     /// Live sub-regions resident on each flash page (reverse map used for
     /// slot-wise invalidation and GC remapping).
     residents: ResidentTable,
-    cache: MapCache,
+    engine: MapEngine,
     counters: SchemeCounters,
     touched_tpages: TouchedSet,
     entries_per_tpage: u64,
@@ -302,7 +341,7 @@ impl MrsmFtl {
     /// Construct an MRSM FTL for the given device geometry.
     pub fn new(geometry: &aftl_flash::Geometry, cfg: SchemeConfig) -> Self {
         let page_bytes = geometry.page_bytes;
-        let cache = MapCache::new(cfg.cache_tpages(page_bytes));
+        let engine = MapEngine::new(cfg.cache_tpages(page_bytes), cfg.pipeline);
         MrsmFtl {
             gc: GcState::new(GcConfig {
                 threshold: cfg.gc_threshold,
@@ -312,7 +351,7 @@ impl MrsmFtl {
             cfg,
             map: LpnTable::new(),
             residents: ResidentTable::new(),
-            cache,
+            engine,
             counters: SchemeCounters::default(),
             touched_tpages: TouchedSet::new(),
             entries_per_tpage: u64::from(page_bytes) / ENTRY_BYTES,
@@ -341,7 +380,7 @@ impl MrsmFtl {
         let mut migrator = MrsmMigrator {
             map: &mut self.map,
             residents: &mut self.residents,
-            cache: &mut self.cache,
+            engine: &mut self.engine,
             counters: &mut self.counters,
             pending: Vec::new(),
             spp,
@@ -369,37 +408,57 @@ impl MrsmFtl {
         // ...but cache traffic is leaf-granular and scattered: hash the
         // leaf id so neighbouring leaves do not share a cache slot.
         let tpid = splitmix64(lpn / LEAF_LPNS);
-        self.cache
-            .access(env.array, env.alloc, env.now_ns, tpid, dirty)
+        self.engine
+            .resolve(env.array, env.alloc, env.now_ns, tpid, dirty)
     }
 
     /// Current location of a sub-region.
     fn loc_of(&self, lpn: u64, sub: u32) -> Option<SubLoc> {
-        match self.map.get(lpn) {
-            None => None,
-            Some(LpnMap::Page(p)) => Some(SubLoc {
-                ppn: *p,
-                slot: sub as u8,
-            }),
-            Some(LpnMap::Sub(locs)) => {
-                let l = locs[sub as usize];
-                l.is_some().then_some(l)
-            }
-        }
+        node_sub_loc(self.map.get(lpn), sub)
     }
 
     /// Remove a sub-region from its current page's residents, invalidating
     /// the page when its last live sub-region leaves.
     fn evict_sub(&mut self, env: &mut FtlEnv<'_>, lpn: u64, sub: u32) -> Result<()> {
-        let Some(loc) = self.loc_of(lpn, sub) else {
+        let loc = self.loc_of(lpn, sub);
+        self.evict_sub_at(env, lpn, sub, loc)
+    }
+
+    /// [`MrsmFtl::evict_sub`] with the location already known (pipelined
+    /// pack path — staged at [`SubWrite`] creation, saving the re-probe).
+    fn evict_sub_at(
+        &mut self,
+        env: &mut FtlEnv<'_>,
+        lpn: u64,
+        sub: u32,
+        loc: Option<SubLoc>,
+    ) -> Result<()> {
+        let Some(loc) = loc else {
             return Ok(());
         };
-        let emptied = self
-            .residents
-            .swap_remove_entry(loc.ppn, lpn, sub)
-            .expect("mapped sub-region has a resident record");
-        if emptied {
-            env.array.invalidate(loc.ppn)?;
+        match self.residents.swap_remove_entry(loc.ppn, lpn, sub) {
+            Some(true) => env.array.invalidate(loc.ppn)?,
+            Some(false) => {}
+            None => {
+                // Pipelined: page-mapped resident sets are implicit (see
+                // [`MrsmFtl::page_write`]). This eviction splits the page,
+                // so materialize the three surviving entries — in exactly
+                // the permutation the serial swap-remove round leaves:
+                // canonical `(lpn, 0..4)` with the last entry swapped into
+                // the evicted slot.
+                debug_assert!(self.engine.pipelined());
+                debug_assert!(
+                    matches!(self.map.get(lpn), Some(&LpnMap::Page(p)) if p == loc.ppn),
+                    "missing resident record for sub-mapped ({lpn},{sub})"
+                );
+                let mut set = ResidentSet::new(loc.ppn);
+                for s in 0..SUBS_PER_PAGE {
+                    set.push(lpn, s);
+                }
+                set.items[sub as usize] = set.items[SUBS_PER_PAGE as usize - 1];
+                set.len = (SUBS_PER_PAGE - 1) as u8;
+                self.residents.insert_set(loc.ppn, set);
+            }
         }
         Ok(())
     }
@@ -419,10 +478,39 @@ impl MrsmFtl {
         ready: Nanos,
     ) -> Result<Nanos> {
         let spp = env.spp();
-        // Evict all old sub-region locations.
-        for sub in 0..SUBS_PER_PAGE {
-            self.evict_sub(env, lpn, sub)?;
+        // Evict all old sub-region locations. Pipelined mode keeps
+        // page-mapped resident sets *implicit*: a `Page` node always owns
+        // all four resident slots of its page, so no set is stored at all —
+        // retiring one is a single map probe plus the same invalidate the
+        // serial path's fourth swap-remove issues, and the remembered map
+        // slab slot makes the final remap a probe-free `set_at`. The set
+        // only materializes if a later partial write splits the page
+        // ([`MrsmFtl::evict_sub_at`]); GC recognizes implicit pages by
+        // their owner-LPN program tag. Flash-op sequence and all observable
+        // counters stay identical to the serial path.
+        let mut known_slot: Option<u32> = None;
+        let pipelined = self.engine.pipelined();
+        if pipelined {
+            match self.map.entry_of(lpn).map(|(s, n)| (s, *n)) {
+                None => {}
+                Some((slot, LpnMap::Page(p))) => {
+                    known_slot = Some(slot);
+                    debug_assert!(self.residents.get(p).is_none());
+                    env.array.invalidate(p)?;
+                }
+                Some((slot, LpnMap::Sub(_))) => {
+                    known_slot = Some(slot);
+                    for sub in 0..SUBS_PER_PAGE {
+                        self.evict_sub(env, lpn, sub)?;
+                    }
+                }
+            }
+        } else {
+            for sub in 0..SUBS_PER_PAGE {
+                self.evict_sub(env, lpn, sub)?;
+            }
         }
+        let ready = self.engine.note_issue(ready);
         let (new_ppn, w) = program_relocating(
             env.array,
             env.alloc,
@@ -445,12 +533,18 @@ impl MrsmFtl {
                 .collect();
             env.array.record_content(new_ppn, stamps.into_boxed_slice());
         }
-        self.map.set(lpn, LpnMap::Page(new_ppn));
-        let mut set = ResidentSet::new(new_ppn);
-        for s in 0..SUBS_PER_PAGE {
-            set.push(lpn, s);
+        match known_slot {
+            Some(s) => self.map.set_at(s, LpnMap::Page(new_ppn)),
+            None if pipelined => self.map.insert_absent(lpn, LpnMap::Page(new_ppn)),
+            None => self.map.set(lpn, LpnMap::Page(new_ppn)),
         }
-        self.residents.insert_set(new_ppn, set);
+        if !pipelined {
+            let mut set = ResidentSet::new(new_ppn);
+            for s in 0..SUBS_PER_PAGE {
+                set.push(lpn, s);
+            }
+            self.residents.insert_set(new_ppn, set);
+        }
         Ok(w.complete_ns)
     }
 
@@ -475,6 +569,18 @@ impl MrsmFtl {
             }
         }
         for (lpn, node) in self.map.iter() {
+            // Pipelined mode keeps page-mapped resident sets implicit: a
+            // `Page` node must have NO explicit set (GC reconstructs it
+            // from the program tag), while serial mode requires one.
+            if self.engine.pipelined() {
+                if let LpnMap::Page(p) = node {
+                    assert!(
+                        self.residents.get(*p).is_none(),
+                        "pipelined page-mapped ({lpn}) → {p:?} has an explicit resident set"
+                    );
+                    continue;
+                }
+            }
             for sub in 0..SUBS_PER_PAGE {
                 if let Some(loc) = self.loc_of(lpn, sub) {
                     assert!(
@@ -497,12 +603,14 @@ impl FtlScheme for MrsmFtl {
     fn write(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<ServiceOutcome> {
         debug_assert_eq!(req.kind, ReqKind::Write);
         self.counters.host_writes += 1;
+        self.engine.begin_batch(env.now_ns);
         let spp = env.spp();
         let sub_sectors = u64::from(spp / SUBS_PER_PAGE);
         let mut outcome = ServiceOutcome::default();
         let mut ready = env.now_ns;
         let mut pending = std::mem::take(&mut self.scratch_pending);
         pending.clear();
+        let pipelined = self.engine.pipelined();
 
         for extent in req.extents(spp) {
             let t = self.map_access(env, extent.lpn, true)?;
@@ -512,7 +620,12 @@ impl FtlScheme for MrsmFtl {
                 outcome.merge_time(w);
                 continue;
             }
-            // Stage the touched sub-regions.
+            // Stage the touched sub-regions. Pipelined: fetch the extent's
+            // mapping node once (as the read path does) and stage each
+            // sub-write's old location with it — the partial-check,
+            // old-read, pack and evict steps below reuse it instead of
+            // re-probing the table.
+            let node = pipelined.then(|| self.map.get(extent.lpn).copied());
             let es = extent.start_sector(spp);
             let ee = extent.end_sector(spp);
             let page_start = extent.lpn * u64::from(spp);
@@ -526,6 +639,10 @@ impl FtlScheme for MrsmFtl {
                     sub: sub as u32,
                     ws: es.max(sub_start),
                     we: ee.min(sub_end),
+                    ready: t,
+                    loc: node
+                        .as_ref()
+                        .and_then(|n| node_sub_loc(n.as_ref(), sub as u32)),
                 });
             }
         }
@@ -551,16 +668,29 @@ impl FtlScheme for MrsmFtl {
             if !partial {
                 continue;
             }
-            if let Some(loc) = self.loc_of(sw.lpn, sw.sub) {
+            let loc = if pipelined {
+                sw.loc
+            } else {
+                self.loc_of(sw.lpn, sw.sub)
+            };
+            if let Some(loc) = loc {
                 if old_reads.iter().any(|&(p, _)| p == loc.ppn) {
                     continue;
                 }
+                // Pipelined: the old-copy read waits only on the mapping
+                // resolution of the sub-write that needs it, not on the
+                // request's slowest resolution.
+                let at = if self.engine.pipelined() {
+                    self.engine.note_issue(sw.ready)
+                } else {
+                    ready
+                };
                 let r = read_with_retry(
                     env.array,
                     loc.ppn,
                     env.sectors_to_bytes(spp / SUBS_PER_PAGE),
                     env.now_ns,
-                    ready,
+                    at,
                 )?;
                 self.counters.rmw_reads += 1;
                 if r.is_lost() {
@@ -583,9 +713,21 @@ impl FtlScheme for MrsmFtl {
 
         // Pack staged sub-regions into region pages, up to four per page.
         for group in pending.chunks(SUBS_PER_PAGE as usize) {
-            let mut at = ready;
+            // Pipelined: the pack program depends on its own group's
+            // resolutions (and their old-copy reads below), not the
+            // request-wide resolution maximum.
+            let mut at = if pipelined {
+                group.iter().map(|sw| sw.ready).fold(env.now_ns, Nanos::max)
+            } else {
+                ready
+            };
             for sw in group {
-                if let Some(loc) = self.loc_of(sw.lpn, sw.sub) {
+                let loc = if pipelined {
+                    sw.loc
+                } else {
+                    self.loc_of(sw.lpn, sw.sub)
+                };
+                if let Some(loc) = loc {
                     if let Some(&(_, t)) = old_reads.iter().find(|&&(p, _)| p == loc.ppn) {
                         at = at.max(t);
                     }
@@ -619,6 +761,7 @@ impl FtlScheme for MrsmFtl {
             } else {
                 None
             };
+            let at = self.engine.note_issue(at);
             let (new_ppn, w) = program_relocating(
                 env.array,
                 env.alloc,
@@ -634,7 +777,11 @@ impl FtlScheme for MrsmFtl {
             }
             outcome.merge_time(w.complete_ns);
             for (slot, sw) in group.iter().enumerate() {
-                self.evict_sub(env, sw.lpn, sw.sub)?;
+                if pipelined {
+                    self.evict_sub_at(env, sw.lpn, sw.sub, sw.loc)?;
+                } else {
+                    self.evict_sub(env, sw.lpn, sw.sub)?;
+                }
                 self.set_sub_loc(
                     sw.lpn,
                     sw.sub,
@@ -653,6 +800,8 @@ impl FtlScheme for MrsmFtl {
     fn read(&mut self, env: &mut FtlEnv<'_>, req: &HostRequest) -> Result<ServiceOutcome> {
         debug_assert_eq!(req.kind, ReqKind::Read);
         self.counters.host_reads += 1;
+        self.engine.begin_batch(env.now_ns);
+        let pipelined = self.engine.pipelined();
         let spp = env.spp();
         let sub_sectors = u64::from(spp / SUBS_PER_PAGE);
         let track = env.array.tracks_content();
@@ -665,6 +814,10 @@ impl FtlScheme for MrsmFtl {
         for extent in req.extents(spp) {
             let t = self.map_access(env, extent.lpn, false)?;
             ready = ready.max(t);
+            // Pipelined: fetch the extent's mapping node once instead of
+            // probing the table per sub-region (pure lookup — identical
+            // locations either way).
+            let node = pipelined.then(|| self.map.get(extent.lpn).copied());
             let es = extent.start_sector(spp);
             let ee = extent.end_sector(spp);
             let page_start = extent.lpn * u64::from(spp);
@@ -674,12 +827,17 @@ impl FtlScheme for MrsmFtl {
                 let sub_start = page_start + sub * sub_sectors;
                 let rs = es.max(sub_start);
                 let re = ee.min(sub_start + sub_sectors);
-                match self.loc_of(extent.lpn, sub as u32) {
+                let loc = match &node {
+                    Some(n) => node_sub_loc(n.as_ref(), sub as u32),
+                    None => self.loc_of(extent.lpn, sub as u32),
+                };
+                match loc {
                     Some(loc) => pieces.push(Piece {
                         ppn: loc.ppn,
                         page_offset: (u64::from(loc.slot) * sub_sectors + (rs - sub_start)) as u32,
                         sector: rs,
                         len: (re - rs) as u32,
+                        ready: t,
                     }),
                     None => {
                         if track {
@@ -701,17 +859,24 @@ impl FtlScheme for MrsmFtl {
             if read_pages.iter().any(|&(pp, _)| pp == p.ppn) {
                 continue;
             }
-            let total: u32 = pieces
+            let (total, page_ready) = pieces
                 .iter()
                 .filter(|q| q.ppn == p.ppn)
-                .map(|q| q.len)
-                .sum();
+                .fold((0u32, env.now_ns), |(t, a), q| (t + q.len, a.max(q.ready)));
+            // Pipelined: each page read waits only on the resolutions of
+            // the pieces it serves, overlapping with map misses still in
+            // flight on other chips.
+            let at = if pipelined {
+                self.engine.note_issue(page_ready)
+            } else {
+                ready
+            };
             let r = read_with_retry(
                 env.array,
                 p.ppn,
                 env.sectors_to_bytes(total),
                 env.now_ns,
-                ready,
+                at,
             )?;
             if let PageRead::Lost { .. } = r {
                 lost_pages.push(p.ppn);
@@ -757,7 +922,11 @@ impl FtlScheme for MrsmFtl {
     }
 
     fn cache_stats(&self) -> CacheStats {
-        *self.cache.stats()
+        *self.engine.cache_stats()
+    }
+
+    fn map_engine_stats(&self) -> MapEngineStats {
+        *self.engine.stats()
     }
 
     fn mapping_table_bytes(&self) -> u64 {
@@ -766,6 +935,24 @@ impl FtlScheme for MrsmFtl {
 
     fn logical_pages(&self) -> u64 {
         self.cfg.logical_pages
+    }
+}
+
+/// Sub-region location within an already-fetched mapping node (the
+/// pipelined read gather fetches each extent's node once instead of
+/// probing the table per sub-region; [`MrsmFtl::loc_of`] delegates here).
+#[inline]
+fn node_sub_loc(node: Option<&LpnMap>, sub: u32) -> Option<SubLoc> {
+    match node {
+        None => None,
+        Some(LpnMap::Page(p)) => Some(SubLoc {
+            ppn: *p,
+            slot: sub as u8,
+        }),
+        Some(LpnMap::Sub(locs)) => {
+            let l = locs[sub as usize];
+            l.is_some().then_some(l)
+        }
     }
 }
 
@@ -817,7 +1004,7 @@ struct PendingSub {
 struct MrsmMigrator<'a> {
     map: &'a mut LpnTable,
     residents: &'a mut ResidentTable,
-    cache: &'a mut MapCache,
+    engine: &'a mut MapEngine,
     counters: &'a mut SchemeCounters,
     pending: Vec<PendingSub>,
     spp: u32,
@@ -905,23 +1092,39 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
                 r.complete_ns(),
             )?;
             array.invalidate(old)?;
-            self.cache.note_migrated(info.tag, new);
+            self.engine.note_migrated(info.tag, new);
             return Ok(1);
         }
 
-        let res = *self
-            .residents
-            .get(old)
-            .expect("valid user page has residents");
-        // Fully live page-mapped pages move one-to-one.
-        let page_mapped_full = res.len as u32 == SUBS_PER_PAGE
-            && matches!(self.map.get(res.items[0].0), Some(LpnMap::Page(p)) if *p == old);
+        // Fully live page-mapped pages move one-to-one. In pipelined mode
+        // their resident sets are implicit — no entry at all — and the
+        // owner LPN is the page's program tag ([`MrsmFtl::page_write`]
+        // always tags data pages with their LPN); in serial mode the
+        // explicit four-entry set identifies them.
+        let res = self.residents.get(old).copied();
+        let page_mapped_owner = match &res {
+            Some(r)
+                if r.len as u32 == SUBS_PER_PAGE
+                    && matches!(self.map.get(r.items[0].0),
+                                Some(LpnMap::Page(p)) if *p == old) =>
+            {
+                Some(r.items[0].0)
+            }
+            Some(_) => None,
+            None => {
+                debug_assert!(self.engine.pipelined());
+                debug_assert!(
+                    matches!(self.map.get(info.tag), Some(LpnMap::Page(p)) if *p == old),
+                    "valid user page has neither residents nor a page-mapped owner"
+                );
+                Some(info.tag)
+            }
+        };
         let r = read_with_retry(array, old, page_bytes, now, now)?;
         if r.is_lost() {
             report.lost_pages += 1;
         }
-        if page_mapped_full {
-            let owner_lpn = res.items[0].0;
+        if let Some(owner_lpn) = page_mapped_owner {
             let (new, _) = program_relocating(
                 array,
                 alloc,
@@ -942,14 +1145,18 @@ impl gc::PageMigrator for MrsmMigrator<'_> {
                     array.record_content(new, s);
                 }
             }
-            let set = self.residents.remove(old).expect("checked above");
-            self.residents.insert_set(new, set);
+            // Serial mode carries the explicit set across the move;
+            // pipelined mode keeps the page implicit at `new` too.
+            if let Some(set) = self.residents.remove(old) {
+                self.residents.insert_set(new, set);
+            }
             self.map.set(owner_lpn, LpnMap::Page(new));
             array.invalidate(old)?;
             return Ok(1);
         }
 
         // Sparse page: lift the live sub-regions into the repack buffer.
+        let res = res.expect("sub-mapped page has residents");
         let content = if r.is_lost() {
             lost_stamps_of(array, old).map(|c| c.to_vec())
         } else {
@@ -1018,6 +1225,24 @@ mod tests {
             gc_threshold: 0.10,
             gc_hysteresis: 0.0005,
             gc: Default::default(),
+            pipeline: Default::default(),
+        };
+        let ftl = MrsmFtl::new(&g, cfg);
+        (array, alloc, ftl)
+    }
+
+    fn setup_pipelined() -> (FlashArray, Allocator, MrsmFtl) {
+        let g = Geometry::tiny();
+        let mut array = FlashArray::new(g, TimingSpec::unit()).unwrap();
+        array.enable_content_tracking();
+        let alloc = Allocator::new(&array);
+        let cfg = SchemeConfig {
+            logical_pages: g.total_pages() * 9 / 10,
+            cache_bytes: 1 << 20,
+            gc_threshold: 0.10,
+            gc_hysteresis: 0.0005,
+            gc: Default::default(),
+            pipeline: crate::mapping::engine::PipelineConfig::on(),
         };
         let ftl = MrsmFtl::new(&g, cfg);
         (array, alloc, ftl)
@@ -1178,6 +1403,41 @@ mod tests {
                 now_ns: 0,
             };
             ftl.maybe_gc(&mut e).unwrap();
+        }
+        assert!(array.stats().erases > 0);
+        ftl.check_invariants();
+        assert_eq!(
+            read_versions(&mut ftl, &mut array, &mut alloc, 6, 4),
+            vec![42; 4]
+        );
+    }
+
+    /// Pipelined mode keeps page-mapped resident sets implicit across the
+    /// whole lifecycle: full-page writes, partial splits (which materialise
+    /// the serial permutation), and GC migrations of both kinds of page.
+    #[test]
+    fn pipelined_gc_keeps_page_sets_implicit() {
+        let (mut array, mut alloc, mut ftl) = setup_pipelined();
+        // A region page shared by two LPNs, plus sustained overwrite churn
+        // alternating full-page and split writes so GC migrates both
+        // implicit page-mapped and sub-mapped pages.
+        w(&mut ftl, &mut array, &mut alloc, 6, 4, 42);
+        for round in 0..1200u64 {
+            let lpn = 4 + (round % 16);
+            if round % 4 == 3 {
+                w(&mut ftl, &mut array, &mut alloc, lpn * 8 + 2, 2, round); // split
+            } else {
+                w(&mut ftl, &mut array, &mut alloc, lpn * 8, 8, round);
+            }
+            let mut e = FtlEnv {
+                array: &mut array,
+                alloc: &mut alloc,
+                now_ns: 0,
+            };
+            ftl.maybe_gc(&mut e).unwrap();
+            if round % 100 == 0 {
+                ftl.check_invariants();
+            }
         }
         assert!(array.stats().erases > 0);
         ftl.check_invariants();

@@ -78,8 +78,8 @@ impl HostRequest {
         self.sectors <= spp && self.last_lpn(spp) == self.first_lpn(spp) + 1
     }
 
-    /// Split into per-LPN extents.
-    pub fn extents(&self, spp: u32) -> Vec<PageExtent> {
+    /// Split into per-LPN extents (lazy; see [`split_extents`]).
+    pub fn extents(&self, spp: u32) -> ExtentIter {
         split_extents(self.sector, self.end_sector(), spp)
     }
 }
@@ -116,24 +116,54 @@ impl PageExtent {
 }
 
 /// Split an absolute sector range `[start, end)` into per-LPN extents.
-pub fn split_extents(start: u64, end: u64, spp: u32) -> Vec<PageExtent> {
+pub fn split_extents(start: u64, end: u64, spp: u32) -> ExtentIter {
     assert!(end > start, "empty extent range");
-    let spp64 = u64::from(spp);
-    let mut out = Vec::with_capacity(((end - 1) / spp64 - start / spp64 + 1) as usize);
-    let mut cur = start;
-    while cur < end {
-        let lpn = cur / spp64;
-        let page_end = (lpn + 1) * spp64;
-        let stop = end.min(page_end);
-        out.push(PageExtent {
-            lpn,
-            offset: (cur - lpn * spp64) as u32,
-            len: (stop - cur) as u32,
-        });
-        cur = stop;
+    ExtentIter {
+        cur: start,
+        end,
+        spp: u64::from(spp),
     }
-    out
 }
+
+/// Iterator over a sector range's per-page extents. Allocation-free: this
+/// runs once per host request on the hot path, where a `Vec` would mean a
+/// malloc/free pair per request.
+#[derive(Debug, Clone)]
+pub struct ExtentIter {
+    cur: u64,
+    end: u64,
+    spp: u64,
+}
+
+impl Iterator for ExtentIter {
+    type Item = PageExtent;
+
+    #[inline]
+    fn next(&mut self) -> Option<PageExtent> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let lpn = self.cur / self.spp;
+        let stop = self.end.min((lpn + 1) * self.spp);
+        let extent = PageExtent {
+            lpn,
+            offset: (self.cur - lpn * self.spp) as u32,
+            len: (stop - self.cur) as u32,
+        };
+        self.cur = stop;
+        Some(extent)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.cur >= self.end {
+            return (0, Some(0));
+        }
+        let n = ((self.end - 1) / self.spp - self.cur / self.spp + 1) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ExtentIter {}
 
 #[cfg(test)]
 mod tests {
@@ -146,7 +176,7 @@ mod tests {
         // write(1028K, 6K) = sectors 2056..2068.
         let r = HostRequest::write(0, 2056, 12);
         assert!(r.is_across_page(SPP));
-        let ex = r.extents(SPP);
+        let ex: Vec<PageExtent> = r.extents(SPP).collect();
         assert_eq!(ex.len(), 2);
         assert_eq!(
             ex[0],
@@ -171,7 +201,7 @@ mod tests {
         // write(1024K, 24K) = 3 full pages.
         let r = HostRequest::write(0, 2048, 48);
         assert!(!r.is_across_page(SPP));
-        let ex = r.extents(SPP);
+        let ex: Vec<PageExtent> = r.extents(SPP).collect();
         assert_eq!(ex.len(), 3);
         assert!(ex.iter().all(|e| e.is_full_page(SPP)));
         assert_eq!(ex[0].lpn, 128);
@@ -182,7 +212,7 @@ mod tests {
     fn single_page_partial() {
         let r = HostRequest::read(0, 2056, 8);
         assert!(!r.is_across_page(SPP));
-        let ex = r.extents(SPP);
+        let ex: Vec<PageExtent> = r.extents(SPP).collect();
         assert_eq!(ex.len(), 1);
         assert_eq!(ex[0].offset, 8);
         assert_eq!(ex[0].len, 8);
@@ -194,7 +224,7 @@ mod tests {
         // write(1028K, 20K): 40 sectors over 3 pages, larger than a page.
         let r = HostRequest::write(0, 2056, 40);
         assert!(!r.is_across_page(SPP));
-        assert_eq!(r.extents(SPP).len(), 3);
+        assert_eq!(r.extents(SPP).count(), 3);
     }
 
     #[test]
@@ -211,7 +241,7 @@ mod tests {
     #[test]
     fn split_covers_range_exactly() {
         for (start, end) in [(0u64, 1u64), (15, 17), (5, 100), (31, 33), (16, 32)] {
-            let ex = split_extents(start, end, SPP);
+            let ex: Vec<PageExtent> = split_extents(start, end, SPP).collect();
             assert_eq!(ex[0].start_sector(SPP), start);
             assert_eq!(ex.last().unwrap().end_sector(SPP), end);
             // Contiguous, non-overlapping.

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use crate::counters::SchemeCounters;
 use crate::gc::{GcReport, GcTuning};
 use crate::mapping::cache::CacheStats;
+use crate::mapping::engine::{MapEngineStats, PipelineConfig};
 use crate::mapping::pmt::PageMapTable;
 use crate::obs::SchemeEvent;
 use crate::recover::{lost_stamps_of, program_relocating, read_with_retry, PageRead, LOST_VERSION};
@@ -133,6 +134,10 @@ pub struct SchemeConfig {
     /// defaulted so pre-v6 manifests still deserialize.
     #[serde(default)]
     pub gc: GcTuning,
+    /// Pipelined map-engine knobs (PR 8). Serde-defaulted (pipeline off)
+    /// so pre-v7 manifests still deserialize.
+    #[serde(default)]
+    pub pipeline: PipelineConfig,
 }
 
 fn default_gc_hysteresis() -> f64 {
@@ -158,6 +163,7 @@ impl SchemeConfig {
             gc_threshold: 0.10,
             gc_hysteresis: default_gc_hysteresis(),
             gc: GcTuning::default(),
+            pipeline: PipelineConfig::default(),
         }
     }
 
@@ -201,6 +207,12 @@ pub trait FtlScheme {
 
     /// Mapping-cache hit/miss/eviction statistics.
     fn cache_stats(&self) -> CacheStats;
+
+    /// Pipelined map-engine counters (all zero with the pipeline off or
+    /// for schemes that bypass the engine).
+    fn map_engine_stats(&self) -> MapEngineStats {
+        MapEngineStats::default()
+    }
 
     /// Modelled mapping-table footprint in bytes (Figure 12(a)).
     fn mapping_table_bytes(&self) -> u64;

@@ -61,13 +61,24 @@ impl TimingSpec {
         t as Nanos
     }
 
-    /// Scale program/read latencies when the page size differs from the 8 KB
+    /// Scale the spec for a page size differing from the 8 KB reference
     /// the defaults were specified for. NAND array latency is dominated by
     /// sensing/programming the wordline rather than size, so only the
-    /// transfer component scales; this helper keeps the spec unchanged and
-    /// is provided for explicitness in page-size sweeps.
-    pub fn for_page_bytes(self, _page_bytes: u32) -> Self {
-        self
+    /// transfer component scales: `transfer_per_page_ns` is the cost of
+    /// moving one *full page* over the channel, so at a constant bus
+    /// bandwidth it grows proportionally with the page. An 8 KB (or zero)
+    /// argument returns the spec unchanged.
+    pub fn for_page_bytes(self, page_bytes: u32) -> Self {
+        const REFERENCE_PAGE_BYTES: u32 = 8192;
+        if page_bytes == 0 || page_bytes == REFERENCE_PAGE_BYTES {
+            return self;
+        }
+        let scaled = u128::from(self.transfer_per_page_ns) * u128::from(page_bytes)
+            / u128::from(REFERENCE_PAGE_BYTES);
+        TimingSpec {
+            transfer_per_page_ns: scaled as Nanos,
+            ..self
+        }
     }
 }
 
@@ -103,6 +114,25 @@ mod tests {
     fn transfer_rounds_up() {
         let t = TimingSpec::paper_tlc();
         assert!(t.transfer_ns(1, 8192) >= 1);
+    }
+
+    #[test]
+    fn for_page_bytes_scales_only_transfer() {
+        let t = TimingSpec::paper_tlc();
+        assert_eq!(t.for_page_bytes(8192), t, "reference size is identity");
+        assert_eq!(t.for_page_bytes(0), t, "zero is identity");
+        let big = t.for_page_bytes(16384);
+        assert_eq!(big.transfer_per_page_ns, 2 * t.transfer_per_page_ns);
+        assert_eq!(big.read_ns, t.read_ns, "array latencies untouched");
+        assert_eq!(big.program_ns, t.program_ns);
+        let small = t.for_page_bytes(4096);
+        assert_eq!(small.transfer_per_page_ns, t.transfer_per_page_ns / 2);
+        // A full page at any size then costs the same per byte:
+        assert_eq!(
+            big.transfer_ns(16384, 16384) / 2,
+            t.transfer_ns(8192, 8192),
+            "constant bus bandwidth across page sizes"
+        );
     }
 
     #[test]

@@ -13,8 +13,22 @@ pub fn small_ssd(scheme: SchemeKind) -> Ssd {
     small_ssd_with_faults(scheme, aftl_flash::FaultConfig::disabled())
 }
 
+/// [`small_ssd`] with the pipelined map engine enabled (same device
+/// otherwise — the serial/pipelined equivalence properties pair it with
+/// [`small_ssd`]).
+pub fn small_ssd_pipelined(scheme: SchemeKind) -> Ssd {
+    let mut config = small_ssd_config(scheme, aftl_flash::FaultConfig::disabled());
+    config.scheme_cfg.pipeline = aftl_core::mapping::engine::PipelineConfig::on();
+    Ssd::new(config).expect("device")
+}
+
 /// [`small_ssd`] with a fault-injection configuration.
 pub fn small_ssd_with_faults(scheme: SchemeKind, fault: aftl_flash::FaultConfig) -> Ssd {
+    Ssd::new(small_ssd_config(scheme, fault)).expect("device")
+}
+
+/// The [`SimConfig`] behind [`small_ssd`]: 32 MiB, unit timing, oracle on.
+pub fn small_ssd_config(scheme: SchemeKind, fault: aftl_flash::FaultConfig) -> SimConfig {
     let geometry = aftl_flash::GeometryBuilder::new()
         .channels(2)
         .chips_per_channel(2)
@@ -25,7 +39,7 @@ pub fn small_ssd_with_faults(scheme: SchemeKind, fault: aftl_flash::FaultConfig)
         .page_bytes(4096)
         .build()
         .expect("valid geometry");
-    let config = SimConfig {
+    SimConfig {
         geometry,
         timing: aftl_flash::TimingSpec::unit(),
         scheme,
@@ -35,6 +49,7 @@ pub fn small_ssd_with_faults(scheme: SchemeKind, fault: aftl_flash::FaultConfig)
             gc_threshold: 0.10,
             gc_hysteresis: 0.0005,
             gc: Default::default(),
+            pipeline: Default::default(),
         },
         warmup: aftl_sim::config::WarmupConfig {
             used_fraction: 0.0,
@@ -44,8 +59,7 @@ pub fn small_ssd_with_faults(scheme: SchemeKind, fault: aftl_flash::FaultConfig)
         track_content: true,
         observe: aftl_sim::ObserveConfig::standard(),
         fault,
-    };
-    Ssd::new(config).expect("device")
+    }
 }
 
 /// Drive `n` random requests through `ssd`, checking every read against the

@@ -99,7 +99,9 @@ impl SimConfig {
         let geometry = Self::experiment_geometry(page_bytes);
         SimConfig {
             geometry,
-            timing: TimingSpec::paper_tlc(),
+            // Table 1 specifies 8 KB timing; page-size sweeps scale the
+            // channel-transfer component with the page (identity at 8 KB).
+            timing: TimingSpec::paper_tlc().for_page_bytes(page_bytes),
             scheme,
             scheme_cfg: SchemeConfig::for_geometry(&geometry),
             warmup: WarmupConfig::default(),
@@ -130,6 +132,12 @@ impl SimConfig {
             .expect("experiment geometry is valid")
     }
 
+    /// The same configuration with the pipelined map engine toggled.
+    pub fn with_pipeline(mut self, enabled: bool) -> Self {
+        self.scheme_cfg.pipeline.enabled = enabled;
+        self
+    }
+
     /// A small configuration for tests: tiny geometry, unit timing, oracle
     /// tracking on, no aging by default.
     pub fn test_tiny(scheme: SchemeKind) -> Self {
@@ -144,6 +152,7 @@ impl SimConfig {
                 gc_threshold: 0.10,
                 gc_hysteresis: 0.0005,
                 gc: Default::default(),
+                pipeline: Default::default(),
             },
             warmup: WarmupConfig {
                 used_fraction: 0.0,

@@ -53,6 +53,11 @@ pub fn run_on_device_keep(mut ssd: Ssd, trace: &Trace) -> Result<(RunReport, Ssd
         last_complete = last_complete.max(u128::from(rec.at_ns) + u128::from(c.latency_ns));
     }
 
+    // Wall clock covers the replayed workload only — device aging plus the
+    // trace loop. Snapshot diffing and the observer's percentile sorts
+    // below are host-side report assembly, not replay.
+    let wall_seconds = started.elapsed().as_secs_f64();
+
     let end = ssd.snapshot();
     let report = RunReport {
         schema_version: SCHEMA_VERSION,
@@ -67,10 +72,11 @@ pub fn run_on_device_keep(mut ssd: Ssd, trace: &Trace) -> Result<(RunReport, Ssd
         flash: flash_delta(&end.flash, &base.flash),
         counters: counters_delta(&end.counters, &base.counters),
         cache: cache_delta(&end.cache, &base.cache),
+        map_engine: end.map_engine.delta(&base.map_engine),
         gc,
         mapping_table_bytes: ssd.scheme().mapping_table_bytes(),
         sim_span_ns: last_complete,
-        wall_seconds: started.elapsed().as_secs_f64(),
+        wall_seconds,
         trace_events: ssd.observer().trace_events_total(),
         qos: None,
         fleet: None,

@@ -108,6 +108,7 @@ pub(crate) struct DeviceRun {
     pub(crate) flash: aftl_flash::FlashStats,
     pub(crate) counters: aftl_core::counters::SchemeCounters,
     pub(crate) cache: aftl_core::mapping::cache::CacheStats,
+    pub(crate) map_engine: aftl_core::mapping::engine::MapEngineStats,
     pub(crate) span_ns: Nanos,
     pub(crate) tenants: Vec<aftl_host::TenantOutcome>,
     pub(crate) acc: Vec<TenantAcc>,
@@ -189,6 +190,7 @@ pub(crate) fn run_device(
         flash: flash_delta(&end.flash, &base.flash),
         counters: counters_delta(&end.counters, &base.counters),
         cache: cache_delta(&end.cache, &base.cache),
+        map_engine: end.map_engine.delta(&base.map_engine),
         span_ns: outcome.span_ns,
         tenants: outcome.tenants,
         acc,
@@ -254,6 +256,7 @@ pub(crate) fn assemble_report(
     let mut flash = aftl_flash::FlashStats::default();
     let mut counters = aftl_core::counters::SchemeCounters::default();
     let mut cache = aftl_core::mapping::cache::CacheStats::default();
+    let mut map_engine = aftl_core::mapping::engine::MapEngineStats::default();
     let mut span_ns: Nanos = 0;
     let mut requests = 0u64;
     let mut mapping_table_bytes = 0u64;
@@ -264,6 +267,7 @@ pub(crate) fn assemble_report(
         flash.merge(&run.flash);
         counters.merge(&run.counters);
         cache.merge(&run.cache);
+        map_engine.merge(&run.map_engine);
         span_ns = span_ns.max(run.span_ns);
         requests += run.requests;
         mapping_table_bytes += run.ssd.scheme().mapping_table_bytes();
@@ -291,6 +295,7 @@ pub(crate) fn assemble_report(
         flash,
         counters,
         cache,
+        map_engine,
         gc,
         mapping_table_bytes,
         sim_span_ns: u128::from(span_ns),

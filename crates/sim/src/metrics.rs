@@ -4,6 +4,7 @@
 
 use aftl_core::counters::SchemeCounters;
 use aftl_core::mapping::cache::CacheStats;
+use aftl_core::mapping::engine::MapEngineStats;
 use aftl_flash::stats::KindCounts;
 use aftl_flash::FlashStats;
 use serde::{Deserialize, Serialize};
@@ -130,6 +131,8 @@ pub struct StatsSnapshot {
     pub counters: SchemeCounters,
     /// Mapping-cache stats at snapshot time.
     pub cache: CacheStats,
+    /// Pipelined map-engine counters at snapshot time.
+    pub map_engine: MapEngineStats,
 }
 
 fn sub_kind(a: KindCounts, b: KindCounts) -> KindCounts {

@@ -12,6 +12,7 @@
 use aftl_core::counters::SchemeCounters;
 use aftl_core::gc::GcReport;
 use aftl_core::mapping::cache::CacheStats;
+use aftl_core::mapping::engine::MapEngineStats;
 use aftl_core::scheme::SchemeKind;
 use aftl_flash::stats::KindCounts;
 use aftl_flash::FlashStats;
@@ -37,10 +38,13 @@ use crate::warmup::WarmupStats;
 /// for single-device runs). v6 added preemptible, policy-pluggable GC:
 /// the `GcTuning` echo inside `config`, the `episodes`/`preemptions`/
 /// `idle_pages` counters in `gc`, `throttled_writes` in `counters`, and
-/// the `gc_pause` latency bucket. Every addition carries a serde
-/// default, so v2–v5 manifests still deserialize (see the
+/// the `gc_pause` latency bucket. v7 added the pipelined map engine:
+/// the `PipelineConfig` echo inside `config.scheme_cfg` and the
+/// [`MapEngineStats`] `map_engine` section (batched map-in reads,
+/// coalesced lookups, out-of-order completions). Every addition carries
+/// a serde default, so v2–v6 manifests still deserialize (see the
 /// `v*_manifest_still_deserializes` tests).
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// The complete result of replaying one trace on one scheme — the run
 /// manifest.
@@ -71,13 +75,19 @@ pub struct RunReport {
     pub counters: SchemeCounters,
     /// Mapping-cache statistics.
     pub cache: CacheStats,
+    /// Pipelined map-engine counters (all zero when the pipeline is off).
+    /// Serde-defaulted: absent from pre-v7 manifests.
+    #[serde(default)]
+    pub map_engine: MapEngineStats,
     /// Accumulated GC work.
     pub gc: GcReport,
     /// Resident mapping-table footprint.
     pub mapping_table_bytes: u64,
     /// Simulated trace span (last completion − first arrival).
     pub sim_span_ns: u128,
-    /// Host wall-clock seconds spent simulating (sanity/throughput info).
+    /// Host wall-clock seconds spent simulating the workload (device aging
+    /// plus the trace loop; excludes report assembly). The bench timing
+    /// loops use this as the replay-throughput sample.
     pub wall_seconds: f64,
     /// Events offered to the trace ring (0 unless tracing was enabled).
     pub trace_events: u64,
@@ -459,6 +469,47 @@ mod tests {
             aftl_core::GcPolicy::Greedy,
             "defaulted tuning echo"
         );
+    }
+
+    #[test]
+    fn v6_manifest_still_deserializes() {
+        // Simulate a schema-v6 manifest (pre-pipelined-map-engine) by
+        // stripping the v7-only fields: the `pipeline` echo inside
+        // `config.scheme_cfg` and the `map_engine` counter section. Both
+        // carry serde defaults (pipeline off, zero counters).
+        use serde::Deserialize;
+        use serde::Value;
+        fn strip(v: &mut Value) {
+            if let Value::Map(entries) = v {
+                entries.retain(|(k, _)| k != "pipeline" && k != "map_engine");
+                for (k, v) in entries.iter_mut() {
+                    if k == "schema_version" {
+                        *v = Value::U128(6);
+                    }
+                    strip(v);
+                }
+            } else if let Value::Seq(items) = v {
+                for item in items {
+                    strip(item);
+                }
+            }
+        }
+
+        let mut config = SimConfig::test_tiny(SchemeKind::Mrsm);
+        config.track_content = false;
+        let report = run_single_with(config, &tiny_trace()).unwrap();
+        let mut v = serde_json::to_value(&report);
+        strip(&mut v);
+        let back = RunReport::from_value(&v).expect("v6 manifest deserializes");
+        assert_eq!(back.schema_version, 6);
+        assert_eq!(back.requests, report.requests);
+        assert!(
+            !back.config.scheme_cfg.pipeline.enabled,
+            "defaulted pipeline echo is off"
+        );
+        assert_eq!(back.map_engine.batched_map_reads, 0);
+        assert_eq!(back.map_engine.coalesced_lookups, 0);
+        assert_eq!(back.map_engine.ooo_completions, 0);
     }
 
     #[test]

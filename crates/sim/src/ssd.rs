@@ -159,6 +159,7 @@ impl Ssd {
             flash: self.array.stats().clone(),
             counters,
             cache: self.scheme.cache_stats(),
+            map_engine: self.scheme.map_engine_stats(),
         }
     }
 

@@ -55,16 +55,37 @@ fn fig8_small_matches_pre_optimization_golden() {
     }
 }
 
-/// The digest minus the two fields that legitimately depend on *when*
-/// requests reach the device (host-side pacing): end-to-end latency sums
-/// and the simulated span. Everything else — flash ops, GC work, cache
-/// stats, chip-busy time (a pure sum of op durations), DRAM accesses —
-/// is a function of request order and content only, so the hosted path
-/// must reproduce it exactly.
-fn flash_side(mut d: ReplayDigest) -> ReplayDigest {
-    d.latency_sum_ns = 0;
-    d.sim_span_ns = 0;
-    d
+/// [`ReplayDigest::flash_side`]: the digest minus the two fields that
+/// legitimately depend on *when* requests reach the device (host-side
+/// pacing or pipelined issue). Everything else — flash ops, GC work,
+/// cache stats, chip-busy time (a pure sum of op durations), DRAM
+/// accesses — is a function of request order and content only, so the
+/// hosted path must reproduce it exactly.
+fn flash_side(d: ReplayDigest) -> ReplayDigest {
+    d.flash_side()
+}
+
+/// The pipelined map engine reorders *issue times*, never flash work:
+/// with `--pipeline` on, every scheme's replay must still match the
+/// pre-optimization golden digest on the flash side — op counts, GC
+/// work, chip-busy time, the full cache counter set, DRAM accesses.
+/// Only `latency_sum_ns` and `sim_span_ns` may move.
+#[test]
+fn pipelined_replay_matches_golden_flash_side() {
+    let trace = replay::fig8_small_trace(replay::FIG8_SMALL_SCALE);
+    let text = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden digest present (bless with AFTL_BLESS=1 after intentional changes)");
+    let golden: Vec<ReplayDigest> = serde_json::from_str(&text).expect("golden digest parses");
+
+    for (i, &scheme) in SchemeKind::ALL.iter().enumerate() {
+        let piped = ReplayDigest::of(&replay::run_fig8_small_with(scheme, &trace, true));
+        assert_eq!(
+            golden[i].flash_side(),
+            piped.flash_side(),
+            "{}: pipelined replay changed flash-side behaviour",
+            scheme.name()
+        );
+    }
 }
 
 /// A single closed-loop tenant behind the multi-queue host front end

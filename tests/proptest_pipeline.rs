@@ -1,0 +1,172 @@
+//! Property-based serial/pipelined equivalence: for arbitrary request
+//! sequences, the pipelined map engine must be a pure issue-time
+//! optimisation on every scheme — the same data served to the host (every
+//! read returns the same write generations, so read-your-write ordering
+//! holds), the same flash work per request, and the same cumulative
+//! flash-side counters. Only per-request latencies may differ.
+
+use aftl_core::request::HostRequest;
+use aftl_core::scheme::SchemeKind;
+use aftl_integration::{small_ssd, small_ssd_pipelined};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Op {
+    write: bool,
+    sector: u64,
+    sectors: u32,
+}
+
+fn op_strategy(span: u64) -> impl Strategy<Value = Op> {
+    (any::<bool>(), 0..span - 40, 1u32..=24).prop_map(|(write, sector, sectors)| Op {
+        write,
+        sector,
+        sectors,
+    })
+}
+
+/// Drive the same ops through a serial and a pipelined device of the same
+/// scheme, comparing served payloads and flash work request by request and
+/// the full flash-side counter set at the end.
+fn run_pair(scheme: SchemeKind, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut serial = small_ssd(scheme);
+    let mut piped = small_ssd_pipelined(scheme);
+    for (i, op) in ops.iter().enumerate() {
+        let req = if op.write {
+            // Same id stream on both devices ⇒ same content stamps.
+            let mut w = HostRequest::write(i as u64, op.sector, op.sectors);
+            w.version = i as u64 + 1;
+            w
+        } else {
+            HostRequest::read(i as u64, op.sector, op.sectors)
+        };
+        let a = serial.submit(&req).unwrap();
+        let b = piped.submit(&req).unwrap();
+        prop_assert!(
+            a.served == b.served,
+            "{}: op {i} served different data: {:?} vs {:?}",
+            scheme.name(),
+            a.served,
+            b.served
+        );
+        prop_assert!(
+            (a.flash_reads, a.flash_programs) == (b.flash_reads, b.flash_programs),
+            "{}: op {i} did different flash work: {:?} vs {:?}",
+            scheme.name(),
+            (a.flash_reads, a.flash_programs),
+            (b.flash_reads, b.flash_programs)
+        );
+    }
+    let (sa, sb) = (serial.snapshot(), piped.snapshot());
+    for (what, a, b) in [
+        (
+            "flash stats",
+            format!("{:?}", sa.flash),
+            format!("{:?}", sb.flash),
+        ),
+        (
+            "scheme counters",
+            format!("{:?}", sa.counters),
+            format!("{:?}", sb.counters),
+        ),
+        (
+            "cache stats",
+            format!("{:?}", sa.cache),
+            format!("{:?}", sb.cache),
+        ),
+    ] {
+        prop_assert!(a == b, "{}: {what} diverged:\n  {a}\n  {b}", scheme.name());
+    }
+    Ok(())
+}
+
+/// Sustained overwrite past device capacity: GC must migrate both fully
+/// page-mapped pages (whose resident sets are implicit in pipelined mode)
+/// and sub-mapped pages, and the pipelined device must still shadow the
+/// serial one op for op and counter for counter.
+#[test]
+fn gc_churn_pipelined_equals_serial() {
+    for scheme in SchemeKind::ALL {
+        let mut serial = small_ssd(scheme);
+        let mut piped = small_ssd_pipelined(scheme);
+        let spp = u64::from(serial.spp());
+        let working_pages = serial.scheme().logical_pages() / 4;
+        let writes = serial.array().geometry().total_pages() * 2;
+        for i in 0..writes {
+            // Co-prime stride over the working set; mostly full-page
+            // writes (page-mapped), with a partial-write minority that
+            // splits pages into sub-mapped state.
+            let lpn = (i * 7919) % working_pages;
+            let (sector, sectors) = if i % 5 == 0 {
+                (lpn * spp + 1, (spp / 2) as u32)
+            } else {
+                (lpn * spp, spp as u32)
+            };
+            let mut w = HostRequest::write(i, sector, sectors);
+            w.version = i + 1;
+            let a = serial.submit(&w).unwrap();
+            let b = piped.submit(&w).unwrap();
+            assert_eq!(
+                (a.flash_reads, a.flash_programs),
+                (b.flash_reads, b.flash_programs),
+                "{}: write {i} did different flash work",
+                scheme.name()
+            );
+        }
+        let (sa, sb) = (serial.snapshot(), piped.snapshot());
+        assert!(
+            sa.flash.erases > 0,
+            "{}: churn must trigger GC",
+            scheme.name()
+        );
+        assert_eq!(
+            format!("{:?}", sa.flash),
+            format!("{:?}", sb.flash),
+            "{}: flash stats diverged after GC churn",
+            scheme.name()
+        );
+        assert_eq!(
+            format!("{:?}", sa.counters),
+            format!("{:?}", sb.counters),
+            "{}: scheme counters diverged after GC churn",
+            scheme.name()
+        );
+        // Reads after churn must serve identical generations.
+        for lpn in (0..working_pages).step_by(13) {
+            let r = HostRequest::read(writes + lpn, lpn * spp, spp as u32);
+            let a = serial.submit(&r).unwrap();
+            let b = piped.submit(&r).unwrap();
+            assert_eq!(a.served, b.served, "{}: read {lpn} diverged", scheme.name());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn baseline_pipelined_equals_serial(ops in proptest::collection::vec(op_strategy(4096), 1..250)) {
+        run_pair(SchemeKind::Baseline, &ops)?;
+    }
+
+    #[test]
+    fn mrsm_pipelined_equals_serial(ops in proptest::collection::vec(op_strategy(4096), 1..250)) {
+        run_pair(SchemeKind::Mrsm, &ops)?;
+    }
+
+    #[test]
+    fn across_pipelined_equals_serial(ops in proptest::collection::vec(op_strategy(4096), 1..250)) {
+        run_pair(SchemeKind::Across, &ops)?;
+    }
+
+    /// Dense hammering of one page-boundary neighbourhood: maximum tpage
+    /// reuse inside a batch, so the coalescing window is always hot.
+    #[test]
+    fn across_pipelined_boundary_hammering(ops in proptest::collection::vec(
+        (any::<bool>(), 0u64..48, 1u32..=16).prop_map(|(write, sector, sectors)| Op {
+            write, sector, sectors
+        }), 1..300))
+    {
+        run_pair(SchemeKind::Across, &ops)?;
+    }
+}
