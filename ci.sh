@@ -67,7 +67,7 @@ cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme across --preset lun1 --scale 0.0014 \
     --queues 2 --queue-depth 16 --arbitration wrr --tenant-weights 3,1 \
     --json "$host_smoke" >/dev/null
-grep -q '"schema_version": 7' "$host_smoke" || { echo "hosted manifest is not schema v7"; exit 1; }
+grep -q '"schema_version": 8' "$host_smoke" || { echo "hosted manifest is not schema v8"; exit 1; }
 grep -q '"arbitration": "wrr"' "$host_smoke" || { echo "hosted manifest lost arbitration"; exit 1; }
 for tenant in '"tenant0"' '"tenant1"'; do
     grep -q "$tenant" "$host_smoke" || { echo "hosted manifest missing QoS for $tenant"; exit 1; }
@@ -92,7 +92,7 @@ fleet_smoke=target/ci_fleet_smoke.json
 cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme across --preset lun1 --scale 0.0014 \
     --devices 2 --json "$fleet_smoke" >/dev/null
-grep -q '"schema_version": 7' "$fleet_smoke" || { echo "fleet manifest is not schema v7"; exit 1; }
+grep -q '"schema_version": 8' "$fleet_smoke" || { echo "fleet manifest is not schema v8"; exit 1; }
 grep -q '"devices": 2' "$fleet_smoke" || { echo "fleet manifest lost its topology section"; exit 1; }
 grep -q '"d0/tenant0"' "$fleet_smoke" || { echo "fleet manifest missing per-device QoS rows"; exit 1; }
 cargo test --release -q -p aftl-integration --test fig8_parity \
@@ -135,7 +135,7 @@ pipe_smoke=target/ci_pipe_smoke.json
 cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme mrsm --preset lun1 --scale 0.01 \
     --pipeline --map-batch 8 --json "$pipe_smoke" >/dev/null
-grep -q '"schema_version": 7' "$pipe_smoke" || { echo "pipelined manifest is not schema v7"; exit 1; }
+grep -q '"schema_version": 8' "$pipe_smoke" || { echo "pipelined manifest is not schema v8"; exit 1; }
 grep -q '"pipeline"' "$pipe_smoke" || { echo "pipelined manifest lost its pipeline config"; exit 1; }
 if grep -q '"coalesced_lookups": 0,' "$pipe_smoke"; then
     echo "pipelined run coalesced no lookups"; exit 1
@@ -143,6 +143,39 @@ fi
 cargo test --release -q -p aftl-integration --test fig8_parity \
     pipelined >/dev/null \
     || { echo "pipelined replay diverged from the serial golden digest"; exit 1; }
+
+say "learned smoke (predict-then-verify replay)"
+# A learned-scheme replay with a DRAM-constrained mapping cache (two
+# resident translation pages) must complete, emit a schema-v8 manifest,
+# and actually serve reads from verified predictions — zero predict hits
+# would mean the model path is dead weight.
+learned_smoke=target/ci_learned_smoke.json
+cargo run --release -q -p aftl-bench --bin sim_cli -- \
+    --scheme learned --preset lun1 --scale 0.01 \
+    --cache-bytes 16384 --json "$learned_smoke" >/dev/null
+grep -q '"schema_version": 8' "$learned_smoke" || { echo "learned manifest is not schema v8"; exit 1; }
+grep -q '"learned"' "$learned_smoke" || { echo "learned manifest lost its learned counters section"; exit 1; }
+if grep -q '"predict_hits": 0,' "$learned_smoke"; then
+    echo "learned run served no predicted reads"; exit 1
+fi
+
+say "learned bench smoke (BENCH_learned manifest)"
+# The tracked map-read-traffic bench must run end to end at smoke scale
+# (reduction gate off — a short trace barely misses the cache) and emit a
+# schema-valid BENCH_learned manifest with all four schemes and a clean
+# embedded read-parity section. The full-scale >= 20 % gate runs against
+# the committed BENCH_learned.json in the bench lib tests.
+learned_bench=$PWD/target/ci_learned_bench.json
+rm -f "$learned_bench"
+cargo bench -q -p aftl-bench --bench learned_traffic -- \
+    --test --json "$learned_bench" >/dev/null
+[ -s "$learned_bench" ] || { echo "learned bench smoke wrote no manifest"; exit 1; }
+grep -q '"schema_version": 1' "$learned_bench" || { echo "learned bench manifest has wrong schema_version"; exit 1; }
+for scheme in '"FTL"' '"MRSM"' '"Across-FTL"' '"Learned-FTL"'; do
+    grep -q "$scheme" "$learned_bench" || { echo "learned bench manifest missing scheme $scheme"; exit 1; }
+done
+grep -q '"mismatches": 0' "$learned_bench" || { echo "learned bench parity found mismatches"; exit 1; }
+grep -q '"oracle_violations": 0' "$learned_bench" || { echo "learned bench parity violated the oracle"; exit 1; }
 
 say "bench smoke (replay manifest, serial + pipelined pairs)"
 # The tracked replay bench must run end to end at smoke scale and emit a

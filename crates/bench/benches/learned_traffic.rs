@@ -1,0 +1,132 @@
+//! Map-read traffic: the fig8-small workload replayed on all four schemes,
+//! map-in flash reads compared — the **tracked** learned-mapping benchmark
+//! behind `BENCH_learned.json`.
+//!
+//! Custom main (the `[[bench]]` entry sets `harness = false`) so it can
+//! emit the machine-readable manifest. Modes mirror `gc_tail`:
+//!
+//! ```text
+//! cargo bench -p aftl-bench --bench learned_traffic   # measure + print
+//!   -- --json BENCH_learned.json                      # also emit manifest
+//!      --scale 0.01                                   # workload knob
+//!      --test                                         # CI smoke: tiny scale, gate off
+//! ```
+//!
+//! There is no wall-clock timing: the comparison is *simulated* map-read
+//! traffic, so the ≥20 % reduction gate reproduces bit-for-bit. The
+//! manifest also embeds the read-parity proof (learned reads bit-identical
+//! to the baseline FTL under a shared write oracle).
+
+use aftl_bench::learnedbench::{
+    self, BenchLearnedManifest, MapTrafficRow, LEARNED_SCHEMA_VERSION, MIN_MAP_READ_REDUCTION,
+    PARITY_SCALE,
+};
+use aftl_bench::replay::{fig8_small_trace, FIG8_SMALL_SCALE};
+
+struct Opts {
+    smoke: bool,
+    json: Option<String>,
+    scale: f64,
+}
+
+/// Parse bench arguments, ignoring the flags cargo's bench runner passes
+/// through (`--bench`, filter strings, …).
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        smoke: false,
+        json: None,
+        scale: FIG8_SMALL_SCALE,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--test" => opts.smoke = true,
+            "--json" => opts.json = it.next(),
+            "--scale" => {
+                if let Some(s) = it.next().and_then(|v| v.parse().ok()) {
+                    opts.scale = s;
+                }
+            }
+            _ => {} // cargo bench pass-through (e.g. --bench, filters)
+        }
+    }
+    opts
+}
+
+fn main() {
+    let mut opts = parse_opts();
+    if opts.smoke {
+        // CI smoke: prove the pipeline (aged replay → learned counters →
+        // parity → manifest) in seconds. A short trace barely misses the
+        // mapping cache, so the reduction ratio is noise — gate off.
+        opts.scale = opts.scale.min(0.005);
+    }
+
+    let trace = fig8_small_trace(opts.scale);
+    eprintln!(
+        "learned-traffic: {} requests (scale {}), aged fig8-small device, gate {:.0}%",
+        trace.len(),
+        opts.scale,
+        MIN_MAP_READ_REDUCTION * 100.0
+    );
+
+    let results: Vec<MapTrafficRow> = learnedbench::measure_map_traffic(&trace);
+    for r in &results {
+        eprintln!(
+            "{:<11} map reads {:>8}  data reads {:>8}  map share {:>5.1}%  [{} predict hits, {} mis-predicts, {} rebuilds, {} map-ins saved]",
+            r.scheme,
+            r.map_reads,
+            r.data_reads,
+            r.map_read_share * 100.0,
+            r.predict_hits,
+            r.mispredicts,
+            r.segment_rebuilds,
+            r.map_ins_saved,
+        );
+    }
+    let map_read_reduction = learnedbench::map_read_reduction(&results);
+    eprintln!(
+        "map-read reduction vs FTL: {:.1}%",
+        map_read_reduction * 100.0
+    );
+
+    let parity_scale = PARITY_SCALE.min(opts.scale);
+    let parity = learnedbench::read_parity(&fig8_small_trace(parity_scale), parity_scale);
+    eprintln!(
+        "read parity vs FTL: {} reads compared, {} mismatches, {} oracle violations",
+        parity.checked_reads, parity.mismatches, parity.oracle_violations
+    );
+
+    let manifest = BenchLearnedManifest {
+        schema_version: LEARNED_SCHEMA_VERSION,
+        workload: "fig8-small".to_string(),
+        scale: opts.scale,
+        gate: MIN_MAP_READ_REDUCTION,
+        results,
+        map_read_reduction,
+        parity,
+    };
+    learnedbench::validate_learned_manifest(&manifest, !opts.smoke)
+        .expect("learned-traffic manifest passes its gate");
+    eprintln!(
+        "gate: {:.3} >= {MIN_MAP_READ_REDUCTION}  {}",
+        manifest.map_read_reduction,
+        if opts.smoke {
+            "(smoke: gate off)"
+        } else {
+            "ok"
+        }
+    );
+
+    if let Some(path) = &opts.json {
+        let json = serde_json::to_string_pretty(&manifest).expect("manifest serializes");
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("mkdir {}: {e}", dir.display()));
+            }
+        }
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+}

@@ -103,16 +103,19 @@ struct Cli {
     gc: GcTuning,
     pipeline: bool,
     map_batch: Option<u32>,
+    learned_max_error: Option<u32>,
+    learned_retrain: Option<u32>,
+    cache_bytes: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sim_cli --scheme <ftl|mrsm|across> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F] [--burst N,PERIOD_NS,SPACING_NS]\n               [--devices N] [--device-inflight N] [--host-seed N]\n               [--gc-policy greedy|cost-benefit|windowed] [--gc-preempt-pages N] [--gc-window N]\n               [--gc-threshold F] [--gc-hysteresis F] [--gc-urgent-ratio F] [--gc-idle-headroom F]\n               [--gc-throttle-fraction F] [--gc-throttle-delay-ns N]\n               [--pipeline] [--map-batch N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
+        "usage: sim_cli --scheme <ftl|mrsm|across|learned> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F] [--burst N,PERIOD_NS,SPACING_NS]\n               [--devices N] [--device-inflight N] [--host-seed N]\n               [--gc-policy greedy|cost-benefit|windowed] [--gc-preempt-pages N] [--gc-window N]\n               [--gc-threshold F] [--gc-hysteresis F] [--gc-urgent-ratio F] [--gc-idle-headroom F]\n               [--gc-throttle-fraction F] [--gc-throttle-delay-ns N]\n               [--pipeline] [--map-batch N]\n               [--learned-max-error N] [--learned-retrain N] [--cache-bytes N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
     );
     std::process::exit(2);
 }
 
-fn parse_cli() -> Cli {
+fn parse_cli() -> Result<Cli, CliError> {
     let mut cli = Cli {
         scheme: SchemeKind::Across,
         page: 8192,
@@ -140,16 +143,27 @@ fn parse_cli() -> Cli {
         gc: GcTuning::default(),
         pipeline: false,
         map_batch: None,
+        learned_max_error: None,
+        learned_retrain: None,
+        cache_bytes: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scheme" => {
-                cli.scheme = match it.next().as_deref() {
-                    Some("ftl") => SchemeKind::Baseline,
-                    Some("mrsm") => SchemeKind::Mrsm,
-                    Some("across") => SchemeKind::Across,
-                    _ => usage(),
+                let v = it.next().unwrap_or_else(|| usage());
+                cli.scheme = match v.as_str() {
+                    "ftl" => SchemeKind::Baseline,
+                    "mrsm" => SchemeKind::Mrsm,
+                    "across" => SchemeKind::Across,
+                    "learned" => SchemeKind::Learned,
+                    _ => {
+                        return Err(CliError::Invalid {
+                            flag: "--scheme",
+                            got: v,
+                            why: "unknown scheme; expected one of ftl, mrsm, across, learned",
+                        })
+                    }
                 }
             }
             "--page" => {
@@ -377,11 +391,29 @@ fn parse_cli() -> Cli {
                     usage()
                 }
             }
+            "--learned-max-error" => {
+                cli.learned_max_error = it.next().and_then(|v| v.parse().ok());
+                if cli.learned_max_error.is_none() {
+                    usage()
+                }
+            }
+            "--learned-retrain" => {
+                cli.learned_retrain = it.next().and_then(|v| v.parse().ok());
+                if cli.learned_retrain.is_none() {
+                    usage()
+                }
+            }
+            "--cache-bytes" => {
+                cli.cache_bytes = it.next().and_then(|v| v.parse().ok());
+                if cli.cache_bytes.is_none() {
+                    usage()
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
-    cli
+    Ok(cli)
 }
 
 /// Range checks on values that *parse* but make no physical sense —
@@ -458,6 +490,33 @@ fn validate(cli: &Cli) -> Result<(), CliError> {
             return Err(invalid(flag, rate, "probability must be in [0, 1]"));
         }
     }
+    if let Some(e) = cli.learned_max_error {
+        if e > 64 {
+            return Err(invalid(
+                "--learned-max-error",
+                e,
+                "prediction window half-width must be at most 64 pages",
+            ));
+        }
+    }
+    if let Some(r) = cli.learned_retrain {
+        if r == 0 {
+            return Err(invalid(
+                "--learned-retrain",
+                r,
+                "retrain threshold must be at least 1",
+            ));
+        }
+    }
+    if let Some(b) = cli.cache_bytes {
+        if b < u64::from(cli.page) {
+            return Err(invalid(
+                "--cache-bytes",
+                b,
+                "mapping cache must hold at least one translation page (>= --page bytes)",
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -493,7 +552,7 @@ fn main() {
 }
 
 fn run() -> Result<(), CliError> {
-    let cli = parse_cli();
+    let cli = parse_cli()?;
     validate(&cli)?;
     let mut trace = load_trace(&cli)?;
     let mut config = SimConfig::experiment(cli.scheme, cli.page);
@@ -512,6 +571,15 @@ fn run() -> Result<(), CliError> {
     config.scheme_cfg.pipeline.enabled = cli.pipeline;
     if let Some(n) = cli.map_batch {
         config.scheme_cfg.pipeline.map_batch = n;
+    }
+    if let Some(e) = cli.learned_max_error {
+        config.scheme_cfg.learned.max_error = e;
+    }
+    if let Some(r) = cli.learned_retrain {
+        config.scheme_cfg.learned.retrain_threshold = r;
+    }
+    if let Some(b) = cli.cache_bytes {
+        config.scheme_cfg.cache_bytes = b;
     }
     let open_issue = |cli: &Cli| -> IssueModel {
         if let Some((burst, period_ns, spacing_ns)) = cli.burst {
@@ -642,6 +710,13 @@ fn run() -> Result<(), CliError> {
             report.map_engine.batched_map_reads,
             report.map_engine.coalesced_lookups,
             report.map_engine.ooo_completions
+        );
+    }
+    if cli.scheme == SchemeKind::Learned {
+        let l = &report.learned;
+        println!(
+            "learned mapping  : {} predict hits, {} mis-predicts, {} verify reads, {} rebuilds, {} map-ins saved",
+            l.predict_hits, l.mispredicts, l.verify_reads, l.segment_rebuilds, l.map_ins_saved
         );
     }
     if cli.scheme == SchemeKind::Across {

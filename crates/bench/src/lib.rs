@@ -23,6 +23,7 @@ use std::path::PathBuf;
 pub mod fleetbench;
 pub mod gctail;
 pub mod hostbench;
+pub mod learnedbench;
 pub mod replay;
 
 /// Command-line options shared by the figure binaries.

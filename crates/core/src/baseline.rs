@@ -237,6 +237,7 @@ mod tests {
             gc_hysteresis: 0.0005,
             gc: Default::default(),
             pipeline: Default::default(),
+            learned: Default::default(),
         };
         let ftl = BaselineFtl::new(&g, cfg);
         (array, alloc, ftl)

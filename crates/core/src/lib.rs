@@ -15,6 +15,10 @@
 //!   read-modify-write, at the cost of a much larger, tree-structured
 //!   mapping table.
 //!
+//! A fourth comparator goes beyond the paper's own set: [`learned`] —
+//! piecewise-linear LPN→PPN models with predict-then-verify reads that
+//! eliminate most translation-page "double reads" (LearnedFTL-style).
+//!
 //! Shared infrastructure: [`request`] (host requests and page extents),
 //! [`mapping`] (page/across mapping tables and the DFTL-style DRAM mapping
 //! cache that spills translation pages to flash), [`gc`] (preemptible,
@@ -32,6 +36,7 @@ pub mod across;
 pub mod baseline;
 pub mod counters;
 pub mod gc;
+pub mod learned;
 pub mod mapping;
 pub mod mrsm;
 pub mod obs;
@@ -44,6 +49,7 @@ pub use across::{AcrossFtl, AcrossOptions};
 pub use baseline::BaselineFtl;
 pub use counters::SchemeCounters;
 pub use gc::{GcConfig, GcPolicy, GcReport, GcState, GcTuning};
+pub use learned::{LearnedConfig, LearnedFtl, LearnedStats};
 pub use mapping::cache::{CacheStats, MapCache};
 pub use mapping::engine::{MapEngine, MapEngineStats, PipelineConfig};
 pub use mrsm::MrsmFtl;

@@ -370,6 +370,14 @@ impl MapCache {
     pub fn flash_tpages(&self) -> usize {
         self.flash_loc.len()
     }
+
+    /// Whether touching `tpid` right now would issue a map-in flash read
+    /// (not resident, but a translation page exists on flash) — the
+    /// "double read" a verified learned prediction avoids. Non-mutating:
+    /// no counters tick and no LRU state moves.
+    pub fn would_load(&self, tpid: u64) -> bool {
+        self.resident.get(tpid).is_none() && self.flash_loc.get(tpid).is_some()
+    }
 }
 
 #[cfg(test)]

@@ -178,6 +178,14 @@ impl MapEngine {
         self.cache.note_migrated(tpid, new_ppn);
     }
 
+    /// Whether a PMT consultation of `tpid` right now would pay a map-in
+    /// flash read (see [`MapCache::would_load`]); the learned scheme uses
+    /// this to count map-ins its verified predictions actually saved.
+    #[inline]
+    pub fn would_load(&self, tpid: u64) -> bool {
+        self.cache.would_load(tpid)
+    }
+
     /// Start the resolution stage of a new request batch dispatched at
     /// `now`. Resets the serial-ready watermark the out-of-order counter
     /// compares against; the coalescing window itself survives as long as

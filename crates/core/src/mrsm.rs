@@ -1226,6 +1226,7 @@ mod tests {
             gc_hysteresis: 0.0005,
             gc: Default::default(),
             pipeline: Default::default(),
+            learned: Default::default(),
         };
         let ftl = MrsmFtl::new(&g, cfg);
         (array, alloc, ftl)
@@ -1243,6 +1244,7 @@ mod tests {
             gc_hysteresis: 0.0005,
             gc: Default::default(),
             pipeline: crate::mapping::engine::PipelineConfig::on(),
+            learned: Default::default(),
         };
         let ftl = MrsmFtl::new(&g, cfg);
         (array, alloc, ftl)

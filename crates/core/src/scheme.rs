@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::counters::SchemeCounters;
 use crate::gc::{GcReport, GcTuning};
+use crate::learned::{LearnedConfig, LearnedStats};
 use crate::mapping::cache::CacheStats;
 use crate::mapping::engine::{MapEngineStats, PipelineConfig};
 use crate::mapping::pmt::PageMapTable;
@@ -25,11 +26,25 @@ pub enum SchemeKind {
     Mrsm,
     /// The paper's Across-FTL: re-aligns across-page requests.
     Across,
+    /// Learned piecewise-linear LPN→PPN mapping with predict-then-verify
+    /// reads and PMT fallback (PR 9, beyond the paper's comparison set).
+    Learned,
 }
 
 impl SchemeKind {
-    /// Every scheme, in the order the paper's figures list them.
+    /// The paper's three schemes, in the order its figures list them.
+    /// The learned comparator is not part of the paper's own comparison
+    /// set, so figure reproductions iterate this; experiments that want
+    /// the fourth scheme use [`SchemeKind::WITH_LEARNED`].
     pub const ALL: [SchemeKind; 3] = [SchemeKind::Baseline, SchemeKind::Mrsm, SchemeKind::Across];
+
+    /// All four schemes including the learned comparator.
+    pub const WITH_LEARNED: [SchemeKind; 4] = [
+        SchemeKind::Baseline,
+        SchemeKind::Mrsm,
+        SchemeKind::Across,
+        SchemeKind::Learned,
+    ];
 
     /// Display name used in tables and reports.
     pub fn name(self) -> &'static str {
@@ -37,6 +52,7 @@ impl SchemeKind {
             SchemeKind::Baseline => "FTL",
             SchemeKind::Mrsm => "MRSM",
             SchemeKind::Across => "Across-FTL",
+            SchemeKind::Learned => "Learned-FTL",
         }
     }
 }
@@ -138,6 +154,10 @@ pub struct SchemeConfig {
     /// so pre-v7 manifests still deserialize.
     #[serde(default)]
     pub pipeline: PipelineConfig,
+    /// Learned-mapping knobs (PR 9). Serde-defaulted so pre-v8 manifests
+    /// still deserialize; only [`SchemeKind::Learned`] reads them.
+    #[serde(default)]
+    pub learned: LearnedConfig,
 }
 
 fn default_gc_hysteresis() -> f64 {
@@ -164,6 +184,7 @@ impl SchemeConfig {
             gc_hysteresis: default_gc_hysteresis(),
             gc: GcTuning::default(),
             pipeline: PipelineConfig::default(),
+            learned: LearnedConfig::default(),
         }
     }
 
@@ -212,6 +233,12 @@ pub trait FtlScheme {
     /// for schemes that bypass the engine).
     fn map_engine_stats(&self) -> MapEngineStats {
         MapEngineStats::default()
+    }
+
+    /// Learned-mapping counters (all zero for every scheme except
+    /// [`SchemeKind::Learned`]).
+    fn learned_stats(&self) -> LearnedStats {
+        LearnedStats::default()
     }
 
     /// Modelled mapping-table footprint in bytes (Figure 12(a)).

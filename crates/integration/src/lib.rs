@@ -50,6 +50,7 @@ pub fn small_ssd_config(scheme: SchemeKind, fault: aftl_flash::FaultConfig) -> S
             gc_hysteresis: 0.0005,
             gc: Default::default(),
             pipeline: Default::default(),
+            learned: Default::default(),
         },
         warmup: aftl_sim::config::WarmupConfig {
             used_fraction: 0.0,

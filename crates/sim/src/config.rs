@@ -153,6 +153,7 @@ impl SimConfig {
                 gc_hysteresis: 0.0005,
                 gc: Default::default(),
                 pipeline: Default::default(),
+                learned: Default::default(),
             },
             warmup: WarmupConfig {
                 used_fraction: 0.0,

@@ -73,6 +73,7 @@ pub fn run_on_device_keep(mut ssd: Ssd, trace: &Trace) -> Result<(RunReport, Ssd
         counters: counters_delta(&end.counters, &base.counters),
         cache: cache_delta(&end.cache, &base.cache),
         map_engine: end.map_engine.delta(&base.map_engine),
+        learned: end.learned.delta(&base.learned),
         gc,
         mapping_table_bytes: ssd.scheme().mapping_table_bytes(),
         sim_span_ns: last_complete,
@@ -150,6 +151,7 @@ pub fn run_grid(traces: &[Trace], page_bytes: u32) -> Result<Vec<ComparisonRepor
             SchemeKind::Baseline => 0,
             SchemeKind::Mrsm => 1,
             SchemeKind::Across => 2,
+            SchemeKind::Learned => 3,
         });
     }
     Ok(out)

@@ -109,6 +109,7 @@ pub(crate) struct DeviceRun {
     pub(crate) counters: aftl_core::counters::SchemeCounters,
     pub(crate) cache: aftl_core::mapping::cache::CacheStats,
     pub(crate) map_engine: aftl_core::mapping::engine::MapEngineStats,
+    pub(crate) learned: aftl_core::LearnedStats,
     pub(crate) span_ns: Nanos,
     pub(crate) tenants: Vec<aftl_host::TenantOutcome>,
     pub(crate) acc: Vec<TenantAcc>,
@@ -191,6 +192,7 @@ pub(crate) fn run_device(
         counters: counters_delta(&end.counters, &base.counters),
         cache: cache_delta(&end.cache, &base.cache),
         map_engine: end.map_engine.delta(&base.map_engine),
+        learned: end.learned.delta(&base.learned),
         span_ns: outcome.span_ns,
         tenants: outcome.tenants,
         acc,
@@ -257,6 +259,7 @@ pub(crate) fn assemble_report(
     let mut counters = aftl_core::counters::SchemeCounters::default();
     let mut cache = aftl_core::mapping::cache::CacheStats::default();
     let mut map_engine = aftl_core::mapping::engine::MapEngineStats::default();
+    let mut learned = aftl_core::LearnedStats::default();
     let mut span_ns: Nanos = 0;
     let mut requests = 0u64;
     let mut mapping_table_bytes = 0u64;
@@ -268,6 +271,7 @@ pub(crate) fn assemble_report(
         counters.merge(&run.counters);
         cache.merge(&run.cache);
         map_engine.merge(&run.map_engine);
+        learned.merge(&run.learned);
         span_ns = span_ns.max(run.span_ns);
         requests += run.requests;
         mapping_table_bytes += run.ssd.scheme().mapping_table_bytes();
@@ -296,6 +300,7 @@ pub(crate) fn assemble_report(
         counters,
         cache,
         map_engine,
+        learned,
         gc,
         mapping_table_bytes,
         sim_span_ns: u128::from(span_ns),

@@ -3,6 +3,7 @@
 //! assembled manifest type lives in [`crate::report`].
 
 use aftl_core::counters::SchemeCounters;
+use aftl_core::learned::LearnedStats;
 use aftl_core::mapping::cache::CacheStats;
 use aftl_core::mapping::engine::MapEngineStats;
 use aftl_flash::stats::KindCounts;
@@ -133,6 +134,9 @@ pub struct StatsSnapshot {
     pub cache: CacheStats,
     /// Pipelined map-engine counters at snapshot time.
     pub map_engine: MapEngineStats,
+    /// Learned-mapping counters at snapshot time (all zero for the
+    /// paper's three schemes).
+    pub learned: LearnedStats,
 }
 
 fn sub_kind(a: KindCounts, b: KindCounts) -> KindCounts {

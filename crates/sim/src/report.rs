@@ -11,6 +11,7 @@
 
 use aftl_core::counters::SchemeCounters;
 use aftl_core::gc::GcReport;
+use aftl_core::learned::LearnedStats;
 use aftl_core::mapping::cache::CacheStats;
 use aftl_core::mapping::engine::MapEngineStats;
 use aftl_core::scheme::SchemeKind;
@@ -41,10 +42,13 @@ use crate::warmup::WarmupStats;
 /// the `gc_pause` latency bucket. v7 added the pipelined map engine:
 /// the `PipelineConfig` echo inside `config.scheme_cfg` and the
 /// [`MapEngineStats`] `map_engine` section (batched map-in reads,
-/// coalesced lookups, out-of-order completions). Every addition carries
-/// a serde default, so v2–v6 manifests still deserialize (see the
-/// `v*_manifest_still_deserializes` tests).
-pub const SCHEMA_VERSION: u32 = 7;
+/// coalesced lookups, out-of-order completions). v8 added the learned
+/// mapping scheme: the `LearnedConfig` echo inside `config.scheme_cfg`
+/// and the [`LearnedStats`] `learned` section (predict hits,
+/// mis-predicts, verify reads, segment rebuilds, map-ins saved). Every
+/// addition carries a serde default, so v2–v7 manifests still
+/// deserialize (see the `v*_manifest_still_deserializes` tests).
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// The complete result of replaying one trace on one scheme — the run
 /// manifest.
@@ -79,6 +83,10 @@ pub struct RunReport {
     /// Serde-defaulted: absent from pre-v7 manifests.
     #[serde(default)]
     pub map_engine: MapEngineStats,
+    /// Learned-mapping counters (all zero for the paper's three
+    /// schemes). Serde-defaulted: absent from pre-v8 manifests.
+    #[serde(default)]
+    pub learned: LearnedStats,
     /// Accumulated GC work.
     pub gc: GcReport,
     /// Resident mapping-table footprint.
@@ -510,6 +518,48 @@ mod tests {
         assert_eq!(back.map_engine.batched_map_reads, 0);
         assert_eq!(back.map_engine.coalesced_lookups, 0);
         assert_eq!(back.map_engine.ooo_completions, 0);
+    }
+
+    #[test]
+    fn v7_manifest_still_deserializes() {
+        // Simulate a schema-v7 manifest (pre-learned-mapping) by
+        // stripping every `learned` key from a fresh report's value tree:
+        // the `LearnedConfig` echo inside `config.scheme_cfg` and the
+        // top-level `learned` counter section. Both carry serde defaults.
+        use serde::Deserialize;
+        use serde::Value;
+        fn strip(v: &mut Value) {
+            if let Value::Map(entries) = v {
+                entries.retain(|(k, _)| k != "learned");
+                for (k, v) in entries.iter_mut() {
+                    if k == "schema_version" {
+                        *v = Value::U128(7);
+                    }
+                    strip(v);
+                }
+            } else if let Value::Seq(items) = v {
+                for item in items {
+                    strip(item);
+                }
+            }
+        }
+
+        let mut config = SimConfig::test_tiny(SchemeKind::Baseline);
+        config.track_content = false;
+        let report = run_single_with(config, &tiny_trace()).unwrap();
+        let mut v = serde_json::to_value(&report);
+        strip(&mut v);
+        let back = RunReport::from_value(&v).expect("v7 manifest deserializes");
+        assert_eq!(back.schema_version, 7);
+        assert_eq!(back.requests, report.requests);
+        assert_eq!(back.learned.predict_hits, 0, "defaulted learned section");
+        assert_eq!(back.learned.mispredicts, 0);
+        assert_eq!(back.learned.map_ins_saved, 0);
+        assert_eq!(
+            back.config.scheme_cfg.learned.max_error,
+            aftl_core::LearnedConfig::default().max_error,
+            "defaulted learned config echo"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use aftl_core::gc::GcReport;
 use aftl_core::request::{HostRequest, ReqKind};
 use aftl_core::scheme::{FtlEnv, FtlScheme, SchemeKind, ServedSector};
-use aftl_core::{AcrossFtl, BaselineFtl, MrsmFtl};
+use aftl_core::{AcrossFtl, BaselineFtl, LearnedFtl, MrsmFtl};
 use aftl_flash::{Allocator, FlashArray, FlashError, Nanos, Result};
 use aftl_trace::{IoOp, IoRecord};
 
@@ -52,6 +52,7 @@ impl Ssd {
             SchemeKind::Baseline => Box::new(BaselineFtl::new(&config.geometry, config.scheme_cfg)),
             SchemeKind::Mrsm => Box::new(MrsmFtl::new(&config.geometry, config.scheme_cfg)),
             SchemeKind::Across => Box::new(AcrossFtl::new(&config.geometry, config.scheme_cfg)),
+            SchemeKind::Learned => Box::new(LearnedFtl::new(&config.geometry, config.scheme_cfg)),
         };
         Self::with_scheme(config, scheme)
     }
@@ -160,6 +161,7 @@ impl Ssd {
             counters,
             cache: self.scheme.cache_stats(),
             map_engine: self.scheme.map_engine_stats(),
+            learned: self.scheme.learned_stats(),
         }
     }
 

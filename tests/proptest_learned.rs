@@ -1,0 +1,280 @@
+//! Learned-vs-baseline read parity: the learned scheme is a different
+//! *lookup* strategy over the same logical store — predictions are
+//! verified against the on-flash LPN tag and fall back to the PMT, so
+//! replaying an identical request sequence must serve bit-identical data
+//! on both schemes, request by request.
+//!
+//! Three angles:
+//! * arbitrary write/read mixes (proptest, faults off): strict equality
+//!   of every read's served sectors, both devices also checked against
+//!   the shared write oracle;
+//! * sustained overwrite churn past device capacity: GC repacks (sorted
+//!   on the learned device, in-order on the baseline) must preserve
+//!   parity through relocation and model retraining;
+//! * seeded transient faults on both devices: fault decisions depend on
+//!   each scheme's own flash-operation sequence, so the schemes may lose
+//!   different pages — but every served sector must carry its oracle
+//!   version or the explicit [`LOST_VERSION`] marker, and wherever both
+//!   devices served real data the versions must agree. Never silent
+//!   corruption, never divergence hidden behind a fault.
+
+use std::collections::HashMap;
+
+use aftl_core::oracle::Oracle;
+use aftl_core::request::{HostRequest, ReqKind};
+use aftl_core::scheme::{SchemeKind, ServedSector};
+use aftl_core::LOST_VERSION;
+use aftl_flash::{FaultConfig, FlashError};
+use aftl_integration::small_ssd_config;
+use aftl_sim::Ssd;
+use proptest::prelude::*;
+
+/// [`aftl_integration::small_ssd`] with the mapping cache squeezed to a
+/// single resident translation page. The stock helper's cache holds the
+/// whole PMT, and under the CMT-first lookup order a fully resident PMT
+/// means the model never fires — this device actually misses, so reads
+/// are served by verified predictions too, not just the fallback path.
+fn pressured_ssd(scheme: SchemeKind, fault: FaultConfig) -> Ssd {
+    let mut config = small_ssd_config(scheme, fault);
+    config.scheme_cfg.cache_bytes = u64::from(config.geometry.page_bytes);
+    Ssd::new(config).expect("device")
+}
+
+#[derive(Debug, Clone)]
+struct Op {
+    write: bool,
+    sector: u64,
+    sectors: u32,
+}
+
+fn op_strategy(span: u64) -> impl Strategy<Value = Op> {
+    (any::<bool>(), 0..span - 40, 1u32..=24).prop_map(|(write, sector, sectors)| Op {
+        write,
+        sector,
+        sectors,
+    })
+}
+
+fn sorted(served: &[ServedSector]) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = served.iter().map(|s| (s.sector, s.version)).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Drive the same (oracle-stamped) ops through a baseline and a learned
+/// device, demanding bit-identical served sectors on every read and a
+/// clean oracle verdict on both.
+fn run_parity(ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut ftl = pressured_ssd(SchemeKind::Baseline, FaultConfig::disabled());
+    let mut learned = pressured_ssd(SchemeKind::Learned, FaultConfig::disabled());
+    let mut oracle = Oracle::new();
+    for (i, op) in ops.iter().enumerate() {
+        let req = if op.write {
+            let mut w = HostRequest::write(i as u64, op.sector, op.sectors);
+            oracle.stamp_write(&mut w);
+            w
+        } else {
+            HostRequest::read(i as u64, op.sector, op.sectors)
+        };
+        let a = ftl.submit(&req).unwrap();
+        let b = learned.submit(&req).unwrap();
+        if req.kind == ReqKind::Read {
+            prop_assert!(
+                a.served == b.served,
+                "op {i}: learned served different data: {:?} vs {:?}",
+                a.served,
+                b.served
+            );
+            for (name, done) in [("FTL", &a), ("Learned-FTL", &b)] {
+                let violations = oracle.check_read(&req, &done.served);
+                prop_assert!(
+                    violations.is_empty(),
+                    "{name}: op {i} violated the oracle: {violations:?}"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sustained overwrite past device capacity on both schemes: GC must run
+/// on each (erases > 0), the learned device's sorted repack included, and
+/// a full read sweep afterwards must stay bit-identical and oracle-clean.
+#[test]
+fn gc_churn_learned_equals_baseline() {
+    let mut ftl = pressured_ssd(SchemeKind::Baseline, FaultConfig::disabled());
+    let mut learned = pressured_ssd(SchemeKind::Learned, FaultConfig::disabled());
+    let mut oracle = Oracle::new();
+    let spp = u64::from(ftl.spp());
+    // A translation page maps 1024 LPNs here, so 3/4 of the logical span
+    // covers three tpages — the one-tpage cache has to juggle them while
+    // GC has its 10 % headroom plus the unwritten tail to work with.
+    let working_pages = ftl.scheme().logical_pages() * 3 / 4;
+    let writes = ftl.array().geometry().total_pages() * 2;
+    for i in 0..writes {
+        // Co-prime stride over the working set; a partial-write minority
+        // keeps read-modify-write on both write paths.
+        let lpn = (i * 7919) % working_pages;
+        let (sector, sectors) = if i % 5 == 0 {
+            (lpn * spp + 1, (spp / 2) as u32)
+        } else {
+            (lpn * spp, spp as u32)
+        };
+        let mut w = HostRequest::write(i, sector, sectors);
+        oracle.stamp_write(&mut w);
+        ftl.submit(&w).unwrap();
+        learned.submit(&w).unwrap();
+    }
+    assert!(ftl.snapshot().flash.erases > 0, "FTL churn must trigger GC");
+    assert!(
+        learned.snapshot().flash.erases > 0,
+        "learned churn must trigger GC"
+    );
+    // Sweep the working set in the same co-prime stride order: successive
+    // reads land on different translation pages, so the one-tpage cache
+    // would charge a map-in for most of them — prediction territory.
+    for j in 0..working_pages {
+        let lpn = (j * 7919) % working_pages;
+        let r = HostRequest::read(writes + j, lpn * spp, spp as u32);
+        let a = ftl.submit(&r).unwrap();
+        let b = learned.submit(&r).unwrap();
+        assert_eq!(a.served, b.served, "read of lpn {lpn} diverged after GC");
+        assert!(
+            oracle.check_read(&r, &b.served).is_empty(),
+            "lpn {lpn}: learned read violated the oracle after GC"
+        );
+    }
+    let st = learned.snapshot().learned;
+    assert_eq!(st.mispredicts, 0, "exact models never mis-predict");
+    assert!(
+        st.predict_hits > 0,
+        "the pressured cache must have let the model serve reads"
+    );
+}
+
+/// Same op stream through both schemes with seeded transient faults on
+/// each. The two devices issue different flash-operation sequences, so
+/// the injector's decisions — and therefore which pages end up lost —
+/// may differ; the contract is per-device integrity (served version is
+/// the last acknowledged one, a rejected write's, or [`LOST_VERSION`])
+/// plus agreement wherever both devices served real data.
+fn run_faulty_parity(fault_seed: u64, ops: &[Op]) -> Result<(), TestCaseError> {
+    let fault = FaultConfig {
+        seed: fault_seed,
+        read_fail_rate: 0.02,
+        program_fail_rate: 0.01,
+        erase_fail_rate: 0.01,
+        ..FaultConfig::disabled()
+    };
+    let mut ftl = pressured_ssd(SchemeKind::Baseline, fault);
+    let mut learned = pressured_ssd(SchemeKind::Learned, fault);
+    let mut committed: HashMap<u64, u64> = HashMap::new();
+    let mut tentative: [HashMap<u64, u64>; 2] = [HashMap::new(), HashMap::new()];
+    let mut version = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        if op.write {
+            let mut req = HostRequest::write(i as u64, op.sector, op.sectors);
+            version += 1;
+            req.version = version;
+            let mut acked = [false; 2];
+            for (d, ssd) in [&mut ftl, &mut learned].into_iter().enumerate() {
+                match ssd.submit(&req) {
+                    Ok(_) => acked[d] = true,
+                    // A write rejected mid-flight may be partially applied
+                    // on that device only.
+                    Err(FlashError::ReadOnlyMode) => {
+                        for s in req.sector..req.end_sector() {
+                            tentative[d].insert(s, version);
+                        }
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("write failed: {e}"))),
+                }
+            }
+            if acked[0] && acked[1] {
+                for s in req.sector..req.end_sector() {
+                    committed.insert(s, version);
+                    tentative[0].remove(&s);
+                    tentative[1].remove(&s);
+                }
+            } else {
+                // Acknowledged on one device only: that device serves the
+                // new version, the other the old one — track per device.
+                for (d, ok) in acked.iter().enumerate() {
+                    if *ok {
+                        for s in req.sector..req.end_sector() {
+                            tentative[d].insert(s, version);
+                        }
+                    }
+                }
+            }
+        } else {
+            let req = HostRequest::read(i as u64, op.sector, op.sectors);
+            let a = sorted(&ftl.submit(&req).unwrap().served);
+            let b = sorted(&learned.submit(&req).unwrap().served);
+            prop_assert_eq!(a.len(), b.len());
+            for (d, served) in [&a, &b].into_iter().enumerate() {
+                let name = ["FTL", "Learned-FTL"][d];
+                for &(sector, got) in served.iter() {
+                    let want = committed.get(&sector).copied().unwrap_or(0);
+                    let tent = tentative[d].get(&sector).copied();
+                    prop_assert!(
+                        got == want || Some(got) == tent || got == LOST_VERSION,
+                        "{name}: op {i} sector {sector} served v{got} \
+                         (committed {want}, tentative {tent:?})"
+                    );
+                }
+            }
+            for (&(sa, va), &(sb, vb)) in a.iter().zip(&b) {
+                prop_assert_eq!(sa, sb);
+                let diverged_cleanly = va == LOST_VERSION
+                    || vb == LOST_VERSION
+                    || tentative[0].contains_key(&sa)
+                    || tentative[1].contains_key(&sa);
+                prop_assert!(
+                    va == vb || diverged_cleanly,
+                    "op {i} sector {sa}: silent divergence v{va} vs v{vb}"
+                );
+            }
+        }
+    }
+    // The run must actually have exercised the fault machinery.
+    for (name, ssd) in [("FTL", &ftl), ("Learned-FTL", &learned)] {
+        let stats = ssd.array().stats();
+        prop_assert!(
+            stats.read_faults + stats.program_faults + stats.erase_faults > 0,
+            "{name}: no faults injected: {stats:?}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn learned_reads_equal_baseline(ops in proptest::collection::vec(op_strategy(24_576), 1..300)) {
+        run_parity(&ops)?;
+    }
+
+    /// Dense hammering of a small neighbourhood: maximum overwrite churn,
+    /// so segments are punched and retrained constantly.
+    #[test]
+    fn learned_reads_equal_baseline_hammering(ops in proptest::collection::vec(
+        (any::<bool>(), 0u64..64, 1u32..=16).prop_map(|(write, sector, sectors)| Op {
+            write, sector, sectors
+        }), 1..300))
+    {
+        run_parity(&ops)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn learned_integrity_under_faults(
+        case in (1u64..1 << 48, proptest::collection::vec(op_strategy(24_576), 400..800))
+    ) {
+        run_faulty_parity(case.0, &case.1)?;
+    }
+}
