@@ -67,7 +67,7 @@ cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme across --preset lun1 --scale 0.0014 \
     --queues 2 --queue-depth 16 --arbitration wrr --tenant-weights 3,1 \
     --json "$host_smoke" >/dev/null
-grep -q '"schema_version": 8' "$host_smoke" || { echo "hosted manifest is not schema v8"; exit 1; }
+grep -q '"schema_version": 9' "$host_smoke" || { echo "hosted manifest is not schema v9"; exit 1; }
 grep -q '"arbitration": "wrr"' "$host_smoke" || { echo "hosted manifest lost arbitration"; exit 1; }
 for tenant in '"tenant0"' '"tenant1"'; do
     grep -q "$tenant" "$host_smoke" || { echo "hosted manifest missing QoS for $tenant"; exit 1; }
@@ -92,7 +92,7 @@ fleet_smoke=target/ci_fleet_smoke.json
 cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme across --preset lun1 --scale 0.0014 \
     --devices 2 --json "$fleet_smoke" >/dev/null
-grep -q '"schema_version": 8' "$fleet_smoke" || { echo "fleet manifest is not schema v8"; exit 1; }
+grep -q '"schema_version": 9' "$fleet_smoke" || { echo "fleet manifest is not schema v9"; exit 1; }
 grep -q '"devices": 2' "$fleet_smoke" || { echo "fleet manifest lost its topology section"; exit 1; }
 grep -q '"d0/tenant0"' "$fleet_smoke" || { echo "fleet manifest missing per-device QoS rows"; exit 1; }
 cargo test --release -q -p aftl-integration --test fig8_parity \
@@ -135,7 +135,7 @@ pipe_smoke=target/ci_pipe_smoke.json
 cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme mrsm --preset lun1 --scale 0.01 \
     --pipeline --map-batch 8 --json "$pipe_smoke" >/dev/null
-grep -q '"schema_version": 8' "$pipe_smoke" || { echo "pipelined manifest is not schema v8"; exit 1; }
+grep -q '"schema_version": 9' "$pipe_smoke" || { echo "pipelined manifest is not schema v9"; exit 1; }
 grep -q '"pipeline"' "$pipe_smoke" || { echo "pipelined manifest lost its pipeline config"; exit 1; }
 if grep -q '"coalesced_lookups": 0,' "$pipe_smoke"; then
     echo "pipelined run coalesced no lookups"; exit 1
@@ -153,7 +153,7 @@ learned_smoke=target/ci_learned_smoke.json
 cargo run --release -q -p aftl-bench --bin sim_cli -- \
     --scheme learned --preset lun1 --scale 0.01 \
     --cache-bytes 16384 --json "$learned_smoke" >/dev/null
-grep -q '"schema_version": 8' "$learned_smoke" || { echo "learned manifest is not schema v8"; exit 1; }
+grep -q '"schema_version": 9' "$learned_smoke" || { echo "learned manifest is not schema v9"; exit 1; }
 grep -q '"learned"' "$learned_smoke" || { echo "learned manifest lost its learned counters section"; exit 1; }
 if grep -q '"predict_hits": 0,' "$learned_smoke"; then
     echo "learned run served no predicted reads"; exit 1
@@ -176,6 +176,41 @@ for scheme in '"FTL"' '"MRSM"' '"Across-FTL"' '"Learned-FTL"'; do
 done
 grep -q '"mismatches": 0' "$learned_bench" || { echo "learned bench parity found mismatches"; exit 1; }
 grep -q '"oracle_violations": 0' "$learned_bench" || { echo "learned bench parity violated the oracle"; exit 1; }
+
+say "recovery smoke (seeded power cut -> rebuild -> oracle)"
+# A crash-armed run must cut mid-workload, power-cycle, rebuild the
+# mapping from the OOB journal (checkpoint + delta here), and pass the
+# acknowledged-write oracle: a schema-v9 manifest whose recovery section
+# reports zero lost sectors and no torn exposure.
+rec_smoke=target/ci_recovery_smoke.json
+cargo run --release -q -p aftl-bench --bin sim_cli -- \
+    --scheme across --preset lun1 --scale 0.01 \
+    --crash-at 2000 --recover --checkpoint-every 100 \
+    --json "$rec_smoke" >/dev/null
+grep -q '"schema_version": 9' "$rec_smoke" || { echo "crash manifest is not schema v9"; exit 1; }
+grep -q '"recovery"' "$rec_smoke" || { echo "crash manifest lost its recovery section"; exit 1; }
+grep -q '"mode": "checkpoint"' "$rec_smoke" || { echo "crash run did not rebuild from the checkpoint"; exit 1; }
+grep -q '"lost_sectors": 0' "$rec_smoke" || { echo "recovery lost acknowledged sectors"; exit 1; }
+grep -q '"torn_exposed": false' "$rec_smoke" || { echo "recovery exposed a torn request"; exit 1; }
+
+say "recovery bench smoke (BENCH_recovery manifest)"
+# The scan-vs-checkpoint rebuild bench must run end to end at smoke
+# scale and emit a schema-valid BENCH_recovery manifest with clean
+# oracle verdicts on every arm. The >= 2x rebuild-read gate itself runs
+# against the committed BENCH_recovery.json in the bench lib tests.
+rec_bench=$PWD/target/ci_recovery_bench.json
+rm -f "$rec_bench"
+cargo bench -q -p aftl-bench --bench recovery_time -- \
+    --test --json "$rec_bench" >/dev/null
+[ -s "$rec_bench" ] || { echo "recovery bench smoke wrote no manifest"; exit 1; }
+grep -q '"schema_version": 1' "$rec_bench" || { echo "recovery bench manifest has wrong schema_version"; exit 1; }
+for scheme in '"FTL"' '"MRSM"' '"Across-FTL"' '"Learned-FTL"'; do
+    grep -q "$scheme" "$rec_bench" || { echo "recovery bench manifest missing scheme $scheme"; exit 1; }
+done
+if grep -q '"lost_sectors": [^0]' "$rec_bench"; then
+    echo "recovery bench lost acknowledged sectors"; exit 1
+fi
+grep -q '"torn_exposed": true' "$rec_bench" && { echo "recovery bench exposed a torn request"; exit 1; }
 
 say "bench smoke (replay manifest, serial + pipelined pairs)"
 # The tracked replay bench must run end to end at smoke scale and emit a

@@ -106,11 +106,14 @@ struct Cli {
     learned_max_error: Option<u32>,
     learned_retrain: Option<u32>,
     cache_bytes: Option<u64>,
+    crash_at: Option<u64>,
+    recover: bool,
+    checkpoint_every: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sim_cli --scheme <ftl|mrsm|across|learned> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F] [--burst N,PERIOD_NS,SPACING_NS]\n               [--devices N] [--device-inflight N] [--host-seed N]\n               [--gc-policy greedy|cost-benefit|windowed] [--gc-preempt-pages N] [--gc-window N]\n               [--gc-threshold F] [--gc-hysteresis F] [--gc-urgent-ratio F] [--gc-idle-headroom F]\n               [--gc-throttle-fraction F] [--gc-throttle-delay-ns N]\n               [--pipeline] [--map-batch N]\n               [--learned-max-error N] [--learned-retrain N] [--cache-bytes N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
+        "usage: sim_cli --scheme <ftl|mrsm|across|learned> [--preset lun1..lun6 | --trace FILE [--format msr] [--lun N]]\n               [--page 4096|8192|16384] [--scale F] [--json OUT.json] [--trace-events N]\n               [--queues N] [--queue-depth D] [--arbitration rr|wrr] [--tenant-weights W1,W2,…]\n               [--arrival-rate IOPS] [--outstanding K] [--speedup F] [--burst N,PERIOD_NS,SPACING_NS]\n               [--devices N] [--device-inflight N] [--host-seed N]\n               [--gc-policy greedy|cost-benefit|windowed] [--gc-preempt-pages N] [--gc-window N]\n               [--gc-threshold F] [--gc-hysteresis F] [--gc-urgent-ratio F] [--gc-idle-headroom F]\n               [--gc-throttle-fraction F] [--gc-throttle-delay-ns N]\n               [--pipeline] [--map-batch N]\n               [--learned-max-error N] [--learned-retrain N] [--cache-bytes N]\n               [--crash-at N] [--recover] [--checkpoint-every N]\n               [--fault-seed N] [--read-fail-rate P] [--program-fail-rate P] [--erase-fail-rate P]\n               [--erase-endurance N] [--read-retries N] [--min-spare-blocks N]"
     );
     std::process::exit(2);
 }
@@ -146,6 +149,9 @@ fn parse_cli() -> Result<Cli, CliError> {
         learned_max_error: None,
         learned_retrain: None,
         cache_bytes: None,
+        crash_at: None,
+        recover: false,
+        checkpoint_every: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -409,6 +415,19 @@ fn parse_cli() -> Result<Cli, CliError> {
                     usage()
                 }
             }
+            "--crash-at" => {
+                cli.crash_at = it.next().and_then(|v| v.parse().ok());
+                if cli.crash_at.is_none() {
+                    usage()
+                }
+            }
+            "--recover" => cli.recover = true,
+            "--checkpoint-every" => {
+                cli.checkpoint_every = it.next().and_then(|v| v.parse().ok());
+                if cli.checkpoint_every.is_none() {
+                    usage()
+                }
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -517,6 +536,52 @@ fn validate(cli: &Cli) -> Result<(), CliError> {
             ));
         }
     }
+    if let Some(n) = cli.crash_at {
+        if n == 0 {
+            return Err(invalid(
+                "--crash-at",
+                n,
+                "the cut must allow at least one flash operation",
+            ));
+        }
+        if cli.devices.is_some() {
+            return Err(invalid(
+                "--crash-at",
+                n,
+                "power-cut runs are single-device (incompatible with --devices)",
+            ));
+        }
+        if cli.queues.is_some() {
+            return Err(invalid(
+                "--crash-at",
+                n,
+                "power-cut runs replay directly (incompatible with --queues)",
+            ));
+        }
+    }
+    if cli.recover && cli.crash_at.is_none() {
+        return Err(invalid(
+            "--recover",
+            "(set)",
+            "recovery needs a power cut to recover from (add --crash-at N)",
+        ));
+    }
+    if let Some(k) = cli.checkpoint_every {
+        if k == 0 {
+            return Err(invalid(
+                "--checkpoint-every",
+                k,
+                "checkpoint interval must be at least 1 write",
+            ));
+        }
+        if cli.crash_at.is_none() {
+            return Err(invalid(
+                "--checkpoint-every",
+                k,
+                "checkpoints only matter for crash runs (add --crash-at N)",
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -551,6 +616,74 @@ fn main() {
     }
 }
 
+/// Sudden-power-off run (`--crash-at N`): replace trace replay with the
+/// deterministic crash workload (writes need known generations to
+/// verify), cut power at the armed flash-op boundary, and — with
+/// `--recover` — power-cycle, rebuild the mapping from the OOB journal
+/// and check every acknowledged write. The trace/preset selection still
+/// sets the workload *size*: one crash-workload write per trace record.
+fn run_crash(cli: &Cli, mut config: SimConfig, crash_at: u64, writes: u64) -> Result<(), CliError> {
+    config.track_content = true;
+    config.crash = aftl_sim::CrashConfig {
+        crash_at: Some(crash_at),
+        recover: cli.recover,
+        checkpoint_every: cli.checkpoint_every,
+    };
+    eprintln!(
+        "crash run: cut after {crash_at} flash ops, up to {writes} writes, {} on {} @ {} KB pages…",
+        match cli.checkpoint_every {
+            Some(k) if cli.recover => format!("checkpointed rebuild (every {k} writes)"),
+            Some(_) | None if !cli.recover => "no recovery".to_string(),
+            _ => "full OOB scan rebuild".to_string(),
+        },
+        cli.scheme.name(),
+        cli.page / 1024
+    );
+    let report =
+        aftl_sim::crash::run_crash_single(&config, writes, cli.host_seed).map_err(CliError::Sim)?;
+
+    println!("scheme           : {}", report.scheme.name());
+    println!("acked writes     : {}", report.requests);
+    if let Some(r) = &report.recovery {
+        println!(
+            "power cut        : {}",
+            if r.fired { "fired" } else { "never fired" }
+        );
+        println!("rebuild mode     : {}", r.mode);
+        println!("scanned pages    : {}", r.scanned_pages);
+        println!("journal replays  : {}", r.journal_replays);
+        println!(
+            "rebuild reads    : {} ({:.1} us modelled)",
+            r.rebuild_flash_reads,
+            r.recovery_ns as f64 / 1e3
+        );
+        println!(
+            "oracle           : {} sectors verified, {} lost, torn request exposed: {}",
+            r.verified_sectors, r.lost_sectors, r.torn_exposed
+        );
+    } else {
+        println!("power cut        : no recovery requested (--recover to rebuild)");
+    }
+
+    let json_path = match &cli.json {
+        Some(path) => std::path::PathBuf::from(path),
+        None => {
+            let dir = aftl_bench::results_dir();
+            std::fs::create_dir_all(&dir).map_err(|err| CliError::WriteOut {
+                path: dir.display().to_string(),
+                err,
+            })?;
+            dir.join(format!("sim_cli_crash_{}.json", report.scheme.name()))
+        }
+    };
+    std::fs::write(&json_path, report.to_json()).map_err(|err| CliError::WriteOut {
+        path: json_path.display().to_string(),
+        err,
+    })?;
+    eprintln!("wrote {}", json_path.display());
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let cli = parse_cli()?;
     validate(&cli)?;
@@ -580,6 +713,9 @@ fn run() -> Result<(), CliError> {
     }
     if let Some(b) = cli.cache_bytes {
         config.scheme_cfg.cache_bytes = b;
+    }
+    if let Some(crash_at) = cli.crash_at {
+        return run_crash(&cli, config, crash_at, trace.len() as u64);
     }
     let open_issue = |cli: &Cli| -> IssueModel {
         if let Some((burst, period_ns, spacing_ns)) = cli.burst {

@@ -24,6 +24,7 @@ pub mod fleetbench;
 pub mod gctail;
 pub mod hostbench;
 pub mod learnedbench;
+pub mod recoverybench;
 pub mod replay;
 
 /// Command-line options shared by the figure binaries.

@@ -17,7 +17,9 @@
 //! Reads inside a single area are **direct** (one flash read instead of
 //! two); reads exceeding an area are **merged** (area + normal pages).
 
-use aftl_flash::{FlashArray, Nanos, PageInfo, PageKind, Ppn, Result, SectorStamp, StreamId};
+use aftl_flash::{
+    FlashArray, Nanos, OobDesc, PageInfo, PageKind, Ppn, Result, SectorStamp, StreamId,
+};
 
 use crate::counters::SchemeCounters;
 use crate::gc::{CopyMigrator, GcConfig, GcReport, GcState};
@@ -122,6 +124,43 @@ impl AcrossFtl {
         }
     }
 
+    /// Construct an Across-FTL preloaded with a recovered mapping (see
+    /// [`crate::recovery`]): page-mapped entries plus live re-aligned
+    /// areas, each reinstalled at its pre-crash `AIdx` so the OOB tags on
+    /// surviving `AcrossData` pages still resolve. The map cache starts
+    /// cold.
+    pub fn from_image(
+        geometry: &aftl_flash::Geometry,
+        cfg: SchemeConfig,
+        pages: &[(u64, Ppn)],
+        areas: &[crate::recovery::AreaImage],
+    ) -> Self {
+        let spp = geometry.page_bytes / geometry.sector_bytes;
+        let mut ftl = Self::new(geometry, cfg);
+        ftl.ensure_pmt();
+        for &(lpn, ppn) in pages {
+            ftl.pmt.set_ppn(lpn, ppn);
+        }
+        for a in areas {
+            let entry = AmtEntry {
+                start_sector: a.start_sector,
+                size_sectors: a.size_sectors,
+                appn: a.appn,
+            };
+            // The area must land back at its pre-crash AIdx: the on-flash
+            // page's OOB tag is that index, and GC resolves the tag
+            // against the rebuilt table.
+            ftl.amt.insert_at(a.aidx, entry);
+            for lpn in entry.first_lpn(spp)..=entry.last_lpn(spp) {
+                if ftl.pmt.in_range(lpn) {
+                    ftl.pmt.set_aidx(lpn, a.aidx);
+                }
+            }
+        }
+        ftl.sync_area_gauges();
+        ftl
+    }
+
     /// Shared GC driver for the foreground (`idle_budget` = `None`) and
     /// idle (`Some(max_pages)`) paths.
     fn run_gc(&mut self, env: &mut FtlEnv<'_>, idle_budget: Option<u64>) -> Result<GcReport> {
@@ -131,7 +170,7 @@ impl AcrossFtl {
         let engine = &mut self.engine;
         let counters = &mut self.counters;
         let mut migrator = CopyMigrator(
-            move |_: &mut FlashArray, old: Ppn, new: Ppn, info: &PageInfo| {
+            move |array: &mut FlashArray, old: Ppn, new: Ppn, info: &PageInfo| {
                 counters.dram_accesses += 1;
                 match info.kind {
                     PageKind::Data => {
@@ -144,6 +183,13 @@ impl AcrossFtl {
                         debug_assert_eq!(e.appn, old);
                         e.appn = new;
                         amt.update(aidx, e);
+                        array.annotate_oob(
+                            new,
+                            OobDesc::Area {
+                                start_sector: e.start_sector,
+                                size_sectors: e.size_sectors,
+                            },
+                        );
                     }
                     PageKind::Map => engine.note_migrated(info.tag, new),
                 }
@@ -254,6 +300,13 @@ impl AcrossFtl {
             env.now_ns,
             ready,
         )?;
+        env.array.annotate_oob(
+            new_ppn,
+            OobDesc::Area {
+                start_sector: req.sector,
+                size_sectors: req.sectors,
+            },
+        );
         if env.array.tracks_content() {
             let spp_usize = spp as usize;
             let mut stamps = vec![None; spp_usize];
@@ -361,6 +414,13 @@ impl AcrossFtl {
             env.now_ns,
             data_ready,
         )?;
+        env.array.annotate_oob(
+            new_ppn,
+            OobDesc::Area {
+                start_sector: union_start,
+                size_sectors: union_size,
+            },
+        );
         if let Some(stamps) = stamps_opt {
             env.array.record_content(new_ppn, stamps);
         }
@@ -503,6 +563,11 @@ impl AcrossFtl {
             done = done.max(w);
         }
 
+        // The fold-back deliberately retires the area: journal a kill
+        // record (tag + current page seq) so recovery never resurrects it —
+        // neither this page nor any older same-tag page that outlives it.
+        let killed_seq = env.array.page_info(a.appn)?.seq;
+        env.array.oob_group_kill(u64::from(aidx), killed_seq);
         env.array.invalidate(a.appn)?;
         self.amt.remove(aidx);
         self.counters.arollbacks += 1;
@@ -517,6 +582,8 @@ impl AcrossFtl {
         let spp = env.spp();
         let a = self.amt.get(aidx).expect("drop of live area");
         let ready = self.amt_access(env, aidx, true)?;
+        let killed_seq = env.array.page_info(a.appn)?.seq;
+        env.array.oob_group_kill(u64::from(aidx), killed_seq);
         env.array.invalidate(a.appn)?;
         self.clear_links(aidx, &a, spp);
         self.amt.remove(aidx);
@@ -877,6 +944,27 @@ impl FtlScheme for AcrossFtl {
         if let Some(log) = &mut self.event_log {
             into.append(log);
         }
+    }
+
+    fn capture_image(&self) -> Option<crate::recovery::SchemeImage> {
+        let mut pages = Vec::new();
+        for lpn in 0..self.pmt.logical_pages() {
+            let entry = self.pmt.get(lpn);
+            if entry.has_ppn() {
+                pages.push((lpn, entry.ppn));
+            }
+        }
+        let areas = self
+            .amt
+            .iter_live()
+            .map(|(aidx, e)| crate::recovery::AreaImage {
+                aidx,
+                start_sector: e.start_sector,
+                size_sectors: e.size_sectors,
+                appn: e.appn,
+            })
+            .collect();
+        Some(crate::recovery::SchemeImage::Across { pages, areas })
     }
 }
 

@@ -66,6 +66,21 @@ impl BaselineFtl {
         }
     }
 
+    /// Construct a baseline FTL preloaded with a recovered mapping (see
+    /// [`crate::recovery`]). The map cache starts cold.
+    pub fn from_image(
+        geometry: &aftl_flash::Geometry,
+        cfg: SchemeConfig,
+        pages: &[(u64, Ppn)],
+    ) -> Self {
+        let mut ftl = Self::new(geometry, cfg);
+        ftl.ensure_pmt();
+        for &(lpn, ppn) in pages {
+            ftl.pmt.set_ppn(lpn, ppn);
+        }
+        ftl
+    }
+
     #[inline]
     fn tpid(&self, lpn: u64) -> u64 {
         lpn / self.entries_per_tpage
@@ -217,6 +232,17 @@ impl FtlScheme for BaselineFtl {
 
     fn logical_pages(&self) -> u64 {
         self.cfg.logical_pages
+    }
+
+    fn capture_image(&self) -> Option<crate::recovery::SchemeImage> {
+        let mut pages = Vec::new();
+        for lpn in 0..self.pmt.logical_pages() {
+            let entry = self.pmt.get(lpn);
+            if entry.has_ppn() {
+                pages.push((lpn, entry.ppn));
+            }
+        }
+        Some(crate::recovery::SchemeImage::Baseline(pages))
     }
 }
 

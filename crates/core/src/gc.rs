@@ -645,11 +645,25 @@ impl GcState {
                 break SliceEnd::Paused;
             }
 
-            // Victim drained. Safe to erase before flushing packed
-            // buffers: migrate() already read the data and invalidated the
-            // source pages. A failed or worn-out erase retires the victim
+            // Victim drained. Without a crash armed it is safe to erase
+            // before flushing packed buffers: migrate() already read the
+            // data and invalidated the source pages. With a crash armed the
+            // DRAM repack buffers (MRSM sub-regions, learned sorted pages)
+            // would be lost by a power cut after the erase destroyed their
+            // source pages, so the migrator must flush to flash *first* —
+            // the same write-before-erase ordering real crash-consistent
+            // GCs enforce. A failed or worn-out erase retires the victim
             // instead of reclaiming it — its valid data already moved, so
             // only capacity shrinks.
+            if array.crash_armed() {
+                match migrator.finish(array, alloc, now, report) {
+                    Ok(programs) => report.migrated_pages += programs,
+                    Err(e) => {
+                        self.episode = None;
+                        return Err(e);
+                    }
+                }
+            }
             let victim = ep.victims[ep.next_victim].addr();
             match array.erase(victim, now) {
                 Ok(_) => {

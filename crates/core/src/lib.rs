@@ -26,9 +26,11 @@
 //! idle background slices), [`counters`] (the event
 //! counters behind the paper's Figures 8–12), [`oracle`] (a
 //! sector-version mirror used by tests to prove read-your-writes across
-//! remapping, merging, rollback and GC), and [`recover`] (the read-retry
+//! remapping, merging, rollback and GC), [`recover`] (the read-retry
 //! ladder and program-failure relocation every scheme uses when fault
-//! injection is enabled).
+//! injection is enabled), and [`recovery`] (rebuilding the mapping after a
+//! sudden power-off from OOB journaling, optionally seeded by a
+//! checkpoint).
 
 #![warn(missing_docs)]
 
@@ -42,6 +44,7 @@ pub mod mrsm;
 pub mod obs;
 pub mod oracle;
 pub mod recover;
+pub mod recovery;
 pub mod request;
 pub mod scheme;
 
@@ -56,5 +59,9 @@ pub use mrsm::MrsmFtl;
 pub use obs::{SchemeEvent, SchemeEventKind};
 pub use oracle::Oracle;
 pub use recover::{program_relocating, read_with_retry, PageRead, LOST_VERSION};
+pub use recovery::{
+    recover as crash_recover, AreaImage, Checkpoint, MrsmNodeImage, RecoveryMode, RecoveryStats,
+    SchemeImage,
+};
 pub use request::{HostRequest, PageExtent, ReqKind};
 pub use scheme::{FtlEnv, FtlScheme, SchemeKind, ServiceOutcome};

@@ -104,6 +104,28 @@ impl AcrossMapTable {
         }
     }
 
+    /// Insert an area at a specific `AIdx`. Crash recovery must reinstall
+    /// each surviving area at the index it held before the cut: on-flash
+    /// `AcrossData` pages reference their area by index through the OOB
+    /// tag, and post-recovery GC resolves that tag against this table.
+    ///
+    /// Panics if the slot is already live.
+    pub fn insert_at(&mut self, aidx: u32, entry: AmtEntry) {
+        let idx = aidx as usize;
+        if idx >= self.slots.len() {
+            for gap in self.slots.len()..idx {
+                self.free.push(gap as u32);
+            }
+            self.slots.resize(idx + 1, None);
+        } else {
+            assert!(self.slots[idx].is_none(), "insert_at over a live AMT slot");
+            self.free.retain(|&f| f != aidx);
+        }
+        self.slots[idx] = Some(entry);
+        self.live += 1;
+        self.created_total += 1;
+    }
+
     /// Look up a live area by index.
     #[inline]
     pub fn get(&self, aidx: u32) -> Option<AmtEntry> {
@@ -198,6 +220,34 @@ mod tests {
         t.remove(a);
         let live: Vec<u32> = t.iter_live().map(|(i, _)| i).collect();
         assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    fn insert_at_reproduces_indices_and_keeps_gaps_allocatable() {
+        let mut t = AcrossMapTable::new();
+        // Reinstall areas at sparse pre-crash indices.
+        t.insert_at(3, entry(300, 4));
+        t.insert_at(1, entry(100, 4));
+        assert_eq!(t.get(3).unwrap().start_sector, 300);
+        assert_eq!(t.get(1).unwrap().start_sector, 100);
+        assert_eq!(t.live(), 2);
+        assert_eq!(t.capacity_slots(), 4);
+        // The gap slots (0 and 2) are on the free list for later inserts,
+        // and neither collides with the reinstalled areas.
+        let a = t.insert(entry(0, 4));
+        let b = t.insert(entry(200, 4));
+        let mut fresh = vec![a, b];
+        fresh.sort_unstable();
+        assert_eq!(fresh, vec![0, 2]);
+        assert_eq!(t.get(3).unwrap().start_sector, 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_at over a live AMT slot")]
+    fn insert_at_over_live_slot_panics() {
+        let mut t = AcrossMapTable::new();
+        t.insert_at(0, entry(0, 4));
+        t.insert_at(0, entry(50, 4));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use aftl_flash::{Nanos, PageKind, Ppn, Result, SectorStamp, StreamId};
+use aftl_flash::{Nanos, OobDesc, PageKind, Ppn, Result, SectorStamp, StreamId};
 
 use crate::counters::SchemeCounters;
 use crate::gc::{self, GcConfig, GcReport, GcState};
@@ -188,8 +188,8 @@ impl LpnTable {
         &mut self.nodes[slot]
     }
 
-    /// All `(lpn, node)` pairs (test-only; insertion order).
-    #[cfg(test)]
+    /// All `(lpn, node)` pairs (insertion order). Used by the invariant
+    /// checks and by crash-checkpoint capture.
     fn iter(&self) -> impl Iterator<Item = (u64, &LpnMap)> {
         self.lpns.iter().copied().zip(self.nodes.iter())
     }
@@ -362,6 +362,45 @@ impl MrsmFtl {
             scratch_read_pages: Vec::new(),
             scratch_lost: Vec::new(),
         }
+    }
+
+    /// Construct an MRSM FTL preloaded with a recovered mapping (see
+    /// [`crate::recovery`]). Page-mapped nodes get the explicit resident
+    /// set serial mode maintains (pipelined mode keeps them implicit, as
+    /// `MrsmFtl::page_write` would); sub-mapped nodes register each
+    /// present sub with its resident page. The map cache starts cold.
+    pub fn from_image(
+        geometry: &aftl_flash::Geometry,
+        cfg: SchemeConfig,
+        nodes: &[(u64, crate::recovery::MrsmNodeImage)],
+    ) -> Self {
+        let mut ftl = Self::new(geometry, cfg);
+        let pipelined = ftl.engine.pipelined();
+        for &(lpn, node) in nodes {
+            match node {
+                crate::recovery::MrsmNodeImage::Page(p) => {
+                    ftl.map.set(lpn, LpnMap::Page(p));
+                    if !pipelined {
+                        let mut set = ResidentSet::new(p);
+                        for s in 0..SUBS_PER_PAGE {
+                            set.push(lpn, s);
+                        }
+                        ftl.residents.insert_set(p, set);
+                    }
+                }
+                crate::recovery::MrsmNodeImage::Subs(slots) => {
+                    let mut locs = [SubLoc::NONE; SUBS_PER_PAGE as usize];
+                    for (sub, loc) in slots.iter().enumerate() {
+                        if let Some((ppn, slot)) = *loc {
+                            locs[sub] = SubLoc { ppn, slot };
+                            ftl.residents.push(ppn, lpn, sub as u32);
+                        }
+                    }
+                    ftl.map.set(lpn, LpnMap::Sub(locs));
+                }
+            }
+        }
+        ftl
     }
 
     /// Shared GC driver for the foreground (`idle_budget` = `None`) and
@@ -772,6 +811,17 @@ impl FtlScheme for MrsmFtl {
                 env.now_ns,
                 at,
             )?;
+            let mut oob_slots = [(0u64, 0u8); 4];
+            for (slot, sw) in group.iter().enumerate() {
+                oob_slots[slot] = (sw.lpn, sw.sub as u8);
+            }
+            env.array.annotate_oob(
+                new_ppn,
+                OobDesc::Slots {
+                    n: group.len() as u8,
+                    slots: oob_slots,
+                },
+            );
             if let Some(stamps) = stamps {
                 env.array.record_content(new_ppn, stamps);
             }
@@ -936,6 +986,27 @@ impl FtlScheme for MrsmFtl {
     fn logical_pages(&self) -> u64 {
         self.cfg.logical_pages
     }
+
+    fn capture_image(&self) -> Option<crate::recovery::SchemeImage> {
+        let mut nodes = Vec::with_capacity(self.map.len());
+        for (lpn, node) in self.map.iter() {
+            let img = match node {
+                LpnMap::Page(p) => crate::recovery::MrsmNodeImage::Page(*p),
+                LpnMap::Sub(locs) => {
+                    let mut slots = [None; SUBS_PER_PAGE as usize];
+                    for (sub, loc) in locs.iter().enumerate() {
+                        if loc.is_some() {
+                            slots[sub] = Some((loc.ppn, loc.slot));
+                        }
+                    }
+                    crate::recovery::MrsmNodeImage::Subs(slots)
+                }
+            };
+            nodes.push((lpn, img));
+        }
+        nodes.sort_unstable_by_key(|&(l, _)| l);
+        Some(crate::recovery::SchemeImage::Mrsm(nodes))
+    }
 }
 
 /// Sub-region location within an already-fetched mapping node (the
@@ -1035,6 +1106,17 @@ impl MrsmMigrator<'_> {
             now,
             ready,
         )?;
+        let mut oob_slots = [(0u64, 0u8); 4];
+        for (slot, p) in chunk.iter().enumerate() {
+            oob_slots[slot] = (p.lpn, p.sub as u8);
+        }
+        array.annotate_oob(
+            new_ppn,
+            OobDesc::Slots {
+                n: n as u8,
+                slots: oob_slots,
+            },
+        );
         if array.tracks_content() {
             let mut stamps = vec![None; self.spp as usize];
             for (slot, p) in chunk.iter().enumerate() {

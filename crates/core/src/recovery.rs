@@ -1,0 +1,671 @@
+//! Crash recovery: rebuilding the logical-to-physical mapping after a
+//! sudden power-off.
+//!
+//! A power cut (see [`aftl_flash::array::FlashArray::arm_crash`]) destroys
+//! every DRAM structure — the page map table, the AMT, the MRSM sub-page
+//! tree, the learned segments, the map cache, the allocator's active-block
+//! cursors and the valid/invalid accounting. What survives is exactly what
+//! real NAND keeps: the programmed pages themselves plus their out-of-band
+//! metadata (reverse-map tag, program sequence number, write-group commit
+//! records, layout descriptors — see [`aftl_flash::oob`]) and the small
+//! persistent kill log. [`recover`] rebuilds a scheme from that alone.
+//!
+//! ## Arbitration
+//!
+//! Multiple physical copies of the same logical data coexist on flash (the
+//! old copy is merely *invalid*, a DRAM notion that died with the cut).
+//! Recovery elects winners by **last-writer-wins** over the monotonic
+//! program sequence number, restricted to *committed* pages:
+//!
+//! * a page in write group 0 (pre-arm data, GC migrations) is implicitly
+//!   committed;
+//! * a grouped page is committed unless its group is the **torn group** —
+//!   the group that contains the globally newest non-map page yet has no
+//!   commit mark anywhere. Only the last request in flight can be torn, and
+//!   its group necessarily contains that newest page; any older group whose
+//!   commit mark is missing lost it to a block erase, which itself proves a
+//!   newer superseding program exists, so the group is treated as
+//!   committed.
+//!
+//! Across-FTL areas additionally consult the persistent kill log: an area
+//! winner whose sequence number was deliberately killed (rollback or drop
+//! committed with a later request) stays dead even if every page that
+//! carried the kill record has since been garbage-collected.
+//!
+//! ## Scan vs. checkpoint
+//!
+//! Without a [`Checkpoint`], recovery scans the OOB of every programmed
+//! page on the device. With one, it loads the checkpointed mapping image
+//! and replays only the *delta*: blocks whose erase count changed since the
+//! checkpoint are rescanned wholesale (their checkpointed contents are
+//! gone), and otherwise only the pages programmed past the checkpointed
+//! write pointer are read. Checkpoints are taken between requests, so no
+//! write group ever spans one, and every sequence number in the delta is
+//! newer than every checkpointed one — the image seeds the arbitration and
+//! the delta wins on conflict.
+//!
+//! Recovery is only supported when the crash was armed *from construction*
+//! (pages programmed before arming carry no OOB records). Block retirement
+//! (wear-out faults) is likewise out of scope: crash experiments run with
+//! fault injection disabled.
+
+use std::collections::{HashMap, HashSet};
+
+use aftl_flash::{Allocator, FlashArray, OobDesc, PageKind, Ppn, OOB_GROUP_POISONED};
+
+use crate::across::AcrossFtl;
+use crate::baseline::BaselineFtl;
+use crate::learned::LearnedFtl;
+use crate::mrsm::MrsmFtl;
+use crate::scheme::{FtlScheme, SchemeConfig, SchemeKind};
+
+/// Where one logical page's four quarter-page sub-regions live (MRSM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MrsmNodeImage {
+    /// The whole logical page sits in one physical page at natural offsets.
+    Page(Ppn),
+    /// Per-sub location, indexed by sub-region: `(physical page, slot
+    /// within that page)`; `None` = sub never written.
+    Subs([Option<(Ppn, u8)>; 4]),
+}
+
+/// One live Across-FTL re-aligned area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaImage {
+    /// The AMT slot index the area occupies. On-flash `AcrossData` pages
+    /// reference their area by this index through the OOB tag, so a
+    /// rebuilt table must reinstall each area at its pre-crash index.
+    pub aidx: u32,
+    /// First logical sector the area serves.
+    pub start_sector: u64,
+    /// Area length in sectors.
+    pub size_sectors: u32,
+    /// The physical page holding the area.
+    pub appn: Ppn,
+}
+
+/// A scheme's complete logical-to-physical mapping, in a form every scheme
+/// can both produce (checkpointing) and consume (rebuild after a crash).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeImage {
+    /// Baseline FTL: `(lpn, ppn)` pairs.
+    Baseline(Vec<(u64, Ppn)>),
+    /// MRSM: per-LPN sub-page location nodes.
+    Mrsm(Vec<(u64, MrsmNodeImage)>),
+    /// Across-FTL: page-mapped entries plus live re-aligned areas.
+    Across {
+        /// `(lpn, ppn)` page-mapped entries.
+        pages: Vec<(u64, Ppn)>,
+        /// Live AMT areas.
+        areas: Vec<AreaImage>,
+    },
+    /// Learned FTL: `(lpn, ppn)` pairs (segments retrain lazily).
+    Learned(Vec<(u64, Ppn)>),
+}
+
+impl SchemeImage {
+    /// Which scheme this image belongs to.
+    pub fn kind(&self) -> SchemeKind {
+        match self {
+            SchemeImage::Baseline(_) => SchemeKind::Baseline,
+            SchemeImage::Mrsm(_) => SchemeKind::Mrsm,
+            SchemeImage::Across { .. } => SchemeKind::Across,
+            SchemeImage::Learned(_) => SchemeKind::Learned,
+        }
+    }
+
+    /// Serialized size of the image, in bytes, under a simple on-flash
+    /// encoding (8 B per LPN/PPN, 1 B per slot index, 24 B per area
+    /// descriptor including its `AIdx`). Determines how many flash pages
+    /// a checkpoint load costs.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        match self {
+            SchemeImage::Baseline(p) | SchemeImage::Learned(p) => p.len() as u64 * 16,
+            SchemeImage::Mrsm(nodes) => nodes
+                .iter()
+                .map(|(_, n)| match n {
+                    MrsmNodeImage::Page(_) => 16u64,
+                    MrsmNodeImage::Subs(_) => 8 + 4 * 9,
+                })
+                .sum(),
+            SchemeImage::Across { pages, areas } => {
+                pages.len() as u64 * 16 + areas.len() as u64 * 24
+            }
+        }
+    }
+}
+
+/// How the mapping was rebuilt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Full OOB scan of every programmed page.
+    Scan,
+    /// Checkpoint image load plus delta replay.
+    Checkpoint,
+}
+
+impl RecoveryMode {
+    /// Stable lower-case name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryMode::Scan => "scan",
+            RecoveryMode::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// A quiescent-point snapshot of the mapping plus enough per-block state
+/// (`(erase count, programmed pages)` per block, in flat
+/// `plane * blocks_per_plane + block` order) to identify the delta at
+/// recovery.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// The mapping image at capture time.
+    pub image: SchemeImage,
+    /// Per-block `(erases, programmed page count)` at capture time.
+    pub blocks: Vec<(u64, u32)>,
+}
+
+impl Checkpoint {
+    /// Capture the per-block state to accompany `image`.
+    pub fn capture(array: &FlashArray, image: SchemeImage) -> Self {
+        let g = *array.geometry();
+        let mut blocks = Vec::with_capacity(g.total_blocks() as usize);
+        for plane in 0..g.total_planes() {
+            for s in array.block_summaries(plane) {
+                blocks.push((s.erases, s.valid + s.invalid));
+            }
+        }
+        Checkpoint { image, blocks }
+    }
+}
+
+/// What a recovery cost and how it ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Scan or checkpoint-delta rebuild.
+    pub mode: RecoveryMode,
+    /// Programmed pages whose OOB was examined.
+    pub scanned_pages: u64,
+    /// Delta pages replayed on top of a checkpoint image (0 in scan mode).
+    pub journal_replays: u64,
+    /// Modeled flash page reads charged to the rebuild (checkpoint-image
+    /// load + scanned pages).
+    pub rebuild_flash_reads: u64,
+    /// Modeled wall-clock cost: `rebuild_flash_reads × read latency`.
+    pub recovery_ns: u64,
+}
+
+/// One programmed, non-poisoned, non-map page with its OOB record.
+struct Cand {
+    ppn: Ppn,
+    seq: u64,
+    kind: PageKind,
+    tag: u64,
+    group: u64,
+    commit: bool,
+    desc: OobDesc,
+}
+
+fn collect(array: &FlashArray, ppn: Ppn, out: &mut Vec<Cand>) -> aftl_flash::Result<()> {
+    let info = array.page_info(ppn)?;
+    if info.seq == 0 {
+        return Ok(()); // never programmed
+    }
+    let Some(oob) = array.oob_of(ppn) else {
+        return Ok(());
+    };
+    if oob.group == OOB_GROUP_POISONED || info.kind == PageKind::Map {
+        // Poisoned pages hold garbage; map pages are rebuilt fresh (the
+        // data pages are the authority for the translation tables).
+        return Ok(());
+    }
+    out.push(Cand {
+        ppn,
+        seq: info.seq,
+        kind: info.kind,
+        tag: info.tag,
+        group: oob.group,
+        commit: oob.commit,
+        desc: oob.desc,
+    });
+    Ok(())
+}
+
+/// Per-LPN last-writer-wins over committed `Data` pages, optionally seeded
+/// from a checkpoint image. Checkpointed pages are write-once, so reading
+/// their sequence number from the array models the seq a real FTL would
+/// have persisted inside the image — at zero flash cost.
+fn arbitrate_pages(
+    array: &FlashArray,
+    cands: &[Cand],
+    committed: impl Fn(u64) -> bool,
+    seed: Option<&[(u64, Ppn)]>,
+    changed: impl Fn(Ppn) -> bool,
+) -> aftl_flash::Result<Vec<(u64, Ppn)>> {
+    let mut best: HashMap<u64, (u64, Ppn)> = HashMap::new();
+    if let Some(pages) = seed {
+        for &(lpn, ppn) in pages {
+            if changed(ppn) {
+                continue; // block re-erased since the checkpoint
+            }
+            best.insert(lpn, (array.page_info(ppn)?.seq, ppn));
+        }
+    }
+    for c in cands {
+        if c.kind != PageKind::Data || !committed(c.group) {
+            continue;
+        }
+        match best.get(&c.tag) {
+            Some(&(seq, _)) if seq >= c.seq => {}
+            _ => {
+                best.insert(c.tag, (c.seq, c.ppn));
+            }
+        }
+    }
+    let mut out: Vec<(u64, Ppn)> = best.into_iter().map(|(l, (_, p))| (l, p)).collect();
+    out.sort_unstable_by_key(|&(l, _)| l);
+    Ok(out)
+}
+
+#[derive(Clone, Copy)]
+struct SubWin {
+    seq: u64,
+    ppn: Ppn,
+    slot: u8,
+    page_node: bool,
+}
+
+fn sub_upsert(best: &mut HashMap<(u64, u8), SubWin>, key: (u64, u8), win: SubWin) {
+    match best.get(&key) {
+        Some(w) if w.seq >= win.seq => {}
+        _ => {
+            best.insert(key, win);
+        }
+    }
+}
+
+/// MRSM arbitration: per-`(lpn, sub)` last-writer-wins. A whole-page
+/// `Data` program wins all four subs at natural slots; a packed
+/// `AcrossData` page wins each `(lpn, sub)` its slot descriptor names.
+/// Per-LPN nodes collapse back to `Page` only when all four subs agree on
+/// one whole-page winner.
+fn arbitrate_mrsm(
+    array: &FlashArray,
+    cands: &[Cand],
+    committed: impl Fn(u64) -> bool,
+    seed: Option<&[(u64, MrsmNodeImage)]>,
+    changed: impl Fn(Ppn) -> bool,
+) -> aftl_flash::Result<Vec<(u64, MrsmNodeImage)>> {
+    let mut best: HashMap<(u64, u8), SubWin> = HashMap::new();
+    if let Some(nodes) = seed {
+        for &(lpn, node) in nodes {
+            match node {
+                MrsmNodeImage::Page(p) => {
+                    if changed(p) {
+                        continue;
+                    }
+                    let seq = array.page_info(p)?.seq;
+                    for sub in 0..4u8 {
+                        best.insert(
+                            (lpn, sub),
+                            SubWin {
+                                seq,
+                                ppn: p,
+                                slot: sub,
+                                page_node: true,
+                            },
+                        );
+                    }
+                }
+                MrsmNodeImage::Subs(slots) => {
+                    for (sub, loc) in slots.iter().enumerate() {
+                        let Some((p, slot)) = *loc else { continue };
+                        if changed(p) {
+                            continue;
+                        }
+                        let seq = array.page_info(p)?.seq;
+                        best.insert(
+                            (lpn, sub as u8),
+                            SubWin {
+                                seq,
+                                ppn: p,
+                                slot,
+                                page_node: false,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+    for c in cands {
+        if !committed(c.group) {
+            continue;
+        }
+        match c.kind {
+            PageKind::Data => {
+                for sub in 0..4u8 {
+                    sub_upsert(
+                        &mut best,
+                        (c.tag, sub),
+                        SubWin {
+                            seq: c.seq,
+                            ppn: c.ppn,
+                            slot: sub,
+                            page_node: true,
+                        },
+                    );
+                }
+            }
+            PageKind::AcrossData => {
+                if let OobDesc::Slots { n, slots } = c.desc {
+                    for (j, &(lpn, sub)) in slots.iter().enumerate().take(usize::from(n)) {
+                        sub_upsert(
+                            &mut best,
+                            (lpn, sub),
+                            SubWin {
+                                seq: c.seq,
+                                ppn: c.ppn,
+                                slot: j as u8,
+                                page_node: false,
+                            },
+                        );
+                    }
+                }
+            }
+            PageKind::Map => {}
+        }
+    }
+    let mut per_lpn: HashMap<u64, [Option<SubWin>; 4]> = HashMap::new();
+    for ((lpn, sub), w) in best {
+        per_lpn.entry(lpn).or_insert([None; 4])[usize::from(sub)] = Some(w);
+    }
+    let mut out = Vec::with_capacity(per_lpn.len());
+    for (lpn, subs) in per_lpn {
+        let whole_page = subs
+            .iter()
+            .all(|w| w.is_some_and(|w| w.page_node && w.ppn == subs[0].unwrap().ppn));
+        if whole_page {
+            out.push((lpn, MrsmNodeImage::Page(subs[0].unwrap().ppn)));
+        } else {
+            let mut locs = [None; 4];
+            for (i, w) in subs.iter().enumerate() {
+                if let Some(w) = w {
+                    locs[i] = Some((w.ppn, w.slot));
+                }
+            }
+            out.push((lpn, MrsmNodeImage::Subs(locs)));
+        }
+    }
+    out.sort_unstable_by_key(|&(l, _)| l);
+    Ok(out)
+}
+
+/// Across-FTL area arbitration: per-AMT-tag last-writer-wins over committed
+/// `AcrossData` pages (GC migration and AMerge update an area in place
+/// under its tag, so the newest page per tag is the live version), then the
+/// persistent kill log removes deliberately retired winners — each record
+/// kills its tag up to a seq, so a retired area stays dead even when the
+/// page named by the record was erased first and an older same-tag page
+/// survives as the scan's per-tag winner. A checkpointed area additionally
+/// dies when any committed post-checkpoint page carries its `AIdx` —
+/// migration, AMerge, and slot reuse all program a newer page under the
+/// same tag, so delta activity on a tag proves the checkpointed descriptor
+/// stale — or when a committed post-checkpoint area winner overlaps its
+/// range (AMerge supersedes by union containment without writing a kill
+/// record).
+fn arbitrate_areas(
+    array: &FlashArray,
+    cands: &[Cand],
+    committed: impl Fn(u64) -> bool,
+    seed: Option<&[AreaImage]>,
+    changed: impl Fn(Ppn) -> bool,
+) -> aftl_flash::Result<Vec<AreaImage>> {
+    // tag -> highest killed seq: a candidate with that tag is dead unless
+    // it was programmed after the newest kill (slot reuse).
+    let mut kill_max: HashMap<u64, u64> = HashMap::new();
+    for k in array.oob_kill_log() {
+        let e = kill_max.entry(k.tag).or_insert(k.seq);
+        *e = (*e).max(k.seq);
+    }
+    let killed = |tag: u64, seq: u64| kill_max.get(&tag).is_some_and(|&k| seq <= k);
+    let mut best: HashMap<u64, (u64, AreaImage)> = HashMap::new();
+    let mut seen_tags: HashSet<u64> = HashSet::new();
+    for c in cands {
+        if c.kind != PageKind::AcrossData || !committed(c.group) {
+            continue;
+        }
+        seen_tags.insert(c.tag);
+        let OobDesc::Area {
+            start_sector,
+            size_sectors,
+        } = c.desc
+        else {
+            continue;
+        };
+        let win = AreaImage {
+            aidx: c.tag as u32,
+            start_sector,
+            size_sectors,
+            appn: c.ppn,
+        };
+        match best.get(&c.tag) {
+            Some(&(seq, _)) if seq >= c.seq => {}
+            _ => {
+                best.insert(c.tag, (c.seq, win));
+            }
+        }
+    }
+    let mut areas: Vec<AreaImage> = best
+        .into_iter()
+        .filter(|&(tag, (seq, _))| !killed(tag, seq))
+        .map(|(_, (_, a))| a)
+        .collect();
+    let fresh = areas.len();
+    if let Some(seed) = seed {
+        for a in seed {
+            if changed(a.appn)
+                || seen_tags.contains(&u64::from(a.aidx))
+                || killed(u64::from(a.aidx), array.page_info(a.appn)?.seq)
+            {
+                continue;
+            }
+            let superseded = areas[..fresh].iter().any(|w| {
+                a.start_sector < w.start_sector + u64::from(w.size_sectors)
+                    && w.start_sector < a.start_sector + u64::from(a.size_sectors)
+            });
+            if !superseded {
+                areas.push(*a);
+            }
+        }
+    }
+    areas.sort_unstable_by_key(|a| (a.start_sector, a.appn));
+    Ok(areas)
+}
+
+/// Rebuild the full device state after a power cut: elect the surviving
+/// mapping from OOB records (plus an optional [`Checkpoint`]), restore the
+/// array's valid/invalid accounting to exactly the winner set, rebuild the
+/// allocator over the recovered blocks, and construct a fresh scheme
+/// preloaded with the mapping.
+///
+/// Returns the scheme, the allocator and the cost/mode statistics. The
+/// crash must have been armed from device construction (pre-arm pages
+/// carry no OOB journal), and `checkpoint` — when given — must belong to
+/// the same scheme `kind`.
+pub fn recover(
+    array: &mut FlashArray,
+    cfg: SchemeConfig,
+    kind: SchemeKind,
+    checkpoint: Option<&Checkpoint>,
+) -> aftl_flash::Result<(Box<dyn FtlScheme + Send>, Allocator, RecoveryStats)> {
+    assert!(
+        array.crash_armed(),
+        "recovery requires OOB journaling armed from construction"
+    );
+    if let Some(ck) = checkpoint {
+        assert_eq!(
+            ck.image.kind(),
+            kind,
+            "checkpoint image belongs to a different scheme"
+        );
+    }
+    let g = *array.geometry();
+    let ppb = u64::from(g.pages_per_block);
+
+    // Phase 1: scan plan. Full device without a checkpoint; otherwise only
+    // blocks whose erase count moved (rescanned wholesale) plus pages past
+    // each unchanged block's checkpointed write pointer.
+    let mut cands: Vec<Cand> = Vec::new();
+    let mut changed_blocks: HashSet<u64> = HashSet::new();
+    let mut scanned_pages = 0u64;
+    for plane in 0..g.total_planes() {
+        for s in array.block_summaries(plane) {
+            let flat = plane * u64::from(g.blocks_per_plane) + u64::from(s.addr.block);
+            if s.retired {
+                // Wear faults are out of crash scope; drop any checkpoint
+                // entries pointing into the retired block.
+                changed_blocks.insert(flat);
+                continue;
+            }
+            let programmed = u64::from(s.valid + s.invalid);
+            let start = match checkpoint {
+                None => 0,
+                Some(ck) => {
+                    let (ck_erases, ck_prog) = ck.blocks[flat as usize];
+                    if s.erases != ck_erases {
+                        changed_blocks.insert(flat);
+                        0
+                    } else {
+                        u64::from(ck_prog)
+                    }
+                }
+            };
+            for p in start..programmed {
+                scanned_pages += 1;
+                collect(array, Ppn(s.first_ppn.0 + p), &mut cands)?;
+            }
+        }
+    }
+
+    // Phase 2: commit analysis. The only group that can be uncommitted is
+    // the one holding the globally newest non-map page without a commit
+    // mark (see module docs for why every other unmarked group must have
+    // committed).
+    let mut commit_marked: HashSet<u64> = HashSet::new();
+    let mut smax: Option<(u64, u64)> = None;
+    for c in &cands {
+        if c.commit {
+            commit_marked.insert(c.group);
+        }
+        if smax.is_none_or(|(seq, _)| c.seq > seq) {
+            smax = Some((c.seq, c.group));
+        }
+    }
+    let torn_group = match smax {
+        Some((_, group)) if group != 0 && !commit_marked.contains(&group) => Some(group),
+        _ => None,
+    };
+    let committed = |group: u64| Some(group) != torn_group;
+    let changed = |ppn: Ppn| changed_blocks.contains(&(ppn.0 / ppb));
+
+    // Phase 3: per-scheme arbitration.
+    let image = match (kind, checkpoint.map(|c| &c.image)) {
+        (SchemeKind::Baseline, seed) => {
+            let seed = seed.map(|i| match i {
+                SchemeImage::Baseline(p) => p.as_slice(),
+                _ => unreachable!(),
+            });
+            SchemeImage::Baseline(arbitrate_pages(array, &cands, committed, seed, changed)?)
+        }
+        (SchemeKind::Learned, seed) => {
+            let seed = seed.map(|i| match i {
+                SchemeImage::Learned(p) => p.as_slice(),
+                _ => unreachable!(),
+            });
+            SchemeImage::Learned(arbitrate_pages(array, &cands, committed, seed, changed)?)
+        }
+        (SchemeKind::Mrsm, seed) => {
+            let seed = seed.map(|i| match i {
+                SchemeImage::Mrsm(n) => n.as_slice(),
+                _ => unreachable!(),
+            });
+            SchemeImage::Mrsm(arbitrate_mrsm(array, &cands, committed, seed, changed)?)
+        }
+        (SchemeKind::Across, seed) => {
+            let (seed_pages, seed_areas) = match seed {
+                Some(SchemeImage::Across { pages, areas }) => {
+                    (Some(pages.as_slice()), Some(areas.as_slice()))
+                }
+                Some(_) => unreachable!(),
+                None => (None, None),
+            };
+            SchemeImage::Across {
+                pages: arbitrate_pages(array, &cands, committed, seed_pages, changed)?,
+                areas: arbitrate_areas(array, &cands, committed, seed_areas, changed)?,
+            }
+        }
+    };
+
+    // Phase 4: restore physical accounting to exactly the winner set, then
+    // rebuild the allocator over the recovered blocks.
+    let mut live: HashSet<Ppn> = HashSet::new();
+    match &image {
+        SchemeImage::Baseline(pages) | SchemeImage::Learned(pages) => {
+            live.extend(pages.iter().map(|&(_, p)| p));
+        }
+        SchemeImage::Mrsm(nodes) => {
+            for (_, node) in nodes {
+                match node {
+                    MrsmNodeImage::Page(p) => {
+                        live.insert(*p);
+                    }
+                    MrsmNodeImage::Subs(slots) => {
+                        live.extend(slots.iter().flatten().map(|&(p, _)| p));
+                    }
+                }
+            }
+        }
+        SchemeImage::Across { pages, areas } => {
+            live.extend(pages.iter().map(|&(_, p)| p));
+            live.extend(areas.iter().map(|a| a.appn));
+        }
+    }
+    array.rebuild_page_states(|ppn| live.contains(&ppn));
+    let alloc = Allocator::rebuild(array);
+
+    // Phase 5: a fresh scheme preloaded with the recovered mapping. Map
+    // caches and learned segments start cold; the PMT in DRAM is the
+    // authority for correctness.
+    let scheme: Box<dyn FtlScheme + Send> = match &image {
+        SchemeImage::Baseline(pages) => Box::new(BaselineFtl::from_image(&g, cfg, pages)),
+        SchemeImage::Mrsm(nodes) => Box::new(MrsmFtl::from_image(&g, cfg, nodes)),
+        SchemeImage::Across { pages, areas } => {
+            Box::new(AcrossFtl::from_image(&g, cfg, pages, areas))
+        }
+        SchemeImage::Learned(pages) => Box::new(LearnedFtl::from_image(&g, cfg, pages)),
+    };
+
+    let page_bytes = u64::from(g.page_bytes);
+    let (mode, journal_replays, ckpt_pages) = match checkpoint {
+        None => (RecoveryMode::Scan, 0, 0),
+        Some(ck) => {
+            let bytes = ck.image.checkpoint_bytes();
+            (
+                RecoveryMode::Checkpoint,
+                scanned_pages,
+                bytes.div_ceil(page_bytes),
+            )
+        }
+    };
+    let rebuild_flash_reads = scanned_pages + ckpt_pages;
+    let stats = RecoveryStats {
+        mode,
+        scanned_pages,
+        journal_replays,
+        rebuild_flash_reads,
+        recovery_ns: rebuild_flash_reads * array.timing().read_ns,
+    };
+    Ok((scheme, alloc, stats))
+}

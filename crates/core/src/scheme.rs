@@ -254,6 +254,13 @@ pub trait FtlScheme {
 
     /// Move events logged since the last drain into `into`. Default: none.
     fn drain_events(&mut self, _into: &mut Vec<SchemeEvent>) {}
+
+    /// Snapshot the complete logical-to-physical mapping for a crash
+    /// checkpoint (see [`crate::recovery`]). `None` means the scheme does
+    /// not support checkpointed recovery.
+    fn capture_image(&self) -> Option<crate::recovery::SchemeImage> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -66,6 +66,46 @@ impl Allocator {
         }
     }
 
+    /// Rebuild an allocator over a *recovered* array (crash recovery):
+    /// fully erased, non-retired blocks go to the free lists; partially
+    /// programmed blocks are re-adopted as active blocks (their remaining
+    /// free pages stay usable), one per stream slot in discovery order.
+    /// Stream affinity is lost — the crash erased the DRAM record of which
+    /// stream owned which block — which costs some stream separation until
+    /// GC churns the adopted blocks out, but loses no capacity as long as
+    /// at most 4 partial blocks exist per plane (the steady state, since
+    /// only the 4 per-stream active blocks are ever partially programmed).
+    pub fn rebuild(array: &FlashArray) -> Self {
+        let g = array.geometry();
+        let mut planes = Vec::with_capacity(g.total_planes() as usize);
+        let mut free_blocks = 0u64;
+        for plane_idx in 0..g.total_planes() {
+            let mut pa = PlaneAlloc::default();
+            let mut next_slot = 0usize;
+            for s in array.block_summaries(plane_idx) {
+                if s.retired {
+                    continue;
+                }
+                let programmed = s.valid + s.invalid;
+                if programmed == 0 {
+                    pa.free_list.push_back(s.addr.block);
+                    free_blocks += 1;
+                } else if !s.full && next_slot < NUM_STREAMS {
+                    pa.active[next_slot] = Some(s.addr);
+                    next_slot += 1;
+                }
+                // A full block is neither free nor active; GC reclaims it.
+            }
+            planes.push(pa);
+        }
+        Allocator {
+            planes,
+            cursor: 0,
+            total_blocks: g.total_blocks(),
+            free_blocks,
+        }
+    }
+
     /// Blocks currently in the free lists (erased and unclaimed).
     #[inline]
     pub fn free_blocks(&self) -> u64 {

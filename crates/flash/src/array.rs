@@ -6,6 +6,7 @@ use crate::block::{Block, BlockAddr, BlockSummary};
 use crate::error::FlashError;
 use crate::faults::{FaultConfig, FaultInjector};
 use crate::geometry::{Geometry, PageAddr, Ppn};
+use crate::oob::{OobDesc, OobExtra, OobStore};
 use crate::page::{PageInfo, PageKind, SectorStamp};
 use crate::stats::FlashStats;
 use crate::timing::TimingSpec;
@@ -111,6 +112,19 @@ impl AddrLut {
 /// for pages that have been programmed since tracking was enabled.
 type PageContent = Option<Box<[Option<SectorStamp>]>>;
 
+/// Armed-crash state: the remaining flash-op budget, the power latch, and
+/// the OOB journal store recovery scans after the cut.
+#[derive(Debug)]
+struct CrashState {
+    /// Flash operations (read/program/erase) left before the power cut.
+    ops_remaining: u64,
+    /// Once true, every flash operation fails with
+    /// [`FlashError::PowerCut`] until [`FlashArray::power_restore`].
+    powered_off: bool,
+    /// Per-page OOB journaling records (write groups, kills, layout).
+    oob: OobStore,
+}
+
 /// The NAND flash array (see crate docs for the FTL contract).
 #[derive(Debug)]
 pub struct FlashArray {
@@ -139,6 +153,12 @@ pub struct FlashArray {
     erase_endurance: u64,
     /// Read-retry ladder depth the FTL's recovery helpers use.
     read_retries: u32,
+    /// Device-wide monotonic program sequence counter (next stamp to hand
+    /// out; stamps start at 1 so `seq == 0` means "never programmed").
+    next_seq: u64,
+    /// Armed sudden-power-off state; `None` keeps every operation's fast
+    /// path to a single branch.
+    crash: Option<CrashState>,
 }
 
 impl FlashArray {
@@ -171,7 +191,109 @@ impl FlashArray {
             injector: FaultInjector::new(&FaultConfig::disabled()),
             erase_endurance: u64::MAX,
             read_retries: FaultConfig::disabled().read_retries,
+            next_seq: 1,
+            crash: None,
         })
+    }
+
+    // ---- sudden power-off injection ---------------------------------------
+
+    /// Arm a deterministic power cut: after `crash_at` more flash
+    /// operations (reads, programs and erases, in issue order — DRAM-only
+    /// invalidations don't count) every operation fails with
+    /// [`FlashError::PowerCut`] until [`Self::power_restore`]. Arming also
+    /// turns on OOB journaling (write groups, kill records, layout
+    /// descriptors) so recovery has something to scan.
+    pub fn arm_crash(&mut self, crash_at: u64) {
+        self.crash = Some(CrashState {
+            ops_remaining: crash_at,
+            powered_off: false,
+            oob: OobStore::new(self.geometry.total_pages()),
+        });
+    }
+
+    /// Whether a power cut has been armed (OOB journaling on).
+    #[inline]
+    pub fn crash_armed(&self) -> bool {
+        self.crash.is_some()
+    }
+
+    /// Whether the armed power cut has fired and power is still off.
+    #[inline]
+    pub fn powered_off(&self) -> bool {
+        self.crash.as_ref().is_some_and(|c| c.powered_off)
+    }
+
+    /// Restore power after the cut fired: operations work again and no
+    /// further cut is scheduled. The OOB journal survives (it is
+    /// flash-resident) and keeps recording, so post-recovery operation
+    /// stays crash-consistent.
+    pub fn power_restore(&mut self) {
+        if let Some(c) = &mut self.crash {
+            c.powered_off = false;
+            c.ops_remaining = u64::MAX;
+        }
+    }
+
+    /// Count one flash operation against the armed budget; fail once the
+    /// cut fires. A single `None` branch when no crash is armed.
+    #[inline]
+    fn power_check(&mut self) -> Result<()> {
+        if let Some(c) = &mut self.crash {
+            if c.powered_off {
+                return Err(FlashError::PowerCut);
+            }
+            if c.ops_remaining == 0 {
+                c.powered_off = true;
+                return Err(FlashError::PowerCut);
+            }
+            c.ops_remaining -= 1;
+        }
+        Ok(())
+    }
+
+    // ---- OOB journaling (crash-armed only) --------------------------------
+
+    /// Open an OOB write group covering one atomic host write (see
+    /// [`crate::oob`]). No-op returning 0 when no crash is armed.
+    pub fn oob_begin_group(&mut self) -> u64 {
+        self.crash.as_mut().map_or(0, |c| c.oob.begin_group())
+    }
+
+    /// Seal the open OOB write group (commit mark on its last page).
+    /// No-op when no crash is armed.
+    pub fn oob_seal_group(&mut self) {
+        if let Some(c) = &mut self.crash {
+            c.oob.seal_group();
+        }
+    }
+
+    /// Record that the open group deliberately retires area `tag`, whose
+    /// page carried program sequence `seq` at kill time. No-op when no
+    /// crash is armed.
+    pub fn oob_group_kill(&mut self, tag: u64, seq: u64) {
+        if let Some(c) = &mut self.crash {
+            c.oob.group_kill(tag, seq);
+        }
+    }
+
+    /// Attach a layout descriptor to a just-programmed page's OOB record.
+    /// No-op when no crash is armed.
+    pub fn annotate_oob(&mut self, ppn: Ppn, desc: OobDesc) {
+        if let Some(c) = &mut self.crash {
+            c.oob.annotate(ppn, desc);
+        }
+    }
+
+    /// A page's OOB journaling record, when a crash is armed.
+    pub fn oob_of(&self, ppn: Ppn) -> Option<&OobExtra> {
+        self.crash.as_ref().map(|c| c.oob.of(ppn))
+    }
+
+    /// The persistent committed-kill log (see
+    /// [`crate::oob::OobStore::kill_log`]); empty when no crash is armed.
+    pub fn oob_kill_log(&self) -> &[crate::oob::KillRecord] {
+        self.crash.as_ref().map_or(&[], |c| c.oob.kill_log())
     }
 
     /// Install a fault configuration (injected failures + erase-endurance
@@ -511,6 +633,7 @@ impl FlashArray {
         arrive_ns: Nanos,
         ready_ns: Nanos,
     ) -> Result<OpOutcome> {
+        self.power_check()?;
         let (plane, block, page) = self.split(ppn)?;
         let info = *self.planes[plane].blocks[block].page(page);
         match info.state {
@@ -558,7 +681,9 @@ impl FlashArray {
         arrive_ns: Nanos,
         ready_ns: Nanos,
     ) -> Result<OpOutcome> {
+        self.power_check()?;
         let (plane, block, page) = self.split(ppn)?;
+        let seq = self.next_seq;
         let filled_with_invalid = {
             let blk = &mut self.planes[plane].blocks[block];
             if blk.is_retired() {
@@ -568,8 +693,9 @@ impl FlashArray {
                 return Err(FlashError::ProgramNonFree(ppn));
             }
             let was_free = blk.is_free();
-            blk.program(page, kind, tag)
+            blk.program(page, kind, tag, seq)
                 .map_err(|expected_page| FlashError::NonSequentialProgram { ppn, expected_page })?;
+            self.next_seq += 1;
             // A block enters the victim index the moment it closes with
             // reclaimable pages (invalidated while it was still filling).
             let filled = (blk.is_full() && blk.invalid_count() > 0).then(|| blk.invalid_count());
@@ -611,8 +737,14 @@ impl FlashArray {
             blk.invalidate(page);
             self.retire_at(plane, block);
             self.stats.program_faults += 1;
+            if let Some(c) = &mut self.crash {
+                c.oob.note_program_failed(ppn);
+            }
             self.log_op_outcome(FlashOp::Program, kind, arrive_ns, out, true);
             return Err(FlashError::ProgramFailed(ppn));
+        }
+        if let Some(c) = &mut self.crash {
+            c.oob.note_program(ppn, kind);
         }
         self.stats.programs.bump(kind);
         self.log_op(FlashOp::Program, kind, arrive_ns, out);
@@ -628,6 +760,7 @@ impl FlashArray {
     /// [`FlashError::EraseFailed`]. Either way the block does not rejoin
     /// the free pool — callers must not `release_block` it.
     pub fn erase(&mut self, addr: BlockAddr, at_ns: Nanos) -> Result<OpOutcome> {
+        self.power_check()?;
         let first = self.first_ppn_of(addr);
         let chip = self.lut.chip_of_plane[addr.plane_idx as usize] as usize;
         let (plane, block) = (addr.plane_idx as usize, addr.block as usize);
@@ -689,6 +822,9 @@ impl FlashArray {
                 content[(first.0 + u64::from(p)) as usize] = None;
             }
         }
+        if let Some(c) = &mut self.crash {
+            c.oob.clear_block(first, self.geometry.pages_per_block);
+        }
 
         let start = at_ns.max(self.chip_busy[chip]);
         let complete = start + self.timing.erase_ns;
@@ -703,7 +839,9 @@ impl FlashArray {
         Ok(out)
     }
 
-    /// Mark a page's data superseded. Metadata-only (free, instantaneous).
+    /// Mark a page's data superseded. Metadata-only (free, instantaneous):
+    /// in-DRAM bookkeeping, so it neither counts against an armed crash
+    /// budget nor is blocked by a power cut.
     pub fn invalidate(&mut self, ppn: Ppn) -> Result<()> {
         let (plane, block, page) = self.split(ppn)?;
         let closed_candidate = {
@@ -722,8 +860,14 @@ impl FlashArray {
                 invalid,
             );
         }
-        if let Some(content) = &mut self.content {
-            content[ppn.0 as usize] = None;
+        // With a crash armed, an invalidated page's physical contents are
+        // retained (only an erase destroys them): if the superseding copy
+        // never commits before the cut, recovery resurrects this page and
+        // the oracle must still find its stamps.
+        if self.crash.is_none() {
+            if let Some(content) = &mut self.content {
+                content[ppn.0 as usize] = None;
+            }
         }
         Ok(())
     }
@@ -731,6 +875,52 @@ impl FlashArray {
     /// Count a GC-driven migration (callers still issue the read/program).
     pub fn note_gc_migration(&mut self) {
         self.stats.gc_migrations += 1;
+    }
+
+    /// Crash-recovery rebuild: after recovery has arbitrated which
+    /// programmed page wins each logical slot, re-derive every page state
+    /// from the `live` predicate, recompute the per-plane free-block counts
+    /// and rebuild the GC victim index from scratch. Losing pages' tracked
+    /// content is dropped (their data is superseded for good now).
+    pub fn rebuild_page_states(&mut self, mut live: impl FnMut(Ppn) -> bool) {
+        let ppb = u64::from(self.geometry.pages_per_block);
+        let bpp = u64::from(self.geometry.blocks_per_plane);
+        let mut victims = VictimIndex::new(
+            self.geometry.total_blocks(),
+            self.geometry.blocks_per_plane,
+            self.geometry.pages_per_block,
+        );
+        let content = &mut self.content;
+        for (plane_idx, plane) in self.planes.iter_mut().enumerate() {
+            let mut free_blocks = 0u32;
+            for (block_idx, blk) in plane.blocks.iter_mut().enumerate() {
+                let first = (plane_idx as u64 * bpp + block_idx as u64) * ppb;
+                blk.rebuild_states(|idx| {
+                    let ppn = Ppn(first + u64::from(idx));
+                    let alive = live(ppn);
+                    if !alive {
+                        if let Some(content) = content.as_mut() {
+                            content[ppn.0 as usize] = None;
+                        }
+                    }
+                    alive
+                });
+                if blk.is_free() && !blk.is_retired() {
+                    free_blocks += 1;
+                }
+                if blk.is_full() && !blk.is_retired() && blk.invalid_count() > 0 {
+                    victims.upsert(
+                        BlockAddr {
+                            plane_idx: plane_idx as u64,
+                            block: block_idx as u32,
+                        },
+                        blk.invalid_count(),
+                    );
+                }
+            }
+            plane.free_blocks = free_blocks;
+        }
+        self.victims = victims;
     }
 
     // ---- GC victim index ---------------------------------------------------

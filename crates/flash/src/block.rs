@@ -104,10 +104,16 @@ impl Block {
         self.retired = true;
     }
 
-    /// Mark page `idx` programmed with the given kind/tag. Enforces the
-    /// sequential-program constraint; returns the previous write pointer on
-    /// success.
-    pub(crate) fn program(&mut self, idx: u32, kind: PageKind, tag: u64) -> Result<(), u32> {
+    /// Mark page `idx` programmed with the given kind/tag/sequence stamp.
+    /// Enforces the sequential-program constraint; returns the previous
+    /// write pointer on success.
+    pub(crate) fn program(
+        &mut self,
+        idx: u32,
+        kind: PageKind,
+        tag: u64,
+        seq: u64,
+    ) -> Result<(), u32> {
         if idx != self.write_ptr {
             return Err(self.write_ptr);
         }
@@ -116,6 +122,7 @@ impl Block {
         p.state = PageState::Valid;
         p.kind = kind;
         p.tag = tag;
+        p.seq = seq;
         self.write_ptr += 1;
         self.valid_count += 1;
         Ok(())
@@ -145,6 +152,30 @@ impl Block {
         self.invalid_count = 0;
         self.erase_count += 1;
         valid
+    }
+
+    /// Crash-recovery rebuild: re-derive every programmed page's state from
+    /// the `live` predicate (true = the page holds the winning copy of its
+    /// logical content). Pages past the write pointer stay free; the
+    /// valid/invalid counters are recomputed. Unlike [`Self::invalidate`]
+    /// this may also resurrect an invalid page to valid — after a power cut
+    /// an in-DRAM invalidation of a page whose replacement never committed
+    /// is simply forgotten.
+    pub(crate) fn rebuild_states(&mut self, mut live: impl FnMut(u32) -> bool) {
+        let mut valid = 0u32;
+        let mut invalid = 0u32;
+        for idx in 0..self.write_ptr {
+            let p = &mut self.pages[idx as usize];
+            if live(idx) {
+                p.state = PageState::Valid;
+                valid += 1;
+            } else {
+                p.state = PageState::Invalid;
+                invalid += 1;
+            }
+        }
+        self.valid_count = valid;
+        self.invalid_count = invalid;
     }
 
     /// Iterate the indices of valid pages (used by GC migration).
@@ -185,18 +216,18 @@ mod tests {
     fn sequential_program_enforced() {
         let mut b = Block::new(4);
         assert_eq!(b.next_free_page(), Some(0));
-        b.program(0, PageKind::Data, 7).unwrap();
+        b.program(0, PageKind::Data, 7, 1).unwrap();
         // Skipping page 1 is rejected and reports the expected pointer.
-        assert_eq!(b.program(2, PageKind::Data, 8), Err(1));
-        b.program(1, PageKind::Data, 8).unwrap();
+        assert_eq!(b.program(2, PageKind::Data, 8, 1), Err(1));
+        b.program(1, PageKind::Data, 8, 1).unwrap();
         assert_eq!(b.valid_count(), 2);
     }
 
     #[test]
     fn invalidate_and_erase_cycle() {
         let mut b = Block::new(2);
-        b.program(0, PageKind::Data, 1).unwrap();
-        b.program(1, PageKind::Map, 2).unwrap();
+        b.program(0, PageKind::Data, 1, 1).unwrap();
+        b.program(1, PageKind::Map, 2, 1).unwrap();
         assert!(b.is_full());
         assert!(b.invalidate(0));
         assert!(!b.invalidate(0), "double-invalidate must be rejected");
@@ -212,7 +243,7 @@ mod tests {
     #[test]
     fn retired_block_stops_accepting_programs() {
         let mut b = Block::new(4);
-        b.program(0, PageKind::Data, 1).unwrap();
+        b.program(0, PageKind::Data, 1, 1).unwrap();
         assert!(!b.is_retired());
         b.retire();
         assert!(b.is_retired());
@@ -224,8 +255,8 @@ mod tests {
     #[test]
     fn valid_pages_iterates_only_valid() {
         let mut b = Block::new(3);
-        b.program(0, PageKind::Data, 10).unwrap();
-        b.program(1, PageKind::Data, 11).unwrap();
+        b.program(0, PageKind::Data, 10, 1).unwrap();
+        b.program(1, PageKind::Data, 11, 1).unwrap();
         b.invalidate(0);
         let v: Vec<u32> = b.valid_pages().map(|(i, _)| i).collect();
         assert_eq!(v, vec![1]);

@@ -68,6 +68,12 @@ pub enum FlashError {
     /// blocks fell below the configured threshold, so host writes are
     /// rejected while reads keep being served.
     ReadOnlyMode,
+    /// Sudden power-off: the armed crash point was reached (see
+    /// [`crate::array::FlashArray::arm_crash`]). Every flash operation from
+    /// the cut onward fails with this error until power is restored; DRAM
+    /// state (mapping tables, caches, pending GC buffers) is considered
+    /// lost and must be rebuilt by recovery.
+    PowerCut,
 }
 
 impl std::fmt::Display for FlashError {
@@ -108,6 +114,9 @@ impl std::fmt::Display for FlashError {
             }
             FlashError::ReadOnlyMode => {
                 write!(f, "device is in read-only mode (spare blocks exhausted)")
+            }
+            FlashError::PowerCut => {
+                write!(f, "sudden power-off: device lost power at the armed crash point")
             }
         }
     }

@@ -29,6 +29,7 @@ pub mod block;
 pub mod error;
 pub mod faults;
 pub mod geometry;
+pub mod oob;
 pub mod page;
 pub mod stats;
 pub mod timing;
@@ -40,6 +41,7 @@ pub use block::{Block, BlockAddr};
 pub use error::FlashError;
 pub use faults::{FaultConfig, FaultInjector};
 pub use geometry::{Geometry, GeometryBuilder, PageAddr, Ppn};
+pub use oob::{KillRecord, OobDesc, OobExtra, OOB_GROUP_POISONED};
 pub use page::{PageInfo, PageKind, PageState, SectorStamp};
 pub use stats::FlashStats;
 pub use timing::TimingSpec;

@@ -53,15 +53,21 @@ pub struct PageInfo {
     /// Reverse-map tag: for `Data` pages the LPN; for `Map` pages the
     /// translation-page id; for `AcrossData` the owning table's entry id.
     pub tag: u64,
+    /// Device-wide monotonic program sequence number stamped at program
+    /// time (0 = never programmed). Crash recovery arbitrates conflicting
+    /// copies of the same logical page with last-writer-wins over this.
+    #[serde(default)]
+    pub seq: u64,
 }
 
 impl PageInfo {
-    /// A freshly erased page: free, no kind, no tag.
+    /// A freshly erased page: free, no kind, no tag, no sequence number.
     pub const fn free() -> Self {
         PageInfo {
             state: PageState::Free,
             kind: PageKind::Data,
             tag: u64::MAX,
+            seq: 0,
         }
     }
 

@@ -60,6 +60,7 @@ pub fn small_ssd_config(scheme: SchemeKind, fault: aftl_flash::FaultConfig) -> S
         track_content: true,
         observe: aftl_sim::ObserveConfig::standard(),
         fault,
+        crash: aftl_sim::config::CrashConfig::default(),
     }
 }
 

@@ -66,6 +66,31 @@ impl Default for WarmupConfig {
     }
 }
 
+/// Sudden-power-off experiment knobs (see `crate::crash`). Disabled by
+/// default: no OOB journaling, no op budget, bit-identical behaviour to a
+/// build without the crash layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashConfig {
+    /// Cut power after this many flash operations (`None` = never). Arming
+    /// also turns on OOB journaling from the first write.
+    pub crash_at: Option<u64>,
+    /// After the cut fires, power-cycle the device, rebuild the mapping
+    /// from the OOB journal and verify every acknowledged write.
+    pub recover: bool,
+    /// Snapshot the mapping every N host writes so recovery replays only
+    /// the post-checkpoint delta instead of scanning every page
+    /// (`None` = full OOB scan).
+    pub checkpoint_every: Option<u64>,
+}
+
+impl CrashConfig {
+    /// Whether this run injects a power cut.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        self.crash_at.is_some()
+    }
+}
+
 /// Full configuration of one simulated device + scheme.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -82,12 +107,17 @@ pub struct SimConfig {
     /// Enable the sector-stamp oracle (tests only; costs memory).
     pub track_content: bool,
     /// Observability sinks: latency histograms and event tracing.
+    /// Serde-defaulted: absent from pre-v2 manifest echoes.
+    #[serde(default)]
     pub observe: ObserveConfig,
     /// Fault injection and endurance model. Disabled by default: no RNG
     /// draws, no endurance checks, bit-identical results to a build
     /// without the fault layer.
     #[serde(default = "FaultConfig::disabled")]
     pub fault: FaultConfig,
+    /// Sudden-power-off injection and recovery. Disabled by default.
+    #[serde(default)]
+    pub crash: CrashConfig,
 }
 
 impl SimConfig {
@@ -108,6 +138,7 @@ impl SimConfig {
             track_content: false,
             observe: ObserveConfig::standard(),
             fault: FaultConfig::disabled(),
+            crash: CrashConfig::default(),
         }
     }
 
@@ -163,6 +194,7 @@ impl SimConfig {
             track_content: true,
             observe: ObserveConfig::standard(),
             fault: FaultConfig::disabled(),
+            crash: CrashConfig::default(),
         }
     }
 }

@@ -81,6 +81,7 @@ pub fn run_on_device_keep(mut ssd: Ssd, trace: &Trace) -> Result<(RunReport, Ssd
         trace_events: ssd.observer().trace_events_total(),
         qos: None,
         fleet: None,
+        recovery: None,
     };
     Ok((report, ssd))
 }

@@ -308,6 +308,7 @@ pub(crate) fn assemble_report(
         trace_events,
         qos: Some(qos),
         fleet,
+        recovery: None,
     }
 }
 

@@ -6,6 +6,8 @@
 //!
 //! * [`config`] — device/scheme/warm-up configuration, including the
 //!   scaled *experiment geometry* used by the reproduction runs,
+//! * [`crash`] — sudden-power-off experiments: a crash-armed workload
+//!   driver, OOB-journal recovery, and the acknowledged-write oracle,
 //! * [`ssd`] — the simulated device: dispatches host requests to the
 //!   active FTL scheme, runs GC, classifies requests (across vs normal),
 //! * [`warmup`] — ages the SSD (90 % of capacity used, ~39.8 % valid)
@@ -32,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod crash;
 pub mod experiment;
 pub mod fleet;
 pub mod hosted;
@@ -42,12 +45,13 @@ pub mod ssd;
 pub mod tables;
 pub mod warmup;
 
-pub use config::{ObserveConfig, SimConfig};
+pub use config::{CrashConfig, ObserveConfig, SimConfig};
+pub use crash::{run_crash_point, CrashOutcome};
 pub use experiment::{run_comparison, run_single, ComparisonReport};
 pub use fleet::{run_fleet, FleetSpec};
 pub use hosted::{run_hosted, tenants_from_trace};
 pub use metrics::ClassMetrics;
 pub use observe::{LatencyBreakdown, LatencyHistogram, Observer, OpKind};
-pub use report::{DeviceSummary, FleetSection, QosSection, RunReport, TenantQos};
+pub use report::{DeviceSummary, FleetSection, QosSection, RecoverySection, RunReport, TenantQos};
 pub use ssd::Ssd;
 pub use warmup::WarmupStats;

@@ -45,10 +45,14 @@ use crate::warmup::WarmupStats;
 /// coalesced lookups, out-of-order completions). v8 added the learned
 /// mapping scheme: the `LearnedConfig` echo inside `config.scheme_cfg`
 /// and the [`LearnedStats`] `learned` section (predict hits,
-/// mis-predicts, verify reads, segment rebuilds, map-ins saved). Every
-/// addition carries a serde default, so v2–v7 manifests still
-/// deserialize (see the `v*_manifest_still_deserializes` tests).
-pub const SCHEMA_VERSION: u32 = 8;
+/// mis-predicts, verify reads, segment rebuilds, map-ins saved). v9
+/// added crash consistency: the `CrashConfig` echo inside `config` and
+/// the optional [`RecoverySection`] with rebuild counters and the
+/// acknowledged-write oracle verdict (`null` for runs without a power
+/// cut). Every addition carries a serde default, so v1–v8 manifests
+/// still deserialize (see the `old_manifests_still_deserialize`
+/// property test).
+pub const SCHEMA_VERSION: u32 = 9;
 
 /// The complete result of replaying one trace on one scheme — the run
 /// manifest.
@@ -72,6 +76,8 @@ pub struct RunReport {
     /// Per request-class metrics (read/write × across/normal).
     pub classes: ClassBreakdown,
     /// Per op-kind latency percentiles (p50/p95/p99/p999).
+    /// Serde-defaulted: absent from pre-v2 manifests.
+    #[serde(default)]
     pub latency: LatencyBreakdown,
     /// Flash-level deltas over the measured window (map/data split).
     pub flash: FlashStats,
@@ -98,6 +104,8 @@ pub struct RunReport {
     /// loops use this as the replay-throughput sample.
     pub wall_seconds: f64,
     /// Events offered to the trace ring (0 unless tracing was enabled).
+    /// Serde-defaulted: absent from pre-v2 manifests.
+    #[serde(default)]
     pub trace_events: u64,
     /// Per-tenant QoS results — present only for hosted (multi-queue)
     /// runs, `null` for plain replay.
@@ -107,6 +115,41 @@ pub struct RunReport {
     /// sharded multi-device runs, `null` otherwise.
     #[serde(default)]
     pub fleet: Option<FleetSection>,
+    /// Crash-recovery results — present only for sudden-power-off runs
+    /// that recovered (`--crash-at` + `--recover`), `null` otherwise.
+    #[serde(default)]
+    pub recovery: Option<RecoverySection>,
+}
+
+/// What recovering from a sudden power-off cost and whether the rebuilt
+/// mapping passed the acknowledged-write oracle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoverySection {
+    /// Flash-op budget the cut was armed with.
+    pub crash_at: u64,
+    /// Whether the cut actually fired before the workload ended.
+    pub fired: bool,
+    /// Rebuild strategy: `"scan"` (full OOB sweep) or `"checkpoint"`
+    /// (checkpoint load + post-checkpoint delta replay).
+    pub mode: String,
+    /// Programmed pages whose OOB records the rebuild examined.
+    pub scanned_pages: u64,
+    /// Post-checkpoint journal entries replayed (0 in scan mode).
+    pub journal_replays: u64,
+    /// Flash page reads the rebuild cost (the scan-vs-checkpoint metric).
+    pub rebuild_flash_reads: u64,
+    /// Modelled rebuild time: `rebuild_flash_reads × read_ns`.
+    pub recovery_ns: u64,
+    /// Host writes acknowledged before the cut.
+    pub acked_writes: u64,
+    /// Sectors read back and matched against the oracle after recovery.
+    pub verified_sectors: u64,
+    /// Acknowledged sectors whose post-recovery content was wrong
+    /// (any non-zero value is a crash-consistency bug).
+    pub lost_sectors: u64,
+    /// Whether any sector of the torn (unacknowledged) request became
+    /// visible after recovery (`true` is an atomicity bug).
+    pub torn_exposed: bool,
 }
 
 /// How a fleet run sharded the workload and what each device contributed.
@@ -271,6 +314,7 @@ mod tests {
     use crate::experiment::run_single_with;
     use aftl_core::scheme::SchemeKind;
     use aftl_trace::{IoOp, IoRecord, Trace};
+    use proptest::prelude::*;
 
     fn tiny_trace() -> Trace {
         let mut records = Vec::new();
@@ -317,249 +361,138 @@ mod tests {
         assert_eq!(back.scheme, SchemeKind::Across);
     }
 
-    #[test]
-    fn v2_manifest_still_deserializes() {
-        // Simulate a schema-v2 manifest (pre-fault-model) by stripping
-        // every v3-only field from a fresh report's value tree; the fields
-        // all carry serde defaults, so deserialization must still succeed.
-        use serde::Deserialize;
-        use serde::Value;
-        // v3 additions plus the v4 `qos` and v5 `fleet` sections: a v2
-        // manifest predates them all.
-        const V3_FIELDS: [&str; 14] = [
-            "qos",
-            "fleet",
-            "fault",
-            "read_faults",
-            "program_faults",
-            "erase_faults",
-            "worn_out_blocks",
-            "retired_blocks",
-            "lost_pages",
-            "host_unrecoverable_reads",
-            "write_rejections",
-            "read_retry",
-            "reprogram",
-            "retired",
-        ];
-        fn strip(v: &mut Value) {
-            if let Value::Map(entries) = v {
-                entries.retain(|(k, _)| !V3_FIELDS.contains(&k.as_str()));
-                for (k, v) in entries.iter_mut() {
-                    if k == "schema_version" {
-                        *v = Value::U128(2);
-                    }
-                    strip(v);
-                }
-            } else if let Value::Seq(items) = v {
-                for item in items {
-                    strip(item);
-                }
-            }
+    /// Field names each schema version introduced (see [`SCHEMA_VERSION`]'s
+    /// history). Stripping every field added *after* version `v` from a
+    /// fresh report's value tree simulates a genuine schema-`v` manifest.
+    fn fields_added_at(version: u32) -> &'static [&'static str] {
+        match version {
+            // Latency/trace observability sections (incl. the config echo).
+            2 => &["latency", "trace_events", "observe"],
+            // Fault model: config echo, flash/counter/GC fault counters,
+            // retry/reprogram/retired latency buckets.
+            3 => &[
+                "fault",
+                "read_faults",
+                "program_faults",
+                "erase_faults",
+                "worn_out_blocks",
+                "retired_blocks",
+                "lost_pages",
+                "host_unrecoverable_reads",
+                "write_rejections",
+                "read_retry",
+                "reprogram",
+                "retired",
+            ],
+            // Multi-queue host front end.
+            4 => &["qos"],
+            // Fleet runs.
+            5 => &["fleet"],
+            // Preemptible GC: tuning echo, episode counters, throttle,
+            // pause bucket.
+            6 => &[
+                "tuning",
+                "episodes",
+                "preemptions",
+                "idle_pages",
+                "throttled_writes",
+                "gc_pause",
+            ],
+            // Pipelined map engine.
+            7 => &["pipeline", "map_engine"],
+            // Learned mapping (config echo + counter section).
+            8 => &["learned"],
+            // Crash consistency: config echo + recovery section.
+            9 => &["recovery", "crash"],
+            _ => &[],
         }
-
-        let mut config = SimConfig::test_tiny(SchemeKind::Baseline);
-        config.track_content = false;
-        let report = run_single_with(config, &tiny_trace()).unwrap();
-        let mut v = serde_json::to_value(&report);
-        strip(&mut v);
-        let back = RunReport::from_value(&v).expect("v2 manifest deserializes");
-        assert_eq!(back.schema_version, 2);
-        assert_eq!(back.requests, report.requests);
-        assert!(!back.config.fault.injects(), "defaulted fault config");
-        assert_eq!(back.flash.read_faults, 0);
-        assert_eq!(back.counters.write_rejections, 0);
-        assert_eq!(back.latency.read_retry.count, 0);
     }
 
-    #[test]
-    fn v3_manifest_still_deserializes() {
-        // Simulate a schema-v3 manifest (pre-host-interface) by dropping
-        // the v4-only `qos` and v5-only `fleet` sections; both carry serde
-        // defaults, so the manifest must still load with `None` for each.
-        use serde::Deserialize;
+    fn strip(v: &mut serde::Value, gone: &[&str], version: u32) {
         use serde::Value;
-
-        let mut config = SimConfig::test_tiny(SchemeKind::Mrsm);
-        config.track_content = false;
-        let report = run_single_with(config, &tiny_trace()).unwrap();
-        let mut v = serde_json::to_value(&report);
-        if let Value::Map(entries) = &mut v {
-            entries.retain(|(k, _)| k != "qos" && k != "fleet");
-            for (k, val) in entries.iter_mut() {
+        if let Value::Map(entries) = v {
+            entries.retain(|(k, _)| !gone.contains(&k.as_str()));
+            for (k, v) in entries.iter_mut() {
                 if k == "schema_version" {
-                    *val = Value::U128(3);
+                    *v = Value::U128(u128::from(version));
                 }
+                strip(v, gone, version);
+            }
+        } else if let Value::Seq(items) = v {
+            for item in items {
+                strip(item, gone, version);
             }
         }
-        let back = RunReport::from_value(&v).expect("v3 manifest deserializes");
-        assert_eq!(back.schema_version, 3);
-        assert_eq!(back.requests, report.requests);
-        assert!(back.qos.is_none(), "qos defaults to None for v3 manifests");
-        assert!(back.fleet.is_none(), "fleet defaults to None too");
     }
 
-    #[test]
-    fn v4_manifest_still_deserializes() {
-        // Simulate a schema-v4 manifest (pre-fleet) by dropping only the
-        // v5 `fleet` section while keeping `qos`; the fleet field carries
-        // a serde default, so the manifest must still load.
-        use serde::Deserialize;
-        use serde::Value;
-
-        let mut config = SimConfig::test_tiny(SchemeKind::Across);
-        config.track_content = false;
-        let report = run_single_with(config, &tiny_trace()).unwrap();
-        let mut v = serde_json::to_value(&report);
-        if let Value::Map(entries) = &mut v {
-            entries.retain(|(k, _)| k != "fleet");
-            for (k, val) in entries.iter_mut() {
-                if k == "schema_version" {
-                    *val = Value::U128(4);
-                }
-            }
-        }
-        let back = RunReport::from_value(&v).expect("v4 manifest deserializes");
-        assert_eq!(back.schema_version, 4);
-        assert_eq!(back.requests, report.requests);
-        assert!(
-            back.fleet.is_none(),
-            "fleet defaults to None for v4 manifests"
-        );
+    /// One report, generated once: every proptest case re-strips the same
+    /// value tree, so the property stays cheap across hundreds of cases.
+    fn fresh_report() -> &'static RunReport {
+        static REPORT: std::sync::OnceLock<RunReport> = std::sync::OnceLock::new();
+        REPORT.get_or_init(|| {
+            let mut config = SimConfig::test_tiny(SchemeKind::Across);
+            config.track_content = false;
+            run_single_with(config, &tiny_trace()).unwrap()
+        })
     }
 
-    #[test]
-    fn v5_manifest_still_deserializes() {
-        // Simulate a schema-v5 manifest (pre-preemptible-GC) by stripping
-        // every v6-only field from a fresh report's value tree: the
-        // `GcTuning` echo in the config, the episode/preemption/idle
-        // counters in `gc`, the admission-throttle counter and the
-        // `gc_pause` latency bucket. All carry serde defaults.
-        use serde::Deserialize;
-        use serde::Value;
-        const V6_FIELDS: [&str; 6] = [
-            "tuning",
-            "episodes",
-            "preemptions",
-            "idle_pages",
-            "throttled_writes",
-            "gc_pause",
-        ];
-        fn strip(v: &mut Value) {
-            if let Value::Map(entries) = v {
-                entries.retain(|(k, _)| !V6_FIELDS.contains(&k.as_str()));
-                for (k, v) in entries.iter_mut() {
-                    if k == "schema_version" {
-                        *v = Value::U128(5);
-                    }
-                    strip(v);
-                }
-            } else if let Value::Seq(items) = v {
-                for item in items {
-                    strip(item);
-                }
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Backward compatibility, v1 through today: a manifest of any
+        /// older schema version — simulated by stripping every field the
+        /// later versions introduced — must still deserialize, with every
+        /// stripped section landing on its serde default.
+        #[test]
+        fn old_manifests_still_deserialize(version in 1u32..=SCHEMA_VERSION) {
+            use serde::Deserialize;
+            let report = fresh_report();
+            let gone: Vec<&str> = (version + 1..=SCHEMA_VERSION)
+                .flat_map(|v| fields_added_at(v).iter().copied())
+                .collect();
+            let mut v = serde_json::to_value(report);
+            strip(&mut v, &gone, version);
+            let back = RunReport::from_value(&v)
+                .unwrap_or_else(|e| panic!("v{version} manifest must deserialize: {e:?}"));
+            prop_assert_eq!(back.schema_version, version);
+            prop_assert_eq!(back.requests, report.requests);
+            if version < 9 {
+                prop_assert!(back.recovery.is_none(), "recovery defaults to None");
+                prop_assert!(!back.config.crash.armed(), "crash echo defaults off");
+            }
+            if version < 8 {
+                prop_assert_eq!(back.learned.predict_hits, 0);
+                prop_assert_eq!(
+                    back.config.scheme_cfg.learned.max_error,
+                    aftl_core::LearnedConfig::default().max_error
+                );
+            }
+            if version < 7 {
+                prop_assert!(!back.config.scheme_cfg.pipeline.enabled);
+                prop_assert_eq!(back.map_engine.batched_map_reads, 0);
+            }
+            if version < 6 {
+                prop_assert_eq!(back.gc.episodes, 0);
+                prop_assert_eq!(back.counters.throttled_writes, 0);
+                prop_assert_eq!(back.latency.gc_pause.count, 0);
+            }
+            if version < 5 {
+                prop_assert!(back.fleet.is_none());
+            }
+            if version < 4 {
+                prop_assert!(back.qos.is_none());
+            }
+            if version < 3 {
+                prop_assert!(!back.config.fault.injects());
+                prop_assert_eq!(back.flash.read_faults, 0);
+                prop_assert_eq!(back.counters.write_rejections, 0);
+                prop_assert_eq!(back.latency.read_retry.count, 0);
+            }
+            if version < 2 {
+                prop_assert_eq!(back.latency.host_write.count, 0);
+                prop_assert_eq!(back.trace_events, 0);
             }
         }
-
-        let mut config = SimConfig::test_tiny(SchemeKind::Across);
-        config.track_content = false;
-        let report = run_single_with(config, &tiny_trace()).unwrap();
-        let mut v = serde_json::to_value(&report);
-        strip(&mut v);
-        let back = RunReport::from_value(&v).expect("v5 manifest deserializes");
-        assert_eq!(back.schema_version, 5);
-        assert_eq!(back.requests, report.requests);
-        assert_eq!(back.gc.episodes, 0, "defaulted episode counter");
-        assert_eq!(back.counters.throttled_writes, 0);
-        assert_eq!(back.latency.gc_pause.count, 0);
-        assert_eq!(
-            back.config.scheme_cfg.gc.policy,
-            aftl_core::GcPolicy::Greedy,
-            "defaulted tuning echo"
-        );
-    }
-
-    #[test]
-    fn v6_manifest_still_deserializes() {
-        // Simulate a schema-v6 manifest (pre-pipelined-map-engine) by
-        // stripping the v7-only fields: the `pipeline` echo inside
-        // `config.scheme_cfg` and the `map_engine` counter section. Both
-        // carry serde defaults (pipeline off, zero counters).
-        use serde::Deserialize;
-        use serde::Value;
-        fn strip(v: &mut Value) {
-            if let Value::Map(entries) = v {
-                entries.retain(|(k, _)| k != "pipeline" && k != "map_engine");
-                for (k, v) in entries.iter_mut() {
-                    if k == "schema_version" {
-                        *v = Value::U128(6);
-                    }
-                    strip(v);
-                }
-            } else if let Value::Seq(items) = v {
-                for item in items {
-                    strip(item);
-                }
-            }
-        }
-
-        let mut config = SimConfig::test_tiny(SchemeKind::Mrsm);
-        config.track_content = false;
-        let report = run_single_with(config, &tiny_trace()).unwrap();
-        let mut v = serde_json::to_value(&report);
-        strip(&mut v);
-        let back = RunReport::from_value(&v).expect("v6 manifest deserializes");
-        assert_eq!(back.schema_version, 6);
-        assert_eq!(back.requests, report.requests);
-        assert!(
-            !back.config.scheme_cfg.pipeline.enabled,
-            "defaulted pipeline echo is off"
-        );
-        assert_eq!(back.map_engine.batched_map_reads, 0);
-        assert_eq!(back.map_engine.coalesced_lookups, 0);
-        assert_eq!(back.map_engine.ooo_completions, 0);
-    }
-
-    #[test]
-    fn v7_manifest_still_deserializes() {
-        // Simulate a schema-v7 manifest (pre-learned-mapping) by
-        // stripping every `learned` key from a fresh report's value tree:
-        // the `LearnedConfig` echo inside `config.scheme_cfg` and the
-        // top-level `learned` counter section. Both carry serde defaults.
-        use serde::Deserialize;
-        use serde::Value;
-        fn strip(v: &mut Value) {
-            if let Value::Map(entries) = v {
-                entries.retain(|(k, _)| k != "learned");
-                for (k, v) in entries.iter_mut() {
-                    if k == "schema_version" {
-                        *v = Value::U128(7);
-                    }
-                    strip(v);
-                }
-            } else if let Value::Seq(items) = v {
-                for item in items {
-                    strip(item);
-                }
-            }
-        }
-
-        let mut config = SimConfig::test_tiny(SchemeKind::Baseline);
-        config.track_content = false;
-        let report = run_single_with(config, &tiny_trace()).unwrap();
-        let mut v = serde_json::to_value(&report);
-        strip(&mut v);
-        let back = RunReport::from_value(&v).expect("v7 manifest deserializes");
-        assert_eq!(back.schema_version, 7);
-        assert_eq!(back.requests, report.requests);
-        assert_eq!(back.learned.predict_hits, 0, "defaulted learned section");
-        assert_eq!(back.learned.mispredicts, 0);
-        assert_eq!(back.learned.map_ins_saved, 0);
-        assert_eq!(
-            back.config.scheme_cfg.learned.max_error,
-            aftl_core::LearnedConfig::default().max_error,
-            "defaulted learned config echo"
-        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! FTL scheme, dispatches host requests, and runs GC after writes.
 
 use aftl_core::gc::GcReport;
+use aftl_core::recovery::{Checkpoint, RecoveryStats};
 use aftl_core::request::{HostRequest, ReqKind};
 use aftl_core::scheme::{FtlEnv, FtlScheme, SchemeKind, ServedSector};
 use aftl_core::{AcrossFtl, BaselineFtl, LearnedFtl, MrsmFtl};
@@ -43,6 +44,8 @@ pub struct Ssd {
     read_only: bool,
     write_rejections: u64,
     throttled_writes: u64,
+    /// Most recent quiescent-point mapping checkpoint (crash experiments).
+    checkpoint: Option<Checkpoint>,
 }
 
 impl Ssd {
@@ -80,7 +83,58 @@ impl Ssd {
             read_only: false,
             write_rejections: 0,
             throttled_writes: 0,
+            checkpoint: None,
         })
+    }
+
+    /// Arm a deterministic sudden power-off after `crash_at` more flash
+    /// operations, and start OOB crash journaling (see
+    /// [`FlashArray::arm_crash`]). Call before the first write so every
+    /// programmed page carries OOB records.
+    pub fn arm_crash(&mut self, crash_at: u64) {
+        self.array.arm_crash(crash_at);
+    }
+
+    /// Whether the armed power cut has fired.
+    #[inline]
+    pub fn powered_off(&self) -> bool {
+        self.array.powered_off()
+    }
+
+    /// Snapshot the scheme's mapping and per-block state as the recovery
+    /// checkpoint (call between requests — a quiescent point). Returns
+    /// `false` if the scheme does not support checkpoint capture.
+    pub fn take_checkpoint(&mut self) -> bool {
+        match self.scheme.capture_image() {
+            Some(image) => {
+                self.checkpoint = Some(Checkpoint::capture(&self.array, image));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The checkpoint taken by [`Ssd::take_checkpoint`], if any.
+    #[inline]
+    pub fn checkpoint(&self) -> Option<&Checkpoint> {
+        self.checkpoint.as_ref()
+    }
+
+    /// Power-cycle the device after an armed crash fired: restore power,
+    /// rebuild the mapping from the OOB journal (seeded by the checkpoint
+    /// when one was taken), and replace the scheme and allocator with the
+    /// recovered state.
+    pub fn power_cycle_recover(&mut self) -> Result<RecoveryStats> {
+        self.array.power_restore();
+        let (scheme, alloc, stats) = aftl_core::crash_recover(
+            &mut self.array,
+            self.config.scheme_cfg,
+            self.config.scheme,
+            self.checkpoint.as_ref(),
+        )?;
+        self.scheme = scheme;
+        self.alloc = alloc;
+        Ok(stats)
     }
 
     /// Whether the device has degraded to read-only mode (spare blocks
@@ -213,6 +267,13 @@ impl Ssd {
         let before_reads = self.array.stats().reads.total();
         let before_programs = self.array.stats().programs.total();
 
+        // With a crash armed, every write is one OOB write group: its pages
+        // share a group id and the group commits only when sealed below. A
+        // power cut mid-write leaves the group unsealed, so recovery rolls
+        // the whole request back instead of exposing it half-written.
+        if req.kind == ReqKind::Write {
+            self.array.oob_begin_group();
+        }
         let mut env = FtlEnv {
             array: &mut self.array,
             alloc: &mut self.alloc,
@@ -236,6 +297,12 @@ impl Ssd {
             }
             Err(e) => return Err(e),
         };
+        // The write is durable: seal (commit) its group before anything
+        // else can run. GC after this point journals implicitly committed
+        // pages (group 0).
+        if req.kind == ReqKind::Write {
+            self.array.oob_seal_group();
+        }
         let flash_reads = self.array.stats().reads.total() - before_reads;
         let flash_programs = self.array.stats().programs.total() - before_programs;
 
@@ -268,6 +335,10 @@ impl Ssd {
                 self.read_only = true;
                 GcReport::default()
             }
+            // Power died during background GC: the host write above was
+            // already acked and sealed, so the request itself succeeded.
+            // The outage surfaces on the next submit.
+            Err(FlashError::PowerCut) => GcReport::default(),
             Err(e) => return Err(e),
         };
         let gc_end = self.observer.absorb_ops(&mut self.array, Phase::Gc);
@@ -330,6 +401,8 @@ impl Ssd {
                 self.read_only = true;
                 GcReport::default()
             }
+            // Power died mid-idle-GC; no host request was in flight.
+            Err(FlashError::PowerCut) => GcReport::default(),
             Err(e) => return Err(e),
         };
         self.observer.absorb_ops(&mut self.array, Phase::Gc);

@@ -38,6 +38,15 @@ pub fn parse_systor<R: BufRead>(
         let ts: f64 = next_field(&mut fields, lineno, "Timestamp")?
             .parse()
             .map_err(|e| err(lineno, format!("bad timestamp: {e}")))?;
+        // `f64::parse` happily accepts "NaN", "inf" and negatives — all of
+        // which would silently collapse to nonsense in the ns conversion
+        // below instead of failing loudly here.
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(err(
+                lineno,
+                format!("bad timestamp {ts}: must be finite and non-negative"),
+            ));
+        }
         let _response = next_field(&mut fields, lineno, "Response")?;
         let io_type = next_field(&mut fields, lineno, "IOType")?;
         let lun: u32 = next_field(&mut fields, lineno, "LUN")?
@@ -133,6 +142,22 @@ Timestamp,Response,IOType,LUN,Offset,Size
         assert!(e.message.contains("IOType"));
         let e = parse_systor("abc,2,R,4,5,6".as_bytes(), "bad", None).unwrap_err();
         assert!(e.message.contains("timestamp"));
+    }
+
+    #[test]
+    fn rejects_non_finite_and_negative_timestamps() {
+        // These all *parse* as f64 — the range check must catch them, and
+        // the error must name the offending line (1-based, past the header).
+        for bad in ["NaN", "inf", "-inf", "-1.5"] {
+            let input = format!("Timestamp,Response,IOType,LUN,Offset,Size\n1.0,0.1,W,0,0,512\n{bad},0.1,R,0,0,512\n");
+            let e = parse_systor(input.as_bytes(), "bad", None).unwrap_err();
+            assert!(
+                e.message.contains("timestamp"),
+                "{bad}: unexpected message {:?}",
+                e.message
+            );
+            assert_eq!(e.line, 3, "{bad}: error must point at the bad line");
+        }
     }
 
     #[test]
